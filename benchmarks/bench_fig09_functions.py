@@ -1,0 +1,184 @@
+"""Figure 9: different aggregation functions and window measures (Sec 6.3.2).
+
+The workload: 1-second tumbling windows (count-based ones 1M events in the
+paper, scaled here), with function mixes that stress operator sharing:
+
+* Fig 9a/9b — average + sum: throughput and executed calculations.
+  Desis breaks both into {sum, count} and runs 2 operators per event;
+  DeSW runs 3 (sum+count for avg, sum again for sum).
+* Fig 9c/9d — hundreds of *distinct* quantiles: every baseline creates a
+  query-group per query; Desis runs one shared non-decomposable sort.
+* Fig 9e/9f — two functions per window (avg+max, sum+quantile).
+* Fig 9g — quantile + max share one sort operator.
+* Fig 9h — mixed time- and count-based measures: DeSW splits groups,
+  Desis shares.
+
+Calculation counts are deterministic and asserted exactly; throughput is
+reported (the paper's >100x gap appears as the group-count explosion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CeBufferProcessor,
+    DeBucketProcessor,
+    DeSWProcessor,
+    DesisProcessor,
+)
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, WindowMeasure
+from repro.harness import fmt_rate, print_table, quantile_queries, run_processor
+
+from conftest import stream
+
+SYSTEMS = {
+    "Desis": DesisProcessor,
+    "DeSW": DeSWProcessor,
+    "DeBucket": DeBucketProcessor,
+    "CeBuffer": CeBufferProcessor,
+}
+
+N = 50_000
+
+
+@pytest.fixture(scope="module")
+def events():
+    return stream(N)
+
+
+def run_all(queries, events, *, skip=()):
+    rows = {}
+    for name, factory in SYSTEMS.items():
+        if name in skip:
+            continue
+        rows[name] = run_processor(factory, queries, events)
+    return rows
+
+
+def _print(figure, rows, *, calculations=False):
+    print_table(
+        figure,
+        ["system", "throughput", "calculations", "groups" if calculations else ""],
+        [
+            [name, fmt_rate(s.events_per_second), f"{s.calculations:,}", ""]
+            for name, s in rows.items()
+        ],
+    )
+
+
+def test_fig9ab_average_plus_sum(events, benchmark):
+    queries = [
+        Query.of(f"avg{i}", WindowSpec.tumbling(1_000 * (i % 10 + 1)),
+                 AggFunction.AVERAGE)
+        for i in range(25)
+    ] + [
+        Query.of(f"sum{i}", WindowSpec.tumbling(1_000 * (i % 10 + 1)),
+                 AggFunction.SUM)
+        for i in range(25)
+    ]
+    rows = run_all(queries, events)
+    _print("Fig 9a/9b: average + sum (50 queries)", rows, calculations=True)
+    # Fig 9b: 2 operators/event for Desis vs 3 for DeSW, exactly.
+    assert rows["Desis"].calculations == 2 * N
+    assert rows["DeSW"].calculations == 3 * N
+    assert rows["DeBucket"].calculations > 50 * N
+    benchmark.pedantic(
+        lambda: run_processor(DesisProcessor, queries, events),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig9cd_distinct_quantiles(events, benchmark):
+    queries = quantile_queries(200)
+    rows = run_all(queries, events, skip=("CeBuffer",))
+    _print("Fig 9c/9d: 200 distinct quantile queries", rows, calculations=True)
+    # Fig 9d: one shared sort insert per event for Desis; every baseline
+    # repeats the work once per query-group (= per distinct quantile).
+    assert rows["Desis"].calculations == N
+    assert rows["DeSW"].calculations == 200 * N
+    # Fig 9c: with a 200x work gap the throughput gap is safely large.
+    assert (
+        rows["Desis"].events_per_second
+        > 20 * rows["DeSW"].events_per_second
+    )
+    benchmark.pedantic(
+        lambda: run_processor(DesisProcessor, queries, events),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig9ef_two_functions_per_window(events, benchmark):
+    """Each 'window' computes two functions, expressed as query pairs."""
+    avg_max = []
+    for i in range(20):
+        spec = WindowSpec.tumbling(1_000 * (i % 10 + 1))
+        avg_max.append(Query.of(f"a{i}", spec, AggFunction.AVERAGE))
+        avg_max.append(Query.of(f"m{i}", spec, AggFunction.MAX))
+    rows = run_all(avg_max, events)
+    _print("Fig 9e: average + max per window", rows, calculations=True)
+    # sum + count + decomposable sort, shared across all 40 queries.
+    assert rows["Desis"].calculations == 3 * N
+
+    sum_quantile = []
+    for i in range(20):
+        spec = WindowSpec.tumbling(1_000 * (i % 10 + 1))
+        sum_quantile.append(Query.of(f"s{i}", spec, AggFunction.SUM))
+        sum_quantile.append(
+            Query.of(f"q{i}", spec, AggFunction.QUANTILE,
+                     quantile=(i + 1) / 21)
+        )
+    rows_sq = run_all(sum_quantile, events, skip=("CeBuffer",))
+    _print("Fig 9f: sum + quantile per window", rows_sq, calculations=True)
+    assert rows_sq["Desis"].calculations == 2 * N  # sum + shared sort
+    benchmark.pedantic(
+        lambda: run_processor(DesisProcessor, avg_max, events),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig9g_quantile_plus_max_share_the_sort(events, benchmark):
+    queries = []
+    for i in range(20):
+        spec = WindowSpec.tumbling(1_000 * (i % 10 + 1))
+        queries.append(
+            Query.of(f"q{i}", spec, AggFunction.QUANTILE, quantile=(i + 1) / 21)
+        )
+        queries.append(Query.of(f"m{i}", spec, AggFunction.MAX))
+    rows = run_all(queries, events, skip=("CeBuffer",))
+    _print("Fig 9g: quantile + max", rows, calculations=True)
+    # One non-decomposable sort serves both: identical to Fig 9c/9d cost.
+    assert rows["Desis"].calculations == N
+    # DeSW executes sort per quantile group and dsort per max group.
+    assert rows["DeSW"].calculations >= 21 * N
+    benchmark.pedantic(
+        lambda: run_processor(DesisProcessor, queries, events),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig9h_mixed_measures(events, benchmark):
+    queries = []
+    for i in range(10):
+        queries.append(
+            Query.of(f"t{i}", WindowSpec.tumbling(1_000), AggFunction.AVERAGE)
+        )
+        queries.append(
+            Query.of(
+                f"c{i}",
+                WindowSpec.tumbling(5_000, measure=WindowMeasure.COUNT),
+                AggFunction.AVERAGE,
+            )
+        )
+    rows = run_all(queries, events)
+    _print("Fig 9h: mixed time- and count-based measures", rows,
+           calculations=True)
+    # Desis shares sum+count across measures; DeSW keeps two groups and
+    # pays per-event work twice.
+    assert rows["Desis"].calculations == 2 * N
+    assert rows["DeSW"].calculations == 4 * N
+    benchmark.pedantic(
+        lambda: run_processor(DesisProcessor, queries, events),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,152 @@
+"""Figure 12: latency by node class (Sec 6.4.2).
+
+Same minimal topology as Fig 11, one 1-second tumbling window.  Latency
+has two reproducible components here:
+
+* per-node aggregation work — wall-clock CPU seconds spent in each node
+  class's handlers (the paper records "the time for systems performing
+  window aggregations" per node);
+* end-to-end event-time latency of results in simulated time, which
+  accumulates one tick plus per-hop link latency per intermediate layer.
+
+Paper shape: for averages, all Desis node classes contribute a little and
+deeper topologies add latency linearly; for medians, the local nodes are
+far cheaper than the intermediate/root nodes, which merge the batches.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.baselines import CeBufferProcessor, ScottyProcessor
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, NodeRole
+from repro.cluster import CentralizedCluster, ClusterConfig, DesisCluster
+from repro.harness import print_table
+from repro.metrics import event_time_latencies
+from repro.network.topology import chain, three_tier
+
+from conftest import cluster_streams
+
+TICK = 1_000
+N = 40_000
+
+
+def config():
+    return ClusterConfig(tick_interval=TICK)
+
+
+def avg_query():
+    return [Query.of("avg", WindowSpec.tumbling(1_000), AggFunction.AVERAGE)]
+
+
+def median_query():
+    return [Query.of("med", WindowSpec.tumbling(1_000), AggFunction.MEDIAN)]
+
+
+def test_fig12a_average_by_node_class(benchmark):
+    streams = cluster_streams(2, N)
+    desis = DesisCluster(avg_query(), three_tier(2, 1), config=config()).run(
+        dict(streams)
+    )
+    scotty = CentralizedCluster(
+        avg_query(), three_tier(2, 1), ScottyProcessor, config=config()
+    ).run(dict(streams))
+    cebuffer = CentralizedCluster(
+        avg_query(), three_tier(2, 1), CeBufferProcessor, config=config()
+    ).run(dict(streams))
+    rows = []
+    for name, run in (("Desis", desis), ("Scotty", scotty), ("CeBuffer", cebuffer)):
+        cpu = run.cpu_by_role
+        rows.append(
+            [
+                name,
+                f"{cpu.get(NodeRole.LOCAL, 0.0) * 1e3:.1f} ms",
+                f"{cpu.get(NodeRole.INTERMEDIATE, 0.0) * 1e3:.1f} ms",
+                f"{cpu.get(NodeRole.ROOT, 0.0) * 1e3:.1f} ms",
+            ]
+        )
+    print_table(
+        "Fig 12a: aggregation CPU time by node class (average)",
+        ["system", "local", "intermediate", "root"],
+        rows,
+    )
+    # Centralized systems aggregate only at the root.
+    assert scotty.cpu_by_role[NodeRole.ROOT] > scotty.cpu_by_role.get(
+        NodeRole.LOCAL, 0.0
+    )
+    # Desis pushes the aggregation down: locals do (almost all of) it.
+    assert desis.cpu_by_role[NodeRole.LOCAL] > desis.cpu_by_role[NodeRole.ROOT]
+    benchmark.pedantic(
+        lambda: DesisCluster(avg_query(), three_tier(2, 1), config=config()).run(
+            cluster_streams(2, 5_000)
+        ),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig12b_median_upstream_cost(benchmark):
+    streams = cluster_streams(2, N)
+    desis_med = DesisCluster(
+        median_query(), three_tier(2, 1), config=config()
+    ).run(dict(streams))
+    desis_avg = DesisCluster(
+        avg_query(), three_tier(2, 1), config=config()
+    ).run(dict(streams))
+    rows = []
+    for name, run in (("median", desis_med), ("average", desis_avg)):
+        cpu = run.cpu_by_role
+        rows.append(
+            [
+                name,
+                f"{cpu[NodeRole.LOCAL] * 1e3:.1f} ms",
+                f"{cpu[NodeRole.INTERMEDIATE] * 1e3:.1f} ms",
+                f"{cpu[NodeRole.ROOT] * 1e3:.1f} ms",
+            ]
+        )
+    print_table(
+        "Fig 12b: Desis aggregation CPU time by node class",
+        ["function", "local", "intermediate", "root"],
+        rows,
+    )
+    # Merging and processing the shipped batches upstream is far more
+    # expensive than merging decomposable partials (the paper's Fig 12b
+    # explanation for intermediate/root latency under medians).
+    def upstream(run):
+        cpu = run.cpu_by_role
+        return cpu[NodeRole.INTERMEDIATE] + cpu[NodeRole.ROOT]
+
+    assert upstream(desis_med) > 5 * upstream(desis_avg)
+    benchmark.pedantic(
+        lambda: DesisCluster(
+            median_query(), three_tier(2, 1), config=config()
+        ).run(cluster_streams(2, 5_000)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig12_topology_depth_adds_latency(benchmark):
+    """Sec 6.4.2: event-time latency grows linearly with intermediate
+    layers (each hop adds link latency; the tick cadence dominates)."""
+    rows = []
+    by_hops = {}
+    for hops in (0, 2, 4):
+        streams = cluster_streams(2, 10_000)
+        run = DesisCluster(
+            avg_query(),
+            chain(2, hops=hops),
+            config=ClusterConfig(tick_interval=TICK, latency_ms=20.0),
+        ).run(streams)
+        lags = event_time_latencies(run.sink)
+        by_hops[hops] = statistics.fmean(lags)
+        rows.append([hops, f"{by_hops[hops]:.0f} ms"])
+    print_table(
+        "Fig 12: mean event-time latency vs intermediate layers (20ms links)",
+        ["intermediate layers", "mean latency"],
+        rows,
+    )
+    assert by_hops[2] > by_hops[0] + 30
+    assert by_hops[4] > by_hops[2] + 30
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

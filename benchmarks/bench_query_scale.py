@@ -1,0 +1,81 @@
+"""Query-count scaling: the abstract's "scale to millions of queries".
+
+Desis' costs split into three tiers:
+
+* **per event** — shared operator executions, independent of query count;
+* **per window** — slice merging, shared by all queries of a deduplicated
+  window;
+* **per query** — only result materialization (the effect dominating
+  Fig 13a beyond ~10K queries).
+
+This benchmark grows the query count to one million (queries drawn from a
+ten-length tumbling mix, so all land in one query-group with ten shared
+window trackers) and shows per-event work stays flat while the analyzer
+and the result volume scale linearly.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import pytest
+
+from repro.baselines import DesisProcessor
+from repro.core.analyzer import analyze
+from repro.harness import fmt_rate, print_table, run_processor, tumbling_queries
+
+from conftest import stream
+
+QUERY_COUNTS = (1_000, 100_000, 1_000_000)
+
+
+def test_analyzer_scales_to_a_million_queries(benchmark):
+    rows = []
+    for n in QUERY_COUNTS:
+        queries = tumbling_queries(n)
+        started = _time.perf_counter()
+        plan = analyze(queries)
+        elapsed = _time.perf_counter() - started
+        rows.append([f"{n:,}", len(plan.groups), f"{elapsed:.2f} s"])
+    print_table(
+        "Query analyzer scaling (full sharing)",
+        ["queries", "query-groups", "analyze time"],
+        rows,
+    )
+    assert len(analyze(tumbling_queries(1_000)).groups) == 1
+    benchmark.pedantic(
+        lambda: analyze(tumbling_queries(100_000)), rounds=1, iterations=1
+    )
+
+
+def test_engine_throughput_flat_to_a_million_queries(benchmark):
+    """Per-event cost is per-group, not per-query; only materialized
+    results grow."""
+    events = stream(20_000)
+    rows = []
+    collected = {}
+    for n in QUERY_COUNTS:
+        stats = run_processor(DesisProcessor, tumbling_queries(n), events)
+        collected[n] = stats
+        rows.append(
+            [
+                f"{n:,}",
+                fmt_rate(stats.events_per_second),
+                f"{stats.calculations:,}",
+                f"{stats.results:,}",
+            ]
+        )
+    print_table(
+        "Desis throughput vs query count (20k events)",
+        ["queries", "throughput", "calculations", "results"],
+        rows,
+    )
+    # Shared operators: identical per-event work at any query count.
+    assert collected[1_000_000].calculations == collected[1_000].calculations
+    # Result materialization is the only per-query cost.
+    assert collected[1_000_000].results == 1_000 * collected[1_000].results
+    benchmark.pedantic(
+        lambda: run_processor(DesisProcessor, tumbling_queries(1_000), events),
+        rounds=1,
+        iterations=1,
+    )

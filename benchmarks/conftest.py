@@ -1,0 +1,48 @@
+"""Shared fixtures for the figure-by-figure benchmark suite.
+
+Every module regenerates one figure of the paper's evaluation (Sec 6) at
+laptop scale: the absolute numbers are Python-on-one-machine numbers, but
+the *shape* — who wins, by what factor, where the crossovers are — mirrors
+the paper.  Tables print with ``pytest benchmarks/ --benchmark-only -s``.
+
+Deterministic work counters (operator calculations, slices, bytes) are
+asserted hard; wall-clock comparisons are asserted only where the expected
+gap is an order of magnitude, and otherwise just reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import DataGenerator, DataGeneratorConfig
+
+#: events per centralized replay (large enough for stable rates, small
+#: enough that the whole suite finishes in a few minutes)
+N_EVENTS = 100_000
+#: events per local node in cluster benchmarks
+N_CLUSTER_EVENTS = 30_000
+
+
+def stream(n=N_EVENTS, *, keys=10, rate=50_000.0, seed=1, marker=None,
+           marker_every_ms=1_000):
+    """The evaluation's default stream: ``keys`` distinct keys (Sec 6.2.1)."""
+    config = DataGeneratorConfig(
+        keys=tuple(f"k{i}" for i in range(keys)),
+        rate=rate,
+        marker=marker,
+        marker_every_ms=marker_every_ms,
+    )
+    return list(DataGenerator(config, seed=seed).events(n))
+
+
+@pytest.fixture(scope="module")
+def default_stream():
+    return stream()
+
+
+def cluster_streams(n_nodes, n=N_CLUSTER_EVENTS, *, keys=10, rate=20_000.0,
+                    seed=1):
+    config = DataGeneratorConfig(
+        keys=tuple(f"k{i}" for i in range(keys)), rate=rate
+    )
+    return DataGenerator(config, seed=seed).streams(n_nodes, n)

@@ -1,0 +1,81 @@
+"""Out-of-order ingestion with bounded lateness.
+
+Edge gateways often deliver events slightly shuffled (retries, parallel
+uplinks).  A :class:`ReorderingProcessor` buffers a bounded lateness in
+front of the engine; results are identical to processing the stream in
+order, and hopelessly late events are counted instead of corrupting
+windows.
+
+Run with::
+
+    python examples/out_of_order.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import DesisProcessor
+from repro.core.ordering import ReorderingProcessor
+from repro.datagen import DataGenerator, DataGeneratorConfig
+from repro.harness import print_table
+from repro.interface import parse_queries
+
+
+def shuffled(events, radius, seed=5):
+    rng = random.Random(seed)
+    out = list(events)
+    for i in range(len(out) - 1):
+        j = min(i + rng.randrange(radius + 1), len(out) - 1)
+        out[i], out[j] = out[j], out[i]
+    return out
+
+
+def main() -> None:
+    queries = parse_queries(
+        [
+            "SELECT AVG(value) FROM stream WINDOW TUMBLING 2s",
+            "SELECT QUANTILE(0.9)(value) FROM stream WINDOW TUMBLING 2s",
+        ]
+    )
+    events = list(
+        DataGenerator(DataGeneratorConfig(rate=1_000.0), seed=9).events(30_000)
+    )
+    disordered = shuffled(events, radius=12)
+
+    reference = DesisProcessor(queries)
+    for event in events:
+        reference.process(event)
+    reference.close()
+
+    processor = ReorderingProcessor(
+        DesisProcessor(queries), max_lateness=1_000
+    )
+    for event in disordered:
+        processor.process(event)
+    processor.close()
+
+    match = sorted(
+        (r.query_id, r.start, r.end, round(float(r.value), 9))
+        for r in processor.sink
+    ) == sorted(
+        (r.query_id, r.start, r.end, round(float(r.value), 9))
+        for r in reference.sink
+    )
+    print_table(
+        "30k events, shuffled within a ~12-event radius",
+        ["pipeline", "results", "late drops", "identical to in-order"],
+        [
+            ["in-order Desis", len(reference.sink), "-", "-"],
+            [
+                "Desis + reorder buffer (1s lateness)",
+                len(processor.sink),
+                processor.late_dropped,
+                str(match),
+            ],
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

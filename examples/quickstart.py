@@ -1,0 +1,52 @@
+"""Quickstart: multiple windowed queries over one stream, shared slices.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.datagen import DataGenerator, DataGeneratorConfig
+from repro.interface import DesisSession
+
+
+def main() -> None:
+    session = DesisSession()
+
+    # Three queries with different window types, measures, and functions —
+    # Desis puts them into one query-group and processes every event once.
+    session.submit("SELECT AVG(value) FROM stream WINDOW TUMBLING 5s")
+    session.submit(
+        "SELECT QUANTILE(0.95)(value) FROM stream WINDOW SLIDING 10s EVERY 2s"
+    )
+    session.submit("SELECT MAX(value) FROM stream WINDOW SESSION GAP 3s")
+
+    generator = DataGenerator(
+        DataGeneratorConfig(
+            keys=("sensor-1", "sensor-2"),
+            rate=2_000.0,
+            gap_every_ms=20_000,
+            gap_ms=5_000,
+        ),
+        seed=42,
+    )
+    session.process_many(generator.events(60_000))
+    results = session.close()
+
+    print(f"{len(results)} window results from {session.stats.events} events")
+    print(
+        f"query groups: {session._engine.group_count}, "
+        f"operator executions: {session.stats.calculations} "
+        f"({session.stats.calculations / session.stats.events:.1f} per event)"
+    )
+    print("\nfirst results per query:")
+    for query in session.queries:
+        first = results.for_query(query.query_id)[:3]
+        print(f"  {query}")
+        for result in first:
+            print(f"    {result}")
+
+
+if __name__ == "__main__":
+    main()

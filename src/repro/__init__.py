@@ -1,0 +1,67 @@
+"""Reproduction of *Desis: Efficient Window Aggregation in Decentralized
+Networks* (EDBT 2023).
+
+Public API quick tour::
+
+    from repro import (
+        AggregationEngine, Query, WindowSpec, AggFunction, Selection, Event,
+    )
+
+    queries = [
+        Query.of("q1", WindowSpec.tumbling(1_000), AggFunction.AVERAGE),
+        Query.of("q2", WindowSpec.sliding(2_000, 500), AggFunction.MAX),
+        Query.of("q3", WindowSpec.session(gap=300), AggFunction.MEDIAN),
+    ]
+    engine = AggregationEngine(queries)
+    for event in my_stream:
+        engine.process(event)
+    for result in engine.close():
+        print(result)
+
+Decentralized aggregation lives in :mod:`repro.cluster`; the paper's
+baselines in :mod:`repro.baselines`; workload generators in
+:mod:`repro.datagen`; experiment harnesses in :mod:`repro.harness`.
+"""
+
+from repro.core import (
+    AggFunction,
+    AggregationEngine,
+    EngineStats,
+    Event,
+    FunctionSpec,
+    Query,
+    QueryPlan,
+    ReproError,
+    ResultSink,
+    Selection,
+    SharingPolicy,
+    Watermark,
+    WindowMeasure,
+    WindowResult,
+    WindowSpec,
+    WindowType,
+    analyze,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggFunction",
+    "AggregationEngine",
+    "EngineStats",
+    "Event",
+    "FunctionSpec",
+    "Query",
+    "QueryPlan",
+    "ReproError",
+    "ResultSink",
+    "Selection",
+    "SharingPolicy",
+    "Watermark",
+    "WindowMeasure",
+    "WindowResult",
+    "WindowSpec",
+    "WindowType",
+    "analyze",
+    "__version__",
+]

@@ -1,0 +1,175 @@
+"""Command-line interface: run queries, compare systems, demo a cluster.
+
+Examples::
+
+    python -m repro run "SELECT AVG(value) FROM stream WINDOW TUMBLING 5s" \
+        --events 50000 --rate 2000
+
+    python -m repro compare --queries 100 --events 100000
+
+    python -m repro cluster --locals 4 --events 20000 --function median
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import CENTRALIZED_SYSTEMS
+from repro.cluster import CentralizedCluster, ClusterConfig, DesisCluster
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+from repro.datagen import DataGenerator, DataGeneratorConfig
+from repro.harness import (
+    fmt_rate,
+    print_table,
+    quantile_queries,
+    run_processor,
+    tumbling_queries,
+)
+from repro.interface import DesisSession
+from repro.metrics import breakdown, fmt_bytes
+from repro.network.topology import three_tier
+
+
+def _events(args, n_keys: int = 4):
+    config = DataGeneratorConfig(
+        keys=tuple(f"k{i}" for i in range(n_keys)),
+        rate=args.rate,
+        gap_every_ms=getattr(args, "gap_every", None),
+        marker=getattr(args, "marker", None),
+    )
+    return DataGenerator(config, seed=args.seed)
+
+
+def cmd_run(args) -> int:
+    session = DesisSession()
+    for text in args.query:
+        session.submit(text)
+    session.process_many(_events(args).events(args.events))
+    results = session.close()
+    print(
+        f"{args.events} events -> {len(results)} window results; "
+        f"{session.stats.calculations / max(session.stats.events, 1):.2f} "
+        f"operator executions/event; "
+        f"{session._engine.group_count} query-group(s)"
+    )
+    shown = 0
+    for result in results:
+        print(f"  {result}")
+        shown += 1
+        if shown >= args.limit:
+            remaining = len(results) - shown
+            if remaining:
+                print(f"  ... {remaining} more")
+            break
+    return 0
+
+
+def cmd_compare(args) -> int:
+    events = list(_events(args).events(args.events))
+    if args.workload == "tumbling":
+        queries = tumbling_queries(args.queries)
+    else:
+        queries = quantile_queries(args.queries)
+    rows = []
+    for name, factory in CENTRALIZED_SYSTEMS.items():
+        if name in ("CeBuffer", "DeBucket") and args.queries > 200:
+            rows.append([name, "-", "-"])
+            continue
+        stats = run_processor(factory, queries, events)
+        rows.append(
+            [name, fmt_rate(stats.events_per_second), f"{stats.calculations:,}"]
+        )
+    print_table(
+        f"{args.queries} {args.workload} queries over {args.events} events",
+        ["system", "throughput", "operator executions"],
+        rows,
+    )
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    fn = AggFunction(args.function)
+    queries = [Query.of("q", WindowSpec.tumbling(args.window_ms), fn)]
+    topology = three_tier(args.locals, 1)
+    streams = _events(args).streams(args.locals, args.events)
+    config = ClusterConfig(tick_interval=1_000)
+    desis = DesisCluster(queries, topology, config=config).run(
+        {k: list(v) for k, v in streams.items()}
+    )
+    from repro.baselines import ScottyProcessor
+
+    central = CentralizedCluster(
+        queries, topology, ScottyProcessor, config=config
+    ).run({k: list(v) for k, v in streams.items()})
+    print_table(
+        f"{args.locals} local nodes, {fn.value} over {args.window_ms}ms windows",
+        ["deployment", "results", "network data", "modeled throughput"],
+        [
+            [
+                "Desis (decentralized)",
+                len(desis.sink),
+                fmt_bytes(breakdown(desis.network).data_bytes),
+                fmt_rate(desis.modeled_parallel_throughput),
+            ],
+            [
+                "Scotty (centralized)",
+                len(central.sink),
+                fmt_bytes(breakdown(central.network).data_bytes),
+                fmt_rate(central.modeled_parallel_throughput),
+            ],
+        ],
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Desis reproduction: multi-query window aggregation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="execute textual queries")
+    run_cmd.add_argument("query", nargs="+", help="query strings")
+    run_cmd.add_argument("--events", type=int, default=50_000)
+    run_cmd.add_argument("--rate", type=float, default=2_000.0)
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument("--limit", type=int, default=10,
+                         help="max results to print")
+    run_cmd.add_argument("--gap-every", type=int, default=None, dest="gap_every")
+    run_cmd.add_argument("--marker", default=None)
+    run_cmd.set_defaults(handler=cmd_run)
+
+    compare = sub.add_parser("compare", help="compare all systems")
+    compare.add_argument("--queries", type=int, default=100)
+    compare.add_argument("--events", type=int, default=100_000)
+    compare.add_argument("--rate", type=float, default=50_000.0)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--workload", choices=("tumbling", "quantiles"), default="tumbling"
+    )
+    compare.set_defaults(handler=cmd_compare)
+
+    cluster = sub.add_parser("cluster", help="decentralized vs centralized")
+    cluster.add_argument("--locals", type=int, default=4)
+    cluster.add_argument("--events", type=int, default=20_000,
+                         help="events per local node")
+    cluster.add_argument("--rate", type=float, default=10_000.0)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--function", default="average",
+                         choices=[fn.value for fn in AggFunction
+                                  if fn is not AggFunction.QUANTILE])
+    cluster.add_argument("--window-ms", type=int, default=1_000)
+    cluster.set_defaults(handler=cmd_cluster)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

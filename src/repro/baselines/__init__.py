@@ -1,0 +1,30 @@
+"""The systems evaluated in Section 6: Desis and the five baselines.
+
+Centralized processors (this package) all satisfy
+:class:`repro.baselines.api.StreamProcessor`; the decentralized deployments
+(Desis clusters, Disco, centralized shipping) live in :mod:`repro.cluster`.
+"""
+
+from repro.baselines.api import ProcessorFactory, StreamProcessor
+from repro.baselines.bucketed import CeBufferProcessor, DeBucketProcessor
+from repro.baselines.engines import DeSWProcessor, DesisProcessor, ScottyProcessor
+
+#: All centralized systems of Sec 6.3, keyed by display name.
+CENTRALIZED_SYSTEMS = {
+    "Desis": DesisProcessor,
+    "Scotty": ScottyProcessor,
+    "DeSW": DeSWProcessor,
+    "DeBucket": DeBucketProcessor,
+    "CeBuffer": CeBufferProcessor,
+}
+
+__all__ = [
+    "CENTRALIZED_SYSTEMS",
+    "CeBufferProcessor",
+    "DeBucketProcessor",
+    "DeSWProcessor",
+    "DesisProcessor",
+    "ProcessorFactory",
+    "ScottyProcessor",
+    "StreamProcessor",
+]

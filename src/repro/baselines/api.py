@@ -1,0 +1,44 @@
+"""Common interface for all centralized stream processors.
+
+Every system under evaluation (Desis and the baselines of Sec 6.1.1)
+implements the same driving protocol so that harnesses and benchmarks can
+treat them interchangeably:
+
+* ``process(event)`` — consume one in-order event,
+* ``advance(time)`` — apply a watermark,
+* ``close()`` — flush and return the :class:`~repro.core.results.ResultSink`,
+* ``stats`` — an :class:`~repro.core.engine.EngineStats` with work counters,
+* ``name`` — display name used in result tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.core.engine import EngineStats
+from repro.core.event import Event
+from repro.core.query import Query
+from repro.core.results import ResultSink
+
+__all__ = ["StreamProcessor", "ProcessorFactory"]
+
+
+@runtime_checkable
+class StreamProcessor(Protocol):
+    """The driving protocol shared by Desis and every baseline."""
+
+    name: str
+    stats: EngineStats
+    sink: ResultSink
+
+    def process(self, event: Event) -> None: ...
+
+    def advance(self, time: int) -> None: ...
+
+    def close(self, at_time: int | None = None) -> ResultSink: ...
+
+
+class ProcessorFactory(Protocol):
+    """Builds a fresh processor for a query set (used by harnesses)."""
+
+    def __call__(self, queries: Iterable[Query]) -> StreamProcessor: ...

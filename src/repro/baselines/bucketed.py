@@ -1,0 +1,285 @@
+"""Per-window ("bucketed") baselines: CeBuffer and DeBucket (Sec 6.1.1).
+
+Neither system performs window slicing: every concurrent window owns a
+private bucket and every event is applied to every open window it belongs
+to, so overlapping windows repeat work (the redundancy Figures 8–10
+quantify).  The two differ in *when* aggregation happens:
+
+* :class:`CeBufferProcessor` buffers raw events per window and evaluates
+  the aggregation function by iterating the whole buffer when the window
+  ends — the paper's ``CeBuffer``.
+* :class:`DeBucketProcessor` aggregates incrementally into per-window
+  operator states and finalizes in O(1) at window end — the paper's
+  ``DeBucket``.
+
+Window lifecycle checks happen per event (no punctuation heap), matching
+the engines these baselines model.  In the paper's slice accounting
+(Fig 8b) each bucketed window counts as one slice, so ``slices_closed``
+equals ``windows_closed`` here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.engine import EngineStats
+from repro.core.errors import OutOfOrderError
+from repro.core.event import Event
+from repro.core.functions import finalize, operators_for
+from repro.core.operators import OperatorSetState
+from repro.core.query import Query
+from repro.core.results import ResultSink, WindowResult
+from repro.core.types import WindowMeasure, WindowType
+
+__all__ = ["CeBufferProcessor", "DeBucketProcessor"]
+
+
+class _Bucket:
+    """One open window's private state."""
+
+    __slots__ = ("start", "end", "payload", "start_count")
+
+    def __init__(self, start: int, end: int | None, payload, start_count: int = 0):
+        self.start = start
+        self.end = end
+        self.payload = payload
+        self.start_count = start_count
+
+
+class _QueryState:
+    """Per-query window lifecycle state."""
+
+    __slots__ = (
+        "query",
+        "selection",
+        "kind",
+        "count_based",
+        "length",
+        "slide",
+        "gap",
+        "start_marker",
+        "end_marker",
+        "key",
+        "next_start",
+        "last_match",
+        "seen",
+        "session_bucket",
+        "userdef_bucket",
+        "open",
+        "operators",
+    )
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.selection = query.selection
+        spec = query.window
+        self.kind = spec.window_type
+        self.count_based = spec.measure is WindowMeasure.COUNT
+        self.length = spec.length
+        self.slide = spec.effective_slide if spec.is_fixed_size else None
+        self.gap = spec.gap
+        self.start_marker = spec.start_marker
+        self.end_marker = spec.end_marker
+        self.key = query.selection.key
+        self.next_start: int | None = None
+        self.last_match: int | None = None
+        self.seen = 0
+        self.session_bucket: _Bucket | None = None
+        self.userdef_bucket: _Bucket | None = None
+        self.open: list[_Bucket] = []
+        self.operators = tuple(operators_for(query.function))
+
+
+class _BucketedProcessor:
+    """Shared driver for the two per-window baselines."""
+
+    name = "bucketed"
+
+    def __init__(self, queries: Iterable[Query], sink: ResultSink | None = None):
+        self.sink = sink if sink is not None else ResultSink()
+        self.stats = EngineStats()
+        self.states = [_QueryState(query) for query in queries]
+        self.stream_time: int | None = None
+
+    # -- payload hooks (overridden per baseline) --------------------------------
+
+    def _new_payload(self, state: _QueryState):
+        raise NotImplementedError
+
+    def _insert(self, state: _QueryState, bucket: _Bucket, value: float) -> None:
+        raise NotImplementedError
+
+    def _finalize(self, state: _QueryState, bucket: _Bucket):
+        """Return ``(value, event_count)`` for a closing bucket."""
+        raise NotImplementedError
+
+    # -- window lifecycle --------------------------------------------------------
+
+    def _open(self, state: _QueryState, start: int, end: int | None,
+              start_count: int = 0) -> _Bucket:
+        bucket = _Bucket(start, end, self._new_payload(state), start_count)
+        state.open.append(bucket)
+        self.stats.windows_opened += 1
+        return bucket
+
+    def _close(self, state: _QueryState, bucket: _Bucket, end: int) -> None:
+        state.open.remove(bucket)
+        self.stats.windows_closed += 1
+        self.stats.slices_closed += 1  # one bucket == one slice (Fig 8b)
+        value, count = self._finalize(state, bucket)
+        if count == 0:
+            return
+        self.stats.results += 1
+        self.sink.emit(
+            WindowResult(
+                query_id=state.query.query_id,
+                start=bucket.start,
+                end=end,
+                value=value,
+                event_count=count,
+                emitted_at=self.stream_time if self.stream_time is not None else end,
+            )
+        )
+
+    def _lifecycle_pre(self, state: _QueryState, now: int) -> None:
+        """Close due windows, open due fixed windows (checked every event)."""
+        if state.count_based:
+            return
+        if state.kind in (WindowType.TUMBLING, WindowType.SLIDING):
+            if state.next_start is None:
+                state.next_start = now
+            due = [b for b in state.open if b.end is not None and b.end <= now]
+            if due:
+                due.sort(key=lambda b: b.end)
+                for bucket in due:
+                    self._close(state, bucket, bucket.end)
+            while state.next_start <= now:
+                end = state.next_start + state.length
+                # Windows that already ended would stay empty; opening them
+                # would wrongly capture the current event.
+                if end > now:
+                    self._open(state, state.next_start, end)
+                state.next_start += state.slide
+        elif state.kind is WindowType.SESSION:
+            bucket = state.session_bucket
+            if bucket is not None and now >= state.last_match + state.gap:
+                state.session_bucket = None
+                self._close(state, bucket, state.last_match + state.gap)
+
+    # -- driving -------------------------------------------------------------------
+
+    def process(self, event: Event) -> None:
+        now = event.time
+        if self.stream_time is not None and now < self.stream_time:
+            raise OutOfOrderError(
+                f"event at t={now} arrived after stream time {self.stream_time}"
+            )
+        self.stream_time = now
+        self.stats.events += 1
+        for state in self.states:
+            self._lifecycle_pre(state, now)
+            matches = state.selection.matches(event)
+            self.stats.selection_checks += 1
+
+            # Pre-insert opens for data-driven windows.
+            if matches:
+                if state.kind is WindowType.SESSION and state.session_bucket is None:
+                    state.session_bucket = self._open(state, now, None)
+                elif state.count_based and state.seen % state.slide == 0:
+                    self._open(state, now, None, start_count=state.seen)
+            if state.kind is WindowType.USER_DEFINED:
+                relevant = state.key is None or event.key == state.key
+                if relevant and state.userdef_bucket is None:
+                    opens = (
+                        state.start_marker is None
+                        or event.marker == state.start_marker
+                    )
+                    if opens:
+                        state.userdef_bucket = self._open(state, now, None)
+
+            if matches:
+                for bucket in state.open:
+                    self._insert(state, bucket, event.value)
+                self.stats.inserts += len(state.open)
+
+            # Post-insert closes.
+            if matches:
+                state.last_match = now
+                if state.count_based:
+                    state.seen += 1
+                    full = [
+                        b
+                        for b in state.open
+                        if state.seen - b.start_count >= state.length
+                    ]
+                    for bucket in full:
+                        self._close(state, bucket, now)
+            if state.kind is WindowType.USER_DEFINED:
+                bucket = state.userdef_bucket
+                relevant = state.key is None or event.key == state.key
+                if bucket is not None and relevant and event.marker == state.end_marker:
+                    state.userdef_bucket = None
+                    self._close(state, bucket, now)
+
+    def advance(self, time: int) -> None:
+        if self.stream_time is not None and time < self.stream_time:
+            raise OutOfOrderError(
+                f"watermark {time} behind stream time {self.stream_time}"
+            )
+        self.stream_time = time
+        for state in self.states:
+            self._lifecycle_pre(state, time)
+
+    def close(self, at_time: int | None = None) -> ResultSink:
+        final = at_time if at_time is not None else (self.stream_time or 0)
+        self.advance(final)
+        for state in self.states:
+            state.session_bucket = None
+            state.userdef_bucket = None
+            for bucket in list(state.open):
+                end = bucket.end if bucket.end is not None else final
+                self._close(state, bucket, end)
+        return self.sink
+
+
+class CeBufferProcessor(_BucketedProcessor):
+    """The paper's CeBuffer: buffer per window, aggregate by iteration at end."""
+
+    name = "CeBuffer"
+
+    def _new_payload(self, state: _QueryState) -> list[float]:
+        return []
+
+    def _insert(self, state: _QueryState, bucket: _Bucket, value: float) -> None:
+        bucket.payload.append(value)
+
+    def _finalize(self, state: _QueryState, bucket: _Bucket):
+        values: list[float] = bucket.payload
+        if not values:
+            return None, 0
+        # The whole buffer is iterated through the query's operators at
+        # window end — the cost CeBuffer pays instead of incremental work.
+        ops = OperatorSetState(state.operators)
+        for value in values:
+            ops.insert(value)
+        self.stats.calculations += ops.calculations
+        return finalize(state.query.function, ops.partials()), len(values)
+
+
+class DeBucketProcessor(_BucketedProcessor):
+    """The paper's DeBucket: incremental per-window buckets, no sharing."""
+
+    name = "DeBucket"
+
+    def _new_payload(self, state: _QueryState) -> OperatorSetState:
+        return OperatorSetState(state.operators)
+
+    def _insert(self, state: _QueryState, bucket: _Bucket, value: float) -> None:
+        bucket.payload.insert(value)
+        self.stats.calculations += len(state.operators)
+
+    def _finalize(self, state: _QueryState, bucket: _Bucket):
+        ops: OperatorSetState = bucket.payload
+        if ops.inserts == 0:
+            return None, 0
+        return finalize(state.query.function, ops.partials()), ops.inserts

@@ -1,0 +1,65 @@
+"""Slicing engines under restricted sharing: Desis, Scotty, and DeSW.
+
+All three are the same sliced engine; they differ in the sharing policy the
+query analyzer applies and in how punctuations are found (Sec 6.1.1):
+
+* :class:`DesisProcessor` — full sharing, punctuation heap.
+* :class:`ScottyProcessor` — shares only between identical aggregation
+  functions (the Scotty API's capability) and checks punctuations per
+  event, like the original stream-slicing implementation.
+* :class:`DeSWProcessor` — shares only between identical functions *and*
+  window measures, per-event punctuation checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.engine import AggregationEngine
+from repro.core.query import Query
+from repro.core.results import ResultSink
+from repro.core.types import SharingPolicy
+
+__all__ = ["DesisProcessor", "ScottyProcessor", "DeSWProcessor"]
+
+
+class DesisProcessor(AggregationEngine):
+    """Desis: full cross-function sharing with scheduled punctuations."""
+
+    name = "Desis"
+
+    def __init__(self, queries: Iterable[Query], sink: ResultSink | None = None):
+        super().__init__(
+            queries,
+            policy=SharingPolicy.FULL,
+            punctuation_mode="heap",
+            sink=sink,
+        )
+
+
+class ScottyProcessor(AggregationEngine):
+    """The Scotty baseline: same-function sharing, per-event checks."""
+
+    name = "Scotty"
+
+    def __init__(self, queries: Iterable[Query], sink: ResultSink | None = None):
+        super().__init__(
+            queries,
+            policy=SharingPolicy.SAME_FUNCTION,
+            punctuation_mode="scan",
+            sink=sink,
+        )
+
+
+class DeSWProcessor(AggregationEngine):
+    """The DeSW baseline: same function *and* measure, per-event checks."""
+
+    name = "DeSW"
+
+    def __init__(self, queries: Iterable[Query], sink: ResultSink | None = None):
+        super().__init__(
+            queries,
+            policy=SharingPolicy.SAME_FUNCTION_AND_MEASURE,
+            punctuation_mode="scan",
+            sink=sink,
+        )

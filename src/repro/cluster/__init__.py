@@ -1,0 +1,25 @@
+"""Decentralized aggregation (Sec 5): Desis, Disco, and centralized shipping."""
+
+from repro.cluster.centralized import CentralizedCluster
+from repro.cluster.config import ClusterConfig
+from repro.cluster.desis import ClusterRunResult, DesisCluster
+from repro.cluster.disco import DiscoCluster
+from repro.cluster.intermediate import IntermediateNode
+from repro.cluster.local import LocalNode
+from repro.cluster.merger import GroupMerger, group_has_sessions, merge_records
+from repro.cluster.root import RootAssembler, RootNode
+
+__all__ = [
+    "CentralizedCluster",
+    "ClusterConfig",
+    "ClusterRunResult",
+    "DesisCluster",
+    "DiscoCluster",
+    "GroupMerger",
+    "IntermediateNode",
+    "LocalNode",
+    "RootAssembler",
+    "RootNode",
+    "group_has_sessions",
+    "merge_records",
+]

@@ -1,0 +1,191 @@
+"""Centralized aggregation over a decentralized topology (Sec 2.4, 6.1.1).
+
+The CeBuffer and Scotty deployments of the evaluation: all nodes except
+the root only *move* data — locals batch their raw events per tick,
+intermediates re-forward the batches (paying the bytes again on every
+hop), and the root runs an ordinary centralized
+:class:`~repro.baselines.api.StreamProcessor` over the merged stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from typing import Callable, Iterable
+
+from repro.core.errors import ClusterError
+from repro.core.event import Event
+from repro.core.query import Query
+from repro.core.types import NodeRole
+from repro.cluster.config import ClusterConfig
+from repro.cluster.desis import ClusterRunResult
+from repro.network.messages import ControlMessage, EventBatchMessage
+from repro.network.simnet import SimNetwork, SimNode
+from repro.network.topology import Topology
+
+__all__ = ["CentralizedCluster"]
+
+
+class _ForwardingLocal(SimNode):
+    """Ships its raw events upward in per-tick batches."""
+
+    def __init__(self, node_id: str, parent: str) -> None:
+        super().__init__(node_id, NodeRole.LOCAL)
+        self.parent = parent
+        self.pending: list[Event] = []
+
+    def on_event(self, event: Event, now: int, net: SimNetwork) -> None:
+        self.pending.append(event)
+
+    def _flush(self, now: int, net: SimNetwork) -> None:
+        net.send(
+            self.node_id,
+            self.parent,
+            EventBatchMessage(
+                sender=self.node_id, covered_to=now, events=self.pending
+            ),
+        )
+        self.pending = []
+
+    def on_tick(self, now: int, net: SimNetwork) -> None:
+        self._flush(now, net)
+
+    def on_finish(self, now: int, net: SimNetwork) -> None:
+        self._flush(now, net)
+
+
+class _ForwardingIntermediate(SimNode):
+    """Transfers data without processing it (Sec 6.1): every hop re-pays
+    the serialization bytes, which is why centralized network overhead
+    grows linearly with intermediate layers (Sec 6.4.1)."""
+
+    def __init__(self, node_id: str, parent: str) -> None:
+        super().__init__(node_id, NodeRole.INTERMEDIATE)
+        self.parent = parent
+
+    def on_message(self, message, now: int, net: SimNetwork) -> None:
+        net.send(self.node_id, self.parent, message)
+
+
+class _CentralRoot(SimNode):
+    """Runs the actual stream processor over the merged child streams."""
+
+    def __init__(self, node_id: str, locals_: list[str], processor) -> None:
+        super().__init__(node_id, NodeRole.ROOT)
+        self.processor = processor
+        self.covered = {local: None for local in locals_}
+        self.pending: dict[str, list[Event]] = {local: [] for local in locals_}
+        self.fed_to: int | None = None
+
+    def on_message(self, message, now: int, net: SimNetwork) -> None:
+        if isinstance(message, ControlMessage):
+            return
+        if not isinstance(message, EventBatchMessage):
+            return
+        if message.sender not in self.pending:
+            raise ClusterError(f"events from unknown local {message.sender!r}")
+        self.pending[message.sender].extend(message.events)
+        self.covered[message.sender] = message.covered_to
+        self._advance()
+
+    def _advance(self) -> None:
+        if any(covered is None for covered in self.covered.values()):
+            return
+        covered = min(self.covered.values())
+        if self.fed_to is not None and covered <= self.fed_to:
+            return
+        self.fed_to = covered
+        ready: list[list[Event]] = []
+        for sender, buffer in self.pending.items():
+            split = 0
+            while split < len(buffer) and buffer[split].time <= covered:
+                split += 1
+            ready.append(buffer[:split])
+            self.pending[sender] = buffer[split:]
+        for event in heapq.merge(*ready, key=lambda e: e.time):
+            self.processor.process(event)
+        self.processor.advance(covered)
+
+    def finish(self) -> None:
+        self.processor.close(self.fed_to)
+
+
+class CentralizedCluster:
+    """CeBuffer/Scotty deployed over a topology: only the root computes."""
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        topology: Topology,
+        processor_factory: Callable[[list[Query]], object],
+        *,
+        config: ClusterConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.topology = topology
+        self.queries = list(queries)
+        self.net = SimNetwork(
+            default_codec=self.config.codec,
+            default_latency_ms=self.config.latency_ms,
+            default_bandwidth_bytes_per_ms=self.config.bandwidth_bytes_per_ms,
+        )
+        self.processor = processor_factory(self.queries)
+        # Anchor fixed-window schedules at the shared origin, like every
+        # node of the decentralized deployments.
+        self.processor.advance(self.config.origin)
+        self.name = getattr(self.processor, "name", "centralized")
+        self.root = _CentralRoot(topology.root, topology.locals_(), self.processor)
+        self.net.add_node(self.root)
+        self.locals: dict[str, _ForwardingLocal] = {}
+        for node_id in topology.nodes():
+            role = topology.role(node_id)
+            if role is NodeRole.LOCAL:
+                node = _ForwardingLocal(node_id, topology.parent(node_id))
+                self.locals[node_id] = node
+                self.net.add_node(node)
+            elif role is NodeRole.INTERMEDIATE:
+                self.net.add_node(
+                    _ForwardingIntermediate(node_id, topology.parent(node_id))
+                )
+        for child, parent in topology.parents.items():
+            self.net.connect(child, parent)
+
+    def _align_up(self, time: int) -> int:
+        interval = self.config.tick_interval
+        return ((time // interval) + 1) * interval
+
+    def run(self, streams: dict[str, Iterable[Event]]) -> ClusterRunResult:
+        started = _time.perf_counter()
+        last = self.config.origin
+        events = 0
+        for node_id, stream in streams.items():
+            if node_id not in self.locals:
+                raise ClusterError(f"{node_id!r} is not a local node")
+            materialized = list(stream)
+            events += len(materialized)
+            last = max(last, self.net.inject_stream(node_id, materialized))
+        end = self._align_up(last)
+        for node_id in self.locals:
+            self.net.schedule_ticks(
+                node_id,
+                start=self.config.origin,
+                end=end,
+                interval=self.config.tick_interval,
+            )
+        self.net.run()
+        for node in self.locals.values():
+            node.on_finish(end, self.net)
+        self.net.run()
+        self.root.finish()
+        wall = _time.perf_counter() - started
+        return ClusterRunResult(
+            sink=self.processor.sink,
+            network=self.net.stats(),
+            cpu_by_role=self.net.cpu_time_by_role(),
+            wall_seconds=wall,
+            events=events,
+            node_cpu={
+                node_id: node.cpu_time
+                for node_id, node in self.net.nodes.items()
+            },
+        )

@@ -1,0 +1,38 @@
+"""Cluster deployment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.codec import BinaryCodec, Codec
+
+__all__ = ["ClusterConfig"]
+
+
+@dataclass(slots=True)
+class ClusterConfig:
+    """Knobs shared by all decentralized deployments.
+
+    Attributes:
+        origin: global time origin (ms); every node anchors fixed-window
+            schedules here so slices align across nodes (Sec 5.1.1).
+            Event timestamps must be >= origin.
+        tick_interval: watermark cadence (ms).  Locals force a slice cut
+            and ship pending partial results every tick; it is also the
+            granularity at which coverage advances, i.e. the paper's
+            watermark for terminating data-driven windows (Sec 5.1.2).
+        latency_ms: per-link one-way latency.
+        bandwidth_bytes_per_ms: per-link bandwidth cap (``None`` =
+            unlimited; ~131 bytes/ms models the Pi cluster's 1G Ethernet).
+        codec: wire format for data traffic.
+        heartbeat_interval: cadence of node heartbeats to the root (ms).
+        node_timeout: silence after which the root evicts a node (ms).
+    """
+
+    origin: int = 0
+    tick_interval: int = 1_000
+    latency_ms: float = 1.0
+    bandwidth_bytes_per_ms: float | None = None
+    codec: Codec = field(default_factory=BinaryCodec)
+    heartbeat_interval: int = 5_000
+    node_timeout: int = 15_000

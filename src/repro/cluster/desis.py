@@ -1,0 +1,328 @@
+"""The Desis decentralized deployment (Sec 3, Sec 5).
+
+:class:`DesisCluster` wires local, intermediate, and root nodes over the
+simulated network, broadcasts the window attributes (query-groups), drives
+the local event streams and watermark ticks, and collects results, traffic,
+and per-node work statistics.
+
+Runtime management (Sec 3.2) is supported through scheduled *actions*:
+``add_query`` / ``remove_query`` and ``add_local_node`` / ``remove_node``
+can be invoked mid-run, and heartbeat timeouts surface dead nodes via
+``evict_timed_out``.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.analyzer import QueryGroup, QueryPlan, analyze
+from repro.core.engine import EngineStats
+from repro.core.errors import ClusterError
+from repro.core.event import Event
+from repro.core.query import Query
+from repro.core.results import ResultSink
+from repro.core.serde import query_to_dict
+from repro.core.types import NodeRole, SharingPolicy
+from repro.cluster.config import ClusterConfig
+from repro.cluster.intermediate import IntermediateNode
+from repro.cluster.local import LocalNode
+from repro.cluster.root import RootAssembler, RootNode
+from repro.network.messages import ControlMessage
+from repro.network.simnet import NetworkStats, SimNetwork
+from repro.network.topology import Topology
+
+__all__ = ["DesisCluster", "ClusterRunResult"]
+
+
+@dataclass(slots=True)
+class ClusterRunResult:
+    """Everything a decentralized run produced."""
+
+    sink: ResultSink
+    network: NetworkStats
+    cpu_by_role: dict[NodeRole, float]
+    wall_seconds: float
+    events: int
+    local_stats: dict[str, EngineStats] = field(default_factory=dict)
+    node_cpu: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Events per wall-clock second across the whole cluster run.
+
+        The simulation executes every node on one CPU, so this is total
+        cluster work, not scale-out throughput — see
+        :attr:`modeled_parallel_throughput` for the paper's metric.
+        """
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def bottleneck_node(self) -> tuple[str, float]:
+        """The node whose handlers consumed the most CPU time."""
+        if not self.node_cpu:
+            return ("", 0.0)
+        node = max(self.node_cpu, key=self.node_cpu.__getitem__)
+        return node, self.node_cpu[node]
+
+    @property
+    def modeled_parallel_throughput(self) -> float:
+        """Sustainable throughput with one core per node (Sec 6.1).
+
+        Every node runs concurrently in a real deployment, so the system
+        sustains ``events / busiest-node-time``: pushed-down aggregation
+        scales with local nodes (Fig 7a) while root-bound work does not
+        (Fig 7b).
+        """
+        _, busiest = self.bottleneck_node
+        return self.events / busiest if busiest > 0 else 0.0
+
+
+class DesisCluster:
+    """A Desis deployment over a topology (Sec 2.4)."""
+
+    name = "Desis"
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        topology: Topology,
+        *,
+        config: ClusterConfig | None = None,
+        policy: SharingPolicy = SharingPolicy.FULL,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.topology = topology
+        self.plan: QueryPlan = analyze(
+            queries, policy=policy, decentralized=True
+        )
+        self.net = SimNetwork(
+            default_codec=self.config.codec,
+            default_latency_ms=self.config.latency_ms,
+            default_bandwidth_bytes_per_ms=self.config.bandwidth_bytes_per_ms,
+        )
+        self._build_nodes()
+
+    # -- construction -------------------------------------------------------------------
+
+    def _build_nodes(self) -> None:
+        topo = self.topology
+        self.root = RootNode(
+            topo.root, topo.children(topo.root), self.plan, self.config
+        )
+        self.net.add_node(self.root)
+        self.locals: dict[str, LocalNode] = {}
+        self.intermediates: dict[str, IntermediateNode] = {}
+        for node_id in topo.nodes():
+            role = topo.role(node_id)
+            if role is NodeRole.LOCAL:
+                node = LocalNode(
+                    node_id, topo.parent(node_id), self.plan, self.config
+                )
+                self.locals[node_id] = node
+                self.net.add_node(node)
+            elif role is NodeRole.INTERMEDIATE:
+                node = IntermediateNode(
+                    node_id,
+                    topo.parent(node_id),
+                    topo.children(node_id),
+                    self.plan,
+                    self.config,
+                )
+                self.intermediates[node_id] = node
+                self.net.add_node(node)
+        for child, parent in topo.parents.items():
+            self.net.connect(child, parent)
+
+    def _broadcast_attributes(self) -> None:
+        """Ship window attributes and topology down the tree (Sec 3.1)."""
+        payload = {
+            "queries": [query_to_dict(q) for q in self.plan.queries],
+            "topology": self.topology.to_payload(),
+        }
+        for child in self.topology.children(self.topology.root):
+            self.net.send(
+                self.topology.root,
+                child,
+                ControlMessage(
+                    sender=self.topology.root, kind="queries", payload=payload
+                ),
+            )
+
+    # -- runtime management (Sec 3.2) ------------------------------------------------------
+
+    def add_query(self, query: Query) -> None:
+        """Register a new query at runtime as its own query-group."""
+        if any(q.query_id == query.query_id for q in self.plan.queries):
+            raise ClusterError(f"duplicate query id: {query.query_id!r}")
+        group = QueryGroup(group_id=len(self.plan.groups))
+        group.root_evaluated = (
+            not query.is_decomposable or query.is_count_based
+        )
+        group._admit(query)
+        group._replan()
+        self.plan.groups.append(group)
+        progress = int(self.net.now) - int(self.net.now) % self.config.tick_interval
+        origin = max(self.config.origin, progress)
+        from repro.cluster.local import _RootEvalLocalGroup, _SlicedLocalGroup
+        from repro.cluster.merger import GroupMerger
+
+        for node in self.locals.values():
+            handler_cls = (
+                _RootEvalLocalGroup if group.root_evaluated else _SlicedLocalGroup
+            )
+            shifted = ClusterConfig(
+                origin=origin,
+                tick_interval=self.config.tick_interval,
+                heartbeat_interval=self.config.heartbeat_interval,
+            )
+            node.groups.append(handler_cls(node.node_id, group, shifted, node.stats))
+        for node in self.intermediates.values():
+            node.mergers.append(
+                GroupMerger(group, self.topology.children(node.node_id), origin)
+            )
+            node.ship_seq.append(0)
+        self.root.mergers.append(
+            GroupMerger(group, self.topology.children(self.topology.root), origin)
+        )
+        shifted = ClusterConfig(origin=origin, tick_interval=self.config.tick_interval)
+        self.root.assemblers.append(
+            RootAssembler(group, origin, self.root._emit, shifted)
+        )
+
+    def remove_query(self, query_id: str) -> None:
+        """Remove a running query immediately on every node."""
+        group = self.plan.group_of(query_id)
+        for node in self.locals.values():
+            node.on_message(
+                ControlMessage(sender="user", kind="query_remove", payload=query_id),
+                int(self.net.now),
+                self.net,
+            )
+        assembler = self.root.assemblers[group.group_id]
+        for bucket in (
+            assembler.fixed,
+            assembler.sessions,
+            assembler.userdef,
+            assembler.counts,
+        ):
+            bucket[:] = [s for s in bucket if s.query.query_id != query_id]
+        group.remove_query(query_id)
+
+    def add_local_node(self, node_id: str, parent: str,
+                       stream: Iterable[Event] = ()) -> None:
+        """Attach a new local node at runtime and announce the topology."""
+        self.topology.add_node(node_id, parent, NodeRole.LOCAL)
+        node = LocalNode(node_id, parent, self.plan, self.config)
+        self.locals[node_id] = node
+        self.net.add_node(node)
+        self.net.connect(node_id, parent)
+        parent_node = (
+            self.root if parent == self.topology.root else self.intermediates[parent]
+        )
+        parent_node.add_child(node_id)
+        last = self.net.inject_stream(node_id, stream)
+        if last:
+            end = self._align_up(last)
+            self._end_boundary = max(self._end_boundary, end)
+            self.net.schedule_ticks(
+                node_id,
+                start=int(self.net.now)
+                - int(self.net.now) % self.config.tick_interval,
+                end=end,
+                interval=self.config.tick_interval,
+            )
+        self._broadcast_attributes()
+
+    def remove_node(self, node_id: str) -> None:
+        """Detach a local node (churned edge device) at runtime."""
+        node = self.locals.get(node_id)
+        if node is None:
+            raise ClusterError(f"{node_id!r} is not a local node")
+        parent = self.topology.parent(node_id)
+        node.alive = False
+        self.topology.remove_node(node_id)
+        del self.locals[node_id]
+        parent_node = (
+            self.root if parent == self.topology.root else self.intermediates[parent]
+        )
+        parent_node.remove_child(node_id)
+        self._broadcast_attributes()
+
+    def evict_timed_out(self, now: int | None = None) -> list[str]:
+        """Evict nodes whose heartbeats timed out; returns evicted ids."""
+        at = now if now is not None else int(self.net.now)
+        dead = [n for n in self.root.timed_out_nodes(at) if n in self.locals]
+        for node_id in dead:
+            self.remove_node(node_id)
+        return dead
+
+    # -- driving ---------------------------------------------------------------------------
+
+    def _align_up(self, time: int) -> int:
+        interval = self.config.tick_interval
+        return ((time // interval) + 1) * interval
+
+    def run(
+        self,
+        streams: dict[str, Iterable[Event]],
+        *,
+        actions: list[tuple[int, Callable[["DesisCluster"], None]]] | None = None,
+    ) -> ClusterRunResult:
+        """Replay per-local streams through the cluster.
+
+        ``actions`` are ``(sim_time, callback)`` pairs executed when
+        simulated time passes their timestamp (runtime query/node changes).
+        """
+        started = _time.perf_counter()
+        self._broadcast_attributes()
+        last = self.config.origin
+        events = 0
+        for node_id, stream in streams.items():
+            if node_id not in self.locals:
+                raise ClusterError(f"{node_id!r} is not a local node")
+            materialized = list(stream)
+            events += len(materialized)
+            last = max(last, self.net.inject_stream(node_id, materialized))
+        end = self._align_up(last)
+        self._end_boundary = end
+        for node_id in list(self.locals):
+            self.net.schedule_ticks(
+                node_id,
+                start=self.config.origin,
+                end=end,
+                interval=self.config.tick_interval,
+            )
+        for node_id in self.intermediates:
+            self.net.schedule_ticks(
+                node_id,
+                start=self.config.origin,
+                end=end,
+                interval=self.config.heartbeat_interval,
+            )
+        for at, action in sorted(actions or [], key=lambda pair: pair[0]):
+            self.net.run(until=at)
+            action(self)
+        self.net.run()
+        # Flush every surviving local at the global end boundary (it may
+        # have moved if nodes with longer streams joined mid-run).
+        for node in self.locals.values():
+            node.on_finish(self._end_boundary, self.net)
+        self.net.run()
+        self.root.finish(int(self.net.now))
+        wall = _time.perf_counter() - started
+        return ClusterRunResult(
+            sink=self.root.sink,
+            network=self.net.stats(),
+            cpu_by_role=self.net.cpu_time_by_role(),
+            wall_seconds=wall,
+            events=events,
+            local_stats={
+                node_id: node.stats for node_id, node in self.locals.items()
+            },
+            node_cpu={
+                node_id: node.cpu_time
+                for node_id, node in self.net.nodes.items()
+            },
+        )

@@ -1,0 +1,88 @@
+"""Intermediate nodes: merge partial results by slice and forward (Sec 5.1).
+
+An intermediate node maintains one :class:`~repro.cluster.merger.GroupMerger`
+per query-group.  When all of its children have covered a boundary, the
+released records — merged across children for slice-aligned groups,
+passed through for session groups — are re-sequenced and forwarded to the
+parent in a single batch, so one intermediate serves many children with
+one upward message per tick (the fan-in the scalability experiment of
+Fig 7c exercises).
+"""
+
+from __future__ import annotations
+
+from repro.core.analyzer import QueryPlan
+from repro.core.types import NodeRole
+from repro.cluster.config import ClusterConfig
+from repro.cluster.merger import GroupMerger
+from repro.network.messages import ControlMessage, PartialBatchMessage
+from repro.network.simnet import SimNetwork, SimNode
+
+__all__ = ["IntermediateNode"]
+
+
+class IntermediateNode(SimNode):
+    """A Desis intermediate node for one parent and a set of children."""
+
+    def __init__(self, node_id: str, parent: str, children: list[str],
+                 plan: QueryPlan, config: ClusterConfig) -> None:
+        super().__init__(node_id, NodeRole.INTERMEDIATE)
+        self.parent = parent
+        self.children = list(children)
+        self.config = config
+        self.mergers = [
+            GroupMerger(group, children, config.origin) for group in plan.groups
+        ]
+        self.ship_seq = [0 for _ in plan.groups]
+        self.alive = True
+        self._last_heartbeat = config.origin
+
+    def on_tick(self, now: int, net: SimNetwork) -> None:
+        if self.alive and now - self._last_heartbeat >= self.config.heartbeat_interval:
+            self._last_heartbeat = now
+            net.send(
+                self.node_id,
+                self.parent,
+                ControlMessage(sender=self.node_id, kind="heartbeat", payload=now),
+            )
+
+    def on_message(self, message, now: int, net: SimNetwork) -> None:
+        if isinstance(message, ControlMessage):
+            if not self.alive:
+                return
+            if message.kind == "heartbeat":
+                net.send(self.node_id, self.parent, message)
+            elif message.kind in ("queries", "topology"):
+                for child in self.children:
+                    net.send(self.node_id, child, message)
+            return
+        if not isinstance(message, PartialBatchMessage):
+            return
+        merger = self.mergers[message.group_id]
+        merger.on_batch(message)
+        advanced = merger.advance()
+        if advanced is None or not self.alive:
+            return
+        covered, records = advanced
+        out = PartialBatchMessage(
+            sender=self.node_id,
+            group_id=message.group_id,
+            first_slice_seq=self.ship_seq[message.group_id],
+            covered_to=covered,
+            records=records,
+        )
+        self.ship_seq[message.group_id] += len(records)
+        net.send(self.node_id, self.parent, out)
+
+    # -- membership (Sec 3.2) -------------------------------------------------------
+
+    def add_child(self, child: str) -> None:
+        self.children.append(child)
+        for merger in self.mergers:
+            merger.add_child(child)
+
+    def remove_child(self, child: str) -> None:
+        if child in self.children:
+            self.children.remove(child)
+        for merger in self.mergers:
+            merger.remove_child(child)

@@ -1,0 +1,325 @@
+"""Local nodes: slicing and partial aggregation at the data source (Sec 5.1).
+
+A local node runs the aggregation engine in *slicing-only* mode for every
+pushed-down query-group: events are incrementally aggregated into shared
+slices, and at every watermark tick the closed slices are shipped upward
+as per-slice partial results.  Window *assembly* never happens here — that
+is the root's job — but window punctuations still drive the cuts, so the
+slices a local produces align with every window boundary it can know about
+(fixed schedules, its own session gaps, its own marker events).
+
+Root-evaluated groups (count-based windows, non-decomposable functions;
+Sec 5.2) do not run window logic at all: the local batches each slice's
+matching values — sorted, executing the non-decomposable sort operator
+locally — or ``(time, value)`` pairs when the root must count events.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyzer import QueryGroup, QueryPlan
+from repro.core.engine import EngineStats, GroupRuntime
+from repro.core.event import Event
+from repro.core.results import ResultSink
+from repro.core.types import NodeRole, OperatorKind, WindowType
+from repro.cluster.config import ClusterConfig
+from repro.cluster.merger import group_has_sessions
+from repro.network.messages import (
+    ContextPartial,
+    ControlMessage,
+    PartialBatchMessage,
+    SliceRecord,
+)
+from repro.network.simnet import SimNetwork, SimNode
+
+__all__ = ["LocalNode"]
+
+
+class _SlicedLocalGroup:
+    """Slicing-only engine runtime for one pushed-down query-group."""
+
+    def __init__(self, node_id: str, group: QueryGroup, config: ClusterConfig,
+                 stats: EngineStats) -> None:
+        self.node_id = node_id
+        self.group = group
+        self.runtime = GroupRuntime(
+            group,
+            ResultSink(keep=False),
+            stats,
+            punctuation_mode="heap",
+            assemble=False,
+            slice_sink=self._on_cut,
+            track_spans=group_has_sessions(group),
+        )
+        # Anchor fixed-window schedules at the shared origin so slice
+        # boundaries align across all local nodes (Sec 5.1.1).
+        self.runtime.advance(config.origin)
+        self.pending: list[SliceRecord] = []
+        self.ship_seq = 0
+        self._userdef_ids = {
+            q.query_id
+            for q in group.queries
+            if q.window.window_type is WindowType.USER_DEFINED
+        }
+
+    def _on_cut(self, closed, eps, spans) -> None:
+        contexts: dict[int, ContextPartial] = {}
+        for ctx, partials in closed.partials.items():
+            span = spans.get(ctx)
+            contexts[ctx] = ContextPartial(
+                count=closed.insert_counts.get(ctx, 0),
+                ops=partials,
+                span=tuple(span) if span is not None else None,
+            )
+        userdef_eps = [
+            (query.query_id, end)
+            for window, end in eps
+            for query in window.queries
+            if query.query_id in self._userdef_ids
+        ]
+        if contexts or userdef_eps:
+            self.pending.append(
+                SliceRecord(
+                    start=closed.start,
+                    end=closed.end,
+                    contexts=contexts,
+                    userdef_eps=userdef_eps,
+                )
+            )
+
+    def on_event(self, event: Event) -> None:
+        self.runtime.process(event)
+
+    def flush(self, now: int) -> PartialBatchMessage:
+        """Cut at the watermark boundary and drain pending slice records."""
+        self.runtime.advance(now)
+        if self.runtime.current.start < now:
+            self.runtime._cut(now, [], [])
+        message = PartialBatchMessage(
+            sender=self.node_id,
+            group_id=self.group.group_id,
+            first_slice_seq=self.ship_seq,
+            covered_to=now,
+            records=self.pending,
+        )
+        self.ship_seq += len(self.pending)
+        self.pending = []
+        return message
+
+
+class _RootEvalLocalGroup:
+    """Per-slice value batching for a root-evaluated group (Sec 5.2).
+
+    Although windows of these groups are *evaluated* at the root, the
+    local must still cut its batches at every boundary the root assembles
+    on: the deterministic fixed-window punctuations, its own session gaps
+    (so record activity spans never hide a gap), and user-defined end
+    markers — in addition to the watermark-tick cadence.
+    """
+
+    def __init__(self, node_id: str, group: QueryGroup, config: ClusterConfig,
+                 stats: EngineStats) -> None:
+        self.node_id = node_id
+        self.group = group
+        self.stats = stats
+        self.origin = config.origin
+        self.selections = list(group.selections)
+        self.needs_timestamps = group.needs_timestamps
+        self.track_spans = group_has_sessions(group)
+        self.window_start = config.origin
+        #: ctx -> list of (time, value) pairs in the open slice
+        self.buffers: dict[int, list[tuple[int, float]]] = {}
+        self.pending: list[SliceRecord] = []
+        self.pending_eps: list[tuple[str, int]] = []
+        self.ship_seq = 0
+        self._userdef_watch = [
+            (q.query_id, q.selection.key, q.window.end_marker)
+            for q in group.queries
+            if q.window.window_type is WindowType.USER_DEFINED
+        ]
+        #: (length, slide) of fixed time windows: their punctuations are
+        #: deterministic cut points shared with the root
+        self._fixed_schedules = [
+            (q.window.length, q.window.effective_slide)
+            for q in group.queries
+            if q.window.is_fixed_size and not q.is_count_based
+        ]
+        #: (ctx, gap) per session query, with last matching event times
+        self._session_watch = [
+            (group.context_of[q.query_id], q.window.gap)
+            for q in group.queries
+            if q.window.window_type is WindowType.SESSION
+        ]
+        self._session_last: dict[int, int] = {}
+
+    def _next_fixed_boundary(self, after: int) -> int | None:
+        """The earliest fixed-window punctuation strictly after ``after``."""
+        best: int | None = None
+        rel = after - self.origin
+        for length, slide in self._fixed_schedules:
+            for offset in (0, length % slide):
+                candidate = (rel - offset) // slide * slide + offset
+                while candidate <= rel:
+                    candidate += slide
+                absolute = candidate + self.origin
+                if best is None or absolute < best:
+                    best = absolute
+        return best
+
+    def _cut(self, at: int, *, inclusive: bool = False) -> None:
+        """Close the open batch at ``at`` into a pending slice record."""
+        contexts: dict[int, ContextPartial] = {}
+        for ctx, buffer in list(self.buffers.items()):
+            # Half-open intervals: events stamped exactly at the boundary
+            # belong to the next slice — unless the cut is an inclusive
+            # (post-insert) marker cut.
+            if inclusive:
+                shipped, kept = buffer, []
+            else:
+                shipped = [pair for pair in buffer if pair[0] < at]
+                kept = buffer[len(shipped):]
+            if kept:
+                self.buffers[ctx] = kept
+            else:
+                del self.buffers[ctx]
+            if not shipped:
+                continue
+            span = (shipped[0][0], shipped[-1][0]) if self.track_spans else None
+            if self.needs_timestamps:
+                contexts[ctx] = ContextPartial(
+                    count=len(shipped), timed=shipped, span=span
+                )
+            else:
+                # The local executes the non-decomposable sort (Sec 5.2) so
+                # parents and the root only merge sorted runs.
+                values = sorted(value for _, value in shipped)
+                contexts[ctx] = ContextPartial(
+                    count=len(shipped),
+                    ops={OperatorKind.NON_DECOMPOSABLE_SORT: values},
+                    span=span,
+                )
+        if contexts or self.pending_eps:
+            self.pending.append(
+                SliceRecord(
+                    start=self.window_start,
+                    end=at,
+                    contexts=contexts,
+                    userdef_eps=self.pending_eps,
+                )
+            )
+            self.stats.slices_closed += 1
+            self.pending_eps = []
+        self.window_start = at
+
+    def on_event(self, event: Event) -> None:
+        # Pre-insert cuts: fixed punctuations passed by this event, and
+        # session gaps this event's arrival proves.
+        if self._fixed_schedules:
+            boundary = self._next_fixed_boundary(self.window_start)
+            while boundary is not None and boundary <= event.time:
+                self._cut(boundary)
+                boundary = self._next_fixed_boundary(boundary)
+        matched = [
+            index
+            for index, selection in enumerate(self.selections)
+            if selection.matches(event)
+        ]
+        if self._session_watch and matched:
+            for ctx, gap in self._session_watch:
+                if ctx not in matched:
+                    continue
+                last = self._session_last.get(ctx)
+                if last is not None and event.time - last >= gap:
+                    cut_at = last + gap
+                    if cut_at > self.window_start:
+                        self._cut(cut_at)
+                self._session_last[ctx] = event.time
+        for index in matched:
+            self.buffers.setdefault(index, []).append((event.time, event.value))
+        if matched:
+            self.stats.inserts += 1
+            self.stats.calculations += 1  # one (non-decomposable sort) operator
+        if event.marker is not None:
+            ended = False
+            for query_id, key, end_marker in self._userdef_watch:
+                if event.marker == end_marker and (
+                    key is None or event.key == key
+                ):
+                    self.pending_eps.append((query_id, event.time))
+                    ended = True
+            if ended:
+                # Post-insert marker cut: the marker event belongs to the
+                # trip it ends.
+                self._cut(event.time, inclusive=True)
+
+    def flush(self, now: int) -> PartialBatchMessage:
+        if self._fixed_schedules:
+            boundary = self._next_fixed_boundary(self.window_start)
+            while boundary is not None and boundary <= now:
+                self._cut(boundary)
+                boundary = self._next_fixed_boundary(boundary)
+        if self.window_start < now:
+            self._cut(now)
+        message = PartialBatchMessage(
+            sender=self.node_id,
+            group_id=self.group.group_id,
+            first_slice_seq=self.ship_seq,
+            covered_to=now,
+            records=self.pending,
+        )
+        self.ship_seq += len(self.pending)
+        self.pending = []
+        return message
+
+
+class LocalNode(SimNode):
+    """A Desis local node: one group handler per query-group."""
+
+    def __init__(self, node_id: str, parent: str, plan: QueryPlan,
+                 config: ClusterConfig) -> None:
+        super().__init__(node_id, NodeRole.LOCAL)
+        self.parent = parent
+        self.config = config
+        self.stats = EngineStats()
+        self.groups: list[_SlicedLocalGroup | _RootEvalLocalGroup] = [
+            (
+                _RootEvalLocalGroup(node_id, group, config, self.stats)
+                if group.root_evaluated
+                else _SlicedLocalGroup(node_id, group, config, self.stats)
+            )
+            for group in plan.groups
+        ]
+        self.alive = True
+        self._last_heartbeat = config.origin
+
+    def on_event(self, event: Event, now: int, net: SimNetwork) -> None:
+        self.stats.events += 1
+        for group in self.groups:
+            group.on_event(event)
+
+    def on_tick(self, now: int, net: SimNetwork) -> None:
+        if not self.alive:
+            return
+        for group in self.groups:
+            net.send(self.node_id, self.parent, group.flush(now))
+        if now - self._last_heartbeat >= self.config.heartbeat_interval:
+            self._last_heartbeat = now
+            net.send(
+                self.node_id,
+                self.parent,
+                ControlMessage(sender=self.node_id, kind="heartbeat", payload=now),
+            )
+
+    def on_finish(self, now: int, net: SimNetwork) -> None:
+        if not self.alive:
+            return
+        for group in self.groups:
+            net.send(self.node_id, self.parent, group.flush(now))
+
+    def on_message(self, message, now: int, net: SimNetwork) -> None:
+        # Locals only receive control traffic (queries, topology).
+        if isinstance(message, ControlMessage) and message.kind == "query_remove":
+            query_id = message.payload
+            for group in self.groups:
+                if isinstance(group, _SlicedLocalGroup):
+                    if query_id in group.runtime.needed:
+                        group.runtime.remove_query(query_id)

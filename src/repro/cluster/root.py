@@ -1,0 +1,472 @@
+"""The root node: final window assembly from covered slice records (Sec 5.1).
+
+The root maintains, per query-group, a :class:`GroupMerger` over its
+children plus a :class:`RootAssembler` that turns released slice records
+into window results:
+
+* **Fixed windows** close when coverage passes their deterministic end;
+  their result merges the records fully inside ``[start, end)``.  Slices
+  are cut at every fixed punctuation on every node, so records never
+  straddle a fixed-window boundary.
+* **Session windows** are reassembled by gap covering (Sec 5.1.2): each
+  record carries its per-context activity span ``(first, last)``; spans
+  closer than the gap cluster into one session, and a session closes once
+  every child has covered ``last + gap`` — exactly "when all session gaps
+  from different child nodes cover each other".
+* **User-defined windows** close at their end-marker punctuation once
+  coverage (the watermark) passes it; the window consumes the records up
+  to the marker time.
+* **Count-based windows** (root-evaluated groups, Sec 5.2) replay the
+  shipped ``(time, value)`` pairs in time order through per-window
+  operator states, since only the root can count the merged stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+
+from repro.core.analyzer import QueryGroup, QueryPlan
+from repro.core.engine import required_kinds
+from repro.core.errors import ClusterError
+from repro.core.functions import finalize, operators_for
+from repro.core.operators import (
+    OperatorSetState,
+    merge_many_partials,
+    merge_partials,
+)
+from repro.core.query import Query
+from repro.core.results import ResultSink, WindowResult
+from repro.core.types import NodeRole, OperatorKind, WindowMeasure, WindowType
+from repro.cluster.config import ClusterConfig
+from repro.cluster.merger import GroupMerger
+from repro.network.messages import ControlMessage, PartialBatchMessage, SliceRecord
+from repro.network.simnet import SimNetwork, SimNode
+
+__all__ = ["RootNode", "RootAssembler"]
+
+
+class _FixedState:
+    __slots__ = ("query", "ctx", "kinds", "length", "slide", "next_close_start")
+
+    def __init__(self, query: Query, ctx: int, kinds, origin: int) -> None:
+        self.query = query
+        self.ctx = ctx
+        self.kinds = kinds
+        self.length = query.window.length
+        self.slide = query.window.effective_slide
+        self.next_close_start = origin
+
+
+class _SessionState:
+    __slots__ = ("query", "ctx", "kinds", "gap", "open_start", "last", "ops", "count")
+
+    def __init__(self, query: Query, ctx: int, kinds) -> None:
+        self.query = query
+        self.ctx = ctx
+        self.kinds = kinds
+        self.gap = query.window.gap
+        self.open_start: int | None = None
+        self.last = 0
+        self.ops: dict = {}
+        self.count = 0
+
+
+class _UserDefState:
+    __slots__ = ("query", "ctx", "kinds", "eps", "prev_end", "pointer")
+
+    def __init__(self, query: Query, ctx: int, kinds, origin: int) -> None:
+        self.query = query
+        self.ctx = ctx
+        self.kinds = kinds
+        self.eps: list[int] = []
+        self.prev_end = origin
+        self.pointer = 0  # absolute index of the next unconsumed record
+
+
+class _CountState:
+    __slots__ = ("query", "ctx", "kinds", "length", "slide", "seen", "open")
+
+    def __init__(self, query: Query, ctx: int) -> None:
+        self.query = query
+        self.ctx = ctx
+        self.kinds = tuple(operators_for(query.function))
+        self.length = query.window.length
+        self.slide = query.window.effective_slide
+        self.seen = 0
+        #: open windows: (start_time, operator states)
+        self.open: list[tuple[int, OperatorSetState]] = []
+
+
+def derive_ops_from_timed(record: SliceRecord, planned) -> None:
+    """Fill each context's ``ops`` (and span) from its ``timed`` pairs.
+
+    Root-evaluated groups with count-based windows ship raw timed values
+    (Sec 5.2); time-based queries in the same group still assemble from
+    per-record operator partials, which this derives on arrival.
+    """
+    for part in record.contexts.values():
+        if part.timed is None or part.ops:
+            continue
+        values = [value for _, value in part.timed]
+        ops: dict[OperatorKind, object] = {}
+        for kind in planned:
+            if kind is OperatorKind.SUM:
+                ops[kind] = sum(values)
+            elif kind is OperatorKind.COUNT:
+                ops[kind] = len(values)
+            elif kind is OperatorKind.MULTIPLICATION:
+                product = 1.0
+                for value in values:
+                    product *= value
+                ops[kind] = product
+            elif kind is OperatorKind.DECOMPOSABLE_SORT:
+                ops[kind] = (min(values), max(values)) if values else None
+            elif kind is OperatorKind.NON_DECOMPOSABLE_SORT:
+                ops[kind] = sorted(values)
+        part.ops = ops
+        if part.span is None and part.timed:
+            part.span = (part.timed[0][0], part.timed[-1][0])
+
+
+class RootAssembler:
+    """Turns covered slice records of one query-group into window results."""
+
+    def __init__(self, group: QueryGroup, origin: int, emit, config: ClusterConfig):
+        self.group = group
+        self.origin = origin
+        self.emit = emit  # emit(query, start, end, merged_ops, count, now)
+        self.covered = origin
+        self.records: list[SliceRecord] = []
+        self.ends: list[int] = []
+        self.base = 0  # absolute index of records[0]
+
+        self.fixed: list[_FixedState] = []
+        self.sessions: list[_SessionState] = []
+        self.userdef: list[_UserDefState] = []
+        self.counts: list[_CountState] = []
+        for query in group.queries:
+            ctx = group.context_of[query.query_id]
+            if query.window.measure is WindowMeasure.COUNT:
+                self.counts.append(_CountState(query, ctx))
+                continue
+            kinds = required_kinds(query, group.operators)
+            kind = query.window.window_type
+            if kind in (WindowType.TUMBLING, WindowType.SLIDING):
+                self.fixed.append(_FixedState(query, ctx, kinds, origin))
+            elif kind is WindowType.SESSION:
+                self.sessions.append(_SessionState(query, ctx, kinds))
+            else:
+                self.userdef.append(_UserDefState(query, ctx, kinds, origin))
+
+    # -- record access ----------------------------------------------------------------
+
+    def _merge_interval(self, start: int, end: int, ctx: int, kinds):
+        """Merge context partials of records fully inside ``[start, end)``."""
+        collected: dict[OperatorKind, list] = {kind: [] for kind in kinds}
+        count = 0
+        index = bisect.bisect_right(self.ends, start)
+        while index < len(self.records) and self.ends[index] <= end:
+            record = self.records[index]
+            index += 1
+            if record.start < start:
+                continue
+            part = record.contexts.get(ctx)
+            if part is None:
+                continue
+            count += part.count
+            for kind, bucket in collected.items():
+                if kind in part.ops:
+                    bucket.append(part.ops[kind])
+        merged = {
+            kind: merge_many_partials(kind, bucket)
+            for kind, bucket in collected.items()
+            if bucket
+        }
+        return merged, count
+
+    # -- consumption --------------------------------------------------------------------
+
+    def consume(self, covered: int, records: list[SliceRecord], now: int) -> None:
+        self.records.extend(records)
+        self.ends.extend(record.end for record in records)
+        self.covered = covered
+        for state in self.userdef:
+            added = False
+            for record in records:
+                for query_id, end in record.userdef_eps:
+                    if query_id == state.query.query_id:
+                        state.eps.append(end)
+                        added = True
+            if added:
+                state.eps.sort()
+        for state in self.sessions:
+            self._feed_session(state, records, now)
+        for state in self.counts:
+            self._feed_count(state, records, now)
+        self._close_fixed(now)
+        self._close_sessions(now)
+        self._close_userdef(now)
+        self._gc()
+
+    # -- fixed windows --------------------------------------------------------------------
+
+    def _close_fixed(self, now: int) -> None:
+        for state in self.fixed:
+            while state.next_close_start + state.length <= self.covered:
+                start = state.next_close_start
+                end = start + state.length
+                merged, count = self._merge_interval(start, end, state.ctx, state.kinds)
+                if count:
+                    self.emit(state.query, start, end, merged, count, now)
+                state.next_close_start += state.slide
+
+    # -- session windows (gap covering) ------------------------------------------------------
+
+    def _emit_session(self, state: _SessionState, end: int, now: int) -> None:
+        if state.count:
+            self.emit(state.query, state.open_start, end, state.ops, state.count, now)
+        state.open_start = None
+        state.ops = {}
+        state.count = 0
+
+    def _feed_session(self, state: _SessionState, records, now: int) -> None:
+        items = []
+        for record in records:
+            part = record.contexts.get(state.ctx)
+            if part is None or part.count == 0:
+                continue
+            if part.span is None:
+                raise ClusterError(
+                    f"record [{record.start}..{record.end}) lacks the activity "
+                    f"span required for session assembly of "
+                    f"{state.query.query_id!r}"
+                )
+            items.append((part.span[0], part.span[1], part.ops, part.count))
+        items.sort(key=lambda item: item[0])
+        for first, last, ops, count in items:
+            if state.open_start is None:
+                state.open_start = first
+                state.last = last
+                state.ops = dict(ops)
+                state.count = count
+                continue
+            if first - state.last >= state.gap:
+                self._emit_session(state, state.last + state.gap, now)
+                state.open_start = first
+                state.last = last
+                state.ops = dict(ops)
+                state.count = count
+                continue
+            state.last = max(state.last, last)
+            state.count += count
+            for kind, partial in ops.items():
+                if kind in state.ops:
+                    state.ops[kind] = merge_partials(kind, state.ops[kind], partial)
+                else:
+                    state.ops[kind] = partial
+
+    def _close_sessions(self, now: int) -> None:
+        for state in self.sessions:
+            if state.open_start is not None and self.covered >= state.last + state.gap:
+                self._emit_session(state, state.last + state.gap, now)
+
+    # -- user-defined windows --------------------------------------------------------------
+
+    def _consume_until(self, state: _UserDefState, boundary: int):
+        collected: dict[OperatorKind, list] = {kind: [] for kind in state.kinds}
+        count = 0
+        index = max(state.pointer - self.base, 0)
+        while index < len(self.records) and self.ends[index] <= boundary:
+            part = self.records[index].contexts.get(state.ctx)
+            index += 1
+            if part is None:
+                continue
+            count += part.count
+            for kind, bucket in collected.items():
+                if kind in part.ops:
+                    bucket.append(part.ops[kind])
+        state.pointer = self.base + index
+        merged = {
+            kind: merge_many_partials(kind, bucket)
+            for kind, bucket in collected.items()
+            if bucket
+        }
+        return merged, count
+
+    def _close_userdef(self, now: int) -> None:
+        for state in self.userdef:
+            while state.eps and state.eps[0] <= self.covered:
+                marker = state.eps.pop(0)
+                merged, count = self._consume_until(state, marker)
+                if count:
+                    self.emit(
+                        state.query, state.prev_end, marker, merged, count, now
+                    )
+                state.prev_end = marker
+
+    # -- count windows (root-evaluated replay, Sec 5.2) ---------------------------------------
+
+    def _feed_count(self, state: _CountState, records, now: int) -> None:
+        runs = []
+        for record in records:
+            part = record.contexts.get(state.ctx)
+            if part is not None and part.timed:
+                runs.append(part.timed)
+        if not runs:
+            return
+        for time, value in heapq.merge(*runs):
+            if state.seen % state.slide == 0:
+                state.open.append((time, OperatorSetState(state.kinds)))
+            for _, ops in state.open:
+                ops.insert(value)
+            state.seen += 1
+            still_open = []
+            for start_time, ops in state.open:
+                if ops.inserts >= state.length:
+                    self.emit(
+                        state.query,
+                        start_time,
+                        time,
+                        ops.partials(),
+                        ops.inserts,
+                        now,
+                    )
+                else:
+                    still_open.append((start_time, ops))
+            state.open = still_open
+
+    # -- garbage collection ---------------------------------------------------------------------
+
+    def _low_watermark(self) -> int:
+        lows = [self.covered]
+        for state in self.fixed:
+            lows.append(state.next_close_start)
+        for state in self.sessions:
+            lows.append(
+                state.open_start if state.open_start is not None else self.covered
+            )
+        for state in self.userdef:
+            lows.append(state.prev_end)
+        return min(lows)
+
+    def _gc(self) -> None:
+        low = self._low_watermark()
+        drop = bisect.bisect_right(self.ends, low)
+        if drop:
+            del self.records[:drop]
+            del self.ends[:drop]
+            self.base += drop
+
+    # -- end of stream ------------------------------------------------------------------------
+
+    def finish(self, now: int) -> None:
+        """Force-close everything still open (mirrors engine ``close()``)."""
+        for state in self.fixed:
+            while state.next_close_start < self.covered:
+                start = state.next_close_start
+                end = start + state.length
+                merged, count = self._merge_interval(
+                    start, min(end, self.covered), state.ctx, state.kinds
+                )
+                if count:
+                    self.emit(state.query, start, end, merged, count, now)
+                state.next_close_start += state.slide
+        for state in self.sessions:
+            if state.open_start is not None:
+                self._emit_session(
+                    state, min(state.last + state.gap, self.covered), now
+                )
+        for state in self.userdef:
+            merged, count = self._consume_until(state, self.covered)
+            if count:
+                self.emit(
+                    state.query, state.prev_end, self.covered, merged, count, now
+                )
+            state.prev_end = self.covered
+        for state in self.counts:
+            for start_time, ops in state.open:
+                if ops.inserts:
+                    self.emit(
+                        state.query,
+                        start_time,
+                        self.covered,
+                        ops.partials(),
+                        ops.inserts,
+                        now,
+                    )
+            state.open = []
+
+
+class RootNode(SimNode):
+    """The Desis root: merges children, assembles windows, emits results."""
+
+    def __init__(self, node_id: str, children: list[str], plan: QueryPlan,
+                 config: ClusterConfig, sink: ResultSink | None = None) -> None:
+        super().__init__(node_id, NodeRole.ROOT)
+        self.plan = plan
+        self.config = config
+        self.sink = sink if sink is not None else ResultSink()
+        self.mergers = [
+            GroupMerger(group, children, config.origin) for group in plan.groups
+        ]
+        self.assemblers = [
+            RootAssembler(group, config.origin, self._emit, config)
+            for group in plan.groups
+        ]
+        self.last_seen: dict[str, int] = {}
+
+    def _emit(self, query: Query, start: int, end: int, ops, count: int,
+              now: int) -> None:
+        self.sink.emit(
+            WindowResult(
+                query_id=query.query_id,
+                start=start,
+                end=end,
+                value=finalize(query.function, ops),
+                event_count=count,
+                emitted_at=now,
+            )
+        )
+
+    def on_message(self, message, now: int, net: SimNetwork) -> None:
+        if isinstance(message, ControlMessage):
+            if message.kind == "heartbeat":
+                self.last_seen[message.sender] = now
+            return
+        if not isinstance(message, PartialBatchMessage):
+            return
+        merger = self.mergers[message.group_id]
+        merger.on_batch(message)
+        advanced = merger.advance()
+        if advanced is None:
+            return
+        covered, records = advanced
+        group = self.plan.groups[message.group_id]
+        if group.needs_timestamps:
+            for record in records:
+                derive_ops_from_timed(record, group.operators)
+        self.assemblers[message.group_id].consume(covered, records, now)
+
+    def finish(self, now: int) -> None:
+        for assembler in self.assemblers:
+            assembler.finish(now)
+
+    # -- membership (Sec 3.2) ----------------------------------------------------------------
+
+    def add_child(self, child: str) -> None:
+        for merger in self.mergers:
+            merger.add_child(child)
+
+    def remove_child(self, child: str) -> None:
+        for merger in self.mergers:
+            merger.remove_child(child)
+
+    def timed_out_nodes(self, now: int) -> list[str]:
+        """Children whose heartbeats stopped for longer than the timeout."""
+        timeout = self.config.node_timeout
+        return sorted(
+            node
+            for node, seen in self.last_seen.items()
+            if now - seen > timeout
+        )

@@ -1,0 +1,64 @@
+"""The Desis aggregation engine: the paper's primary contribution (Sec 4)."""
+
+from repro.core.analyzer import QueryGroup, QueryPlan, analyze
+from repro.core.engine import AggregationEngine, EngineStats
+from repro.core.errors import (
+    ClusterError,
+    CodecError,
+    EngineError,
+    OutOfOrderError,
+    QueryError,
+    ReproError,
+    TopologyError,
+    WindowError,
+)
+from repro.core.event import Event, Watermark, ensure_ordered, merge_streams
+from repro.core.functions import FunctionSpec, finalize, is_decomposable, operators_for
+from repro.core.predicates import Selection, SelectionRelation, compatible
+from repro.core.query import Query, WindowSpec
+from repro.core.results import ResultSink, WindowResult
+from repro.core.types import (
+    AggFunction,
+    NodeRole,
+    OperatorKind,
+    SharingPolicy,
+    WindowMeasure,
+    WindowType,
+)
+
+__all__ = [
+    "AggregationEngine",
+    "AggFunction",
+    "ClusterError",
+    "CodecError",
+    "EngineError",
+    "EngineStats",
+    "Event",
+    "FunctionSpec",
+    "NodeRole",
+    "OperatorKind",
+    "OutOfOrderError",
+    "Query",
+    "QueryError",
+    "QueryGroup",
+    "QueryPlan",
+    "ReproError",
+    "ResultSink",
+    "Selection",
+    "SelectionRelation",
+    "SharingPolicy",
+    "TopologyError",
+    "Watermark",
+    "WindowError",
+    "WindowMeasure",
+    "WindowResult",
+    "WindowSpec",
+    "WindowType",
+    "analyze",
+    "compatible",
+    "ensure_ordered",
+    "finalize",
+    "is_decomposable",
+    "merge_streams",
+    "operators_for",
+]

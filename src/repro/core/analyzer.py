@@ -1,0 +1,176 @@
+"""The query analyzer: forming query-groups (Sec 3.1, 4.2.3, 5.2).
+
+The analyzer turns a set of queries into *query-groups* — sets of queries
+whose partial results can be shared so that every event is processed once
+per group.  Grouping is constrained by three rules:
+
+1. **Selections** must pairwise fully overlap or not overlap at all
+   (:func:`repro.core.predicates.compatible`).
+2. **Sharing policy**: Desis (``FULL``) shares across window types,
+   measures, and functions; the Scotty and DeSW baselines additionally split
+   by function (and measure), and ``NONE`` isolates every query
+   (Sec 6.1.1 / 6.3).
+3. **Decentralized placement** (Sec 5.2): a group is either pushed down
+   (decomposable functions with time-based windows) or evaluated at the
+   root (count-based windows and non-decomposable functions, whose raw —
+   but locally sorted — values must reach the root anyway).  In
+   decentralized mode the two classes never mix; centralized processing
+   ignores the distinction.
+
+The resulting :class:`QueryGroup` doubles as the paper's *window attributes*
+that the root broadcasts to all nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.errors import QueryError
+from repro.core.functions import plan_operators
+from repro.core.predicates import Selection, compatible
+from repro.core.query import Query
+from repro.core.types import OperatorKind, SharingPolicy, WindowMeasure
+
+__all__ = ["QueryGroup", "QueryPlan", "analyze"]
+
+
+@dataclass(slots=True)
+class QueryGroup:
+    """A set of queries that share slices and operators.
+
+    Attributes:
+        group_id: index of the group within its plan.
+        queries: member queries, in submission order.
+        operators: the planned shared operator kinds (Table 1 union).
+        selections: distinct selection predicates; each becomes one
+            selection operator with its own per-slice partial results.
+        context_of: query id -> index into ``selections``.
+        root_evaluated: in decentralized mode, whether windows of this
+            group are evaluated at the root from shipped (sorted) values.
+        needs_timestamps: whether shipped values must carry event times
+            (required when the group contains count-based windows, whose
+            ends only the root can determine).
+    """
+
+    group_id: int
+    queries: list[Query] = field(default_factory=list)
+    operators: tuple[OperatorKind, ...] = ()
+    selections: list[Selection] = field(default_factory=list)
+    context_of: dict[str, int] = field(default_factory=dict)
+    root_evaluated: bool = False
+    needs_timestamps: bool = False
+
+    def _context_index(self, selection: Selection) -> int:
+        """Index of ``selection`` among the group's distinct selections."""
+        for index, existing in enumerate(self.selections):
+            if existing == selection:
+                return index
+        self.selections.append(selection)
+        return len(self.selections) - 1
+
+    def _admit(self, query: Query) -> None:
+        self.queries.append(query)
+        self.context_of[query.query_id] = self._context_index(query.selection)
+
+    def _replan(self) -> None:
+        self.operators = plan_operators(query.function for query in self.queries)
+        self.needs_timestamps = any(q.is_count_based for q in self.queries)
+
+    def remove_query(self, query_id: str) -> Query:
+        """Drop a member query (runtime removal, Sec 3.2) and replan."""
+        for index, query in enumerate(self.queries):
+            if query.query_id == query_id:
+                del self.queries[index]
+                del self.context_of[query_id]
+                self._replan()
+                return query
+        raise QueryError(f"query {query_id!r} is not in group {self.group_id}")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+@dataclass(slots=True)
+class QueryPlan:
+    """The analyzer's output: all query-groups plus lookup helpers."""
+
+    groups: list[QueryGroup]
+    policy: SharingPolicy
+    decentralized: bool
+
+    def group_of(self, query_id: str) -> QueryGroup:
+        for group in self.groups:
+            if query_id in group.context_of:
+                return group
+        raise QueryError(f"unknown query id: {query_id!r}")
+
+    @property
+    def queries(self) -> list[Query]:
+        return [query for group in self.groups for query in group.queries]
+
+
+def _policy_key(query: Query, policy: SharingPolicy):
+    """The partition key a sharing policy imposes on top of selections."""
+    if policy is SharingPolicy.FULL:
+        return None
+    if policy is SharingPolicy.SAME_FUNCTION:
+        return query.function
+    if policy is SharingPolicy.SAME_FUNCTION_AND_MEASURE:
+        return (query.function, query.window.measure)
+    if policy is SharingPolicy.NONE:
+        return query.query_id
+    raise QueryError(f"unknown sharing policy: {policy!r}")
+
+
+def _placement_root(query: Query) -> bool:
+    """Whether a query must be evaluated at the root in decentralized mode."""
+    return not query.is_decomposable or query.window.measure is WindowMeasure.COUNT
+
+
+def _fits(group: QueryGroup, query: Query, key, keys: dict[int, object]) -> bool:
+    if keys[group.group_id] != key:
+        return False
+    return all(compatible(query.selection, existing) for existing in group.selections)
+
+
+def analyze(
+    queries: Iterable[Query],
+    *,
+    policy: SharingPolicy = SharingPolicy.FULL,
+    decentralized: bool = False,
+) -> QueryPlan:
+    """Partition ``queries`` into query-groups under ``policy``.
+
+    Raises :class:`QueryError` on duplicate query ids.  Grouping is greedy
+    in submission order: each query joins the first group it is compatible
+    with, otherwise it opens a new group.
+    """
+    ordered: Sequence[Query] = list(queries)
+    seen_ids: set[str] = set()
+    for query in ordered:
+        if query.query_id in seen_ids:
+            raise QueryError(f"duplicate query id: {query.query_id!r}")
+        seen_ids.add(query.query_id)
+
+    groups: list[QueryGroup] = []
+    group_keys: dict[int, object] = {}
+    for query in ordered:
+        key = _policy_key(query, policy)
+        if decentralized:
+            key = (key, _placement_root(query))
+        target = None
+        for group in groups:
+            if _fits(group, query, key, group_keys):
+                target = group
+                break
+        if target is None:
+            target = QueryGroup(group_id=len(groups))
+            target.root_evaluated = decentralized and _placement_root(query)
+            groups.append(target)
+            group_keys[target.group_id] = key
+        target._admit(query)
+
+    for group in groups:
+        group._replan()
+    return QueryPlan(groups=groups, policy=policy, decentralized=decentralized)

@@ -1,0 +1,824 @@
+"""The Desis aggregation engine (Sec 4).
+
+The engine processes multiple windowed queries over one event stream while
+executing every event once per query-group: queries are grouped by the
+analyzer, each group's windows are cut into shared slices at window
+start/end punctuations, and each slice runs the group's shared operator set
+(Table 1) once per matching selection context.  When a window ends, its
+result is assembled by merging the partial results of its covered slices
+and finalizing its aggregation function.
+
+Two punctuation strategies are supported:
+
+* ``heap`` (Desis): upcoming fixed-window punctuations live in a priority
+  queue, so an event only pays for punctuations that are actually due.
+* ``scan`` (the Scotty/DeSW baselines of Sec 6.1.1): every event scans all
+  window trackers for due punctuations, modelling engines that "check each
+  arriving event" (Sec 6.2.1).
+
+Both strategies produce identical cuts and results; they differ only in
+per-event cost, which is one of the effects Figures 6 and 8 measure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.analyzer import QueryGroup, QueryPlan, analyze
+from repro.core.errors import EngineError, OutOfOrderError, QueryError
+from repro.core.event import Event
+from repro.core.functions import finalize, operators_for
+from repro.core.operators import merge_many_partials
+from repro.core.query import Query
+from repro.core.results import ResultSink, WindowResult
+from repro.core.slices import Slice, SliceStore
+from repro.core.types import (
+    OperatorKind,
+    SharingPolicy,
+    WindowMeasure,
+    WindowType,
+)
+from repro.core.windows import (
+    CountWindowTracker,
+    FixedWindowTracker,
+    SessionWindowTracker,
+    UserDefinedWindowTracker,
+    WindowInstance,
+)
+
+__all__ = ["AggregationEngine", "EngineStats", "GroupRuntime", "required_kinds"]
+
+# Heap entry tags.
+_SP_FIXED = 0
+_EP = 1
+_SESSION_EP = 2
+
+
+def required_kinds(
+    query: Query, planned: Sequence[OperatorKind]
+) -> tuple[OperatorKind, ...]:
+    """The planned operators a query's finalizer needs.
+
+    When the group plans a non-decomposable sort, min/max queries read it
+    instead of the (subsumed) decomposable sort.
+    """
+    wanted = set(operators_for(query.function))
+    if (
+        OperatorKind.DECOMPOSABLE_SORT in wanted
+        and OperatorKind.DECOMPOSABLE_SORT not in planned
+    ):
+        wanted.discard(OperatorKind.DECOMPOSABLE_SORT)
+        wanted.add(OperatorKind.NON_DECOMPOSABLE_SORT)
+    missing = wanted.difference(planned)
+    if missing:
+        raise EngineError(
+            f"group plan {planned!r} is missing operators {missing!r} "
+            f"for query {query.query_id!r}"
+        )
+    return tuple(kind for kind in planned if kind in wanted)
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Work counters used throughout the evaluation (Figs 6, 8, 9, 10)."""
+
+    events: int = 0
+    inserts: int = 0
+    calculations: int = 0
+    selection_checks: int = 0
+    slices_closed: int = 0
+    windows_opened: int = 0
+    windows_closed: int = 0
+    results: int = 0
+    duplicates_dropped: int = 0
+    #: memory high-water marks (Sec 2.3's motivation for slicing)
+    peak_live_slices: int = 0
+    peak_open_windows: int = 0
+
+    def merge(self, other: "EngineStats") -> None:
+        self.events += other.events
+        self.inserts += other.inserts
+        self.calculations += other.calculations
+        self.selection_checks += other.selection_checks
+        self.slices_closed += other.slices_closed
+        self.windows_opened += other.windows_opened
+        self.windows_closed += other.windows_closed
+        self.results += other.results
+        self.duplicates_dropped += other.duplicates_dropped
+        self.peak_live_slices = max(self.peak_live_slices, other.peak_live_slices)
+        self.peak_open_windows = max(
+            self.peak_open_windows, other.peak_open_windows
+        )
+
+
+class GroupRuntime:
+    """Execution state of one query-group.
+
+    The runtime owns the group's slice store, open windows, punctuation
+    heap, and window trackers.  It can also run in *slicing-only* mode
+    (``assemble=False``), in which closed slices and window punctuations
+    are handed to a slice sink instead of being assembled into results —
+    this is how local nodes reuse the engine in decentralized aggregation
+    (Sec 5.1).
+    """
+
+    def __init__(
+        self,
+        group: QueryGroup,
+        sink: ResultSink,
+        stats: EngineStats,
+        *,
+        punctuation_mode: str = "heap",
+        emit_empty: bool = False,
+        assemble: bool = True,
+        slice_sink=None,
+        window_sink=None,
+        track_spans: bool = False,
+    ) -> None:
+        if punctuation_mode not in ("heap", "scan"):
+            raise EngineError(f"unknown punctuation mode: {punctuation_mode!r}")
+        self.group = group
+        self.sink = sink
+        self.stats = stats
+        self.mode = punctuation_mode
+        self.emit_empty = emit_empty
+        self.assemble = assemble
+        #: called at every cut with (closed_slice, eps, spans); eps are
+        #: (window, end_time) pairs and spans maps ctx -> [first, last]
+        #: matching-event times inside the closed slice (when track_spans).
+        self.slice_sink = slice_sink
+        #: when set, closed windows are handed over as
+        #: (window, merged_ops, event_count, end_time) instead of being
+        #: finalized into results (Disco's per-window partials).
+        self.window_sink = window_sink
+        self.track_spans = track_spans
+        self._spans: dict[int, list[int]] = {}
+
+        self.selections = list(group.selections)
+        #: selection contexts carrying the deduplication operator
+        self._dedup_ctxs = frozenset(
+            index
+            for index, selection in enumerate(self.selections)
+            if selection.deduplicate
+        )
+        #: per-open-slice seen-event sets for deduplicating contexts
+        self._dedup_seen: dict[int, set] = {}
+        self.operators = group.operators
+        self.needed: dict[str, tuple[OperatorKind, ...]] = {
+            query.query_id: required_kinds(query, group.operators)
+            for query in group.queries
+        }
+
+        self.fixed: list[FixedWindowTracker] = []
+        self.sessions: list[SessionWindowTracker] = []
+        self.userdef: list[UserDefinedWindowTracker] = []
+        self.counts: list[CountWindowTracker] = []
+        #: user-defined trackers with no open window: the only ones that
+        #: must be checked for opens on every event
+        self._userdef_closed: list[UserDefinedWindowTracker] = []
+        #: window deduplication (see repro.core.windows): queries sharing a
+        #: window spec and selection context share one tracker
+        self._tracker_index: dict[tuple, object] = {}
+        for query in group.queries:
+            self._add_trackers(query)
+
+        self._heap: list[tuple[int, int, int, object]] = []
+        #: scan mode: cached earliest due punctuation time (may be early,
+        #: never late); None forces a rescan on the next event.
+        self._scan_next: int | None = None
+        self._seq = 0
+        self.open_windows: dict[int, WindowInstance] = {}
+        self._uid = 0
+        self.store = SliceStore()
+        self.current = Slice(index=0, start=0)
+        self.stream_time: int | None = None
+        self._bootstrapped = False
+        #: cumulative count of slices closed by this group (its local slice
+        #: ids in the decentralized protocol, Sec 5.1.1)
+        self.slice_seq = 0
+
+    # -- query lifecycle ------------------------------------------------------
+
+    def _add_trackers(self, query: Query) -> bool:
+        """Attach ``query`` to its (possibly shared) tracker.
+
+        Returns True when a new tracker was created; queries whose window
+        spec and selection context match an existing tracker simply
+        subscribe to it (window deduplication).
+        """
+        ctx = self.group.context_of[query.query_id]
+        key = (query.window, ctx)
+        existing = self._tracker_index.get(key)
+        if existing is not None:
+            existing.subscribe(query)
+            return False
+        kind = query.window.window_type
+        if query.window.measure is WindowMeasure.COUNT:
+            tracker = CountWindowTracker(query, ctx)
+            self.counts.append(tracker)
+        elif kind in (WindowType.TUMBLING, WindowType.SLIDING):
+            tracker = FixedWindowTracker(query, ctx)
+            self.fixed.append(tracker)
+        elif kind is WindowType.SESSION:
+            tracker = SessionWindowTracker(query, ctx)
+            self.sessions.append(tracker)
+        elif kind is WindowType.USER_DEFINED:
+            tracker = UserDefinedWindowTracker(query, ctx)
+            self.userdef.append(tracker)
+            self._userdef_closed.append(tracker)
+        else:  # pragma: no cover - enum is exhaustive
+            raise QueryError(f"unsupported window type: {kind!r}")
+        self._tracker_index[key] = tracker
+        return True
+
+    def add_query(self, query: Query) -> None:
+        """Attach a query at runtime (Sec 3.2); it joins at stream time.
+
+        A query matching an existing tracker subscribes to it and starts
+        receiving results from the next window that tracker opens.
+        """
+        self.needed[query.query_id] = required_kinds(query, self.group.operators)
+        created = self._add_trackers(query)
+        self._scan_next = None  # the new query may punctuate earlier
+        if created and self._bootstrapped:
+            tracker = self._tracker_of(query.query_id)
+            if isinstance(tracker, FixedWindowTracker):
+                start = tracker.bootstrap(self.stream_time or 0)
+                if self.mode == "heap":
+                    self._push(start, _SP_FIXED, tracker)
+
+    def remove_query(self, query_id: str, *, drain: bool = False) -> None:
+        """Detach a query (Sec 3.2).
+
+        With ``drain=False`` (remove "immediately") the query's open
+        windows are discarded too; with ``drain=True`` ("wait for the
+        last window to end") already-open windows still produce their
+        results, but no new windows include the query.
+
+        Stale heap punctuations for the query are ignored when they fire
+        (start punctuations check tracker membership, end punctuations
+        check the open-window table).
+        """
+        tracker = self._tracker_of(query_id)
+        if tracker.unsubscribe(query_id):
+            # Last subscriber gone: stop opening new windows entirely.
+            for bucket in (self.fixed, self.sessions, self.userdef, self.counts):
+                if tracker in bucket:
+                    bucket.remove(tracker)
+            if tracker in self._userdef_closed:
+                self._userdef_closed.remove(tracker)
+            self._tracker_index.pop((tracker.spec, tracker.ctx), None)
+        if drain:
+            # Open windows keep their subscriber snapshot; ``needed`` must
+            # outlive them for result finalization at close.
+            return
+        for window in list(self.open_windows.values()):
+            if not any(q.query_id == query_id for q in window.queries):
+                continue
+            window.queries = tuple(
+                q for q in window.queries if q.query_id != query_id
+            )
+            if not window.queries:
+                del self.open_windows[window.uid]
+                # Release slice references the discarded window still held.
+                self.store.release(window.first_slice, self.current.index - 1)
+        self.needed.pop(query_id, None)
+
+    def _tracker_of(self, query_id: str):
+        for bucket in (self.fixed, self.sessions, self.userdef, self.counts):
+            for tracker in bucket:
+                if tracker.serves(query_id):
+                    return tracker
+        raise QueryError(f"query {query_id!r} has no tracker in this group")
+
+    # -- punctuation heap -----------------------------------------------------
+
+    def _push(self, time: int, tag: int, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, tag, payload))
+
+    def _bootstrap(self, origin: int) -> None:
+        self._bootstrapped = True
+        self.current.start = origin
+        for tracker in self.fixed:
+            start = tracker.bootstrap(origin)
+            if self.mode == "heap":
+                self._push(start, _SP_FIXED, tracker)
+
+    # -- window lifecycle -----------------------------------------------------
+
+    def _open_window(
+        self, queries: tuple[Query, ...], ctx: int, start: int,
+        end: int | None, start_count: int = 0
+    ) -> WindowInstance:
+        self._uid += 1
+        window = WindowInstance(
+            uid=self._uid,
+            queries=queries,
+            ctx=ctx,
+            start=start,
+            end=end,
+            first_slice=self.current.index,
+            start_count=start_count,
+        )
+        self.open_windows[window.uid] = window
+        self.stats.windows_opened += 1
+        if len(self.open_windows) > self.stats.peak_open_windows:
+            self.stats.peak_open_windows = len(self.open_windows)
+        return window
+
+    def _close_window(self, window: WindowInstance, end: int, last_slice: int) -> None:
+        self.open_windows.pop(window.uid, None)
+        self.stats.windows_closed += 1
+        window.end = end
+        if not self.assemble:
+            self.store.release(window.first_slice, last_slice)
+            return
+        # Merge the union of the subscribers' operators once; finalize (and
+        # materialize a result) per subscribed query — the only per-query
+        # cost of a deduplicated window.
+        needed = self.needed
+        if len(window.queries) == 1:
+            kinds = needed[window.queries[0].query_id]
+        else:
+            union = set()
+            for query in window.queries:
+                union.update(needed[query.query_id])
+            kinds = tuple(kind for kind in self.operators if kind in union)
+        merged, events = self.store.merge_context_partials(
+            window.first_slice, last_slice, window.ctx, kinds, merge_many_partials
+        )
+        self.store.release(window.first_slice, last_slice)
+        if self.window_sink is not None:
+            self.window_sink(window, merged, events, end)
+            return
+        if events == 0 and not self.emit_empty:
+            return
+        emitted_at = self.stream_time if self.stream_time is not None else end
+        for query in window.queries:
+            value = finalize(query.function, merged)
+            self.stats.results += 1
+            self.sink.emit(
+                WindowResult(
+                    query_id=query.query_id,
+                    start=window.start,
+                    end=end,
+                    value=value,
+                    event_count=events,
+                    emitted_at=emitted_at,
+                )
+            )
+
+    # -- slice cutting --------------------------------------------------------
+
+    def _cut(self, time: int, eps: list, sps: list) -> None:
+        """Terminate the current slice and apply window transitions.
+
+        ``eps`` are ``(window, end_time)`` pairs closed by this cut; ``sps``
+        are deferred window-open thunks executed after the cut so the new
+        windows' first slice is the one opened here.
+        """
+        closing = self.current
+        closing.close(time)
+        self.stats.slices_closed += 1
+        self.slice_seq += 1
+        refcount = len(self.open_windows) if self.assemble else 0
+        if self.assemble:
+            self.store.add(closing, refcount)
+            if len(self.store) > self.stats.peak_live_slices:
+                self.stats.peak_live_slices = len(self.store)
+        if self.slice_sink is not None:
+            self.slice_sink(closing, eps, self._spans)
+            self._spans = {}
+        if self._dedup_seen:
+            self._dedup_seen = {}
+        self.current = Slice(index=closing.index + 1, start=time)
+        for window, end_time in eps:
+            if window.uid in self.open_windows:
+                self._close_window(window, end_time, closing.index)
+        for open_thunk in sps:
+            open_thunk()
+
+    # -- punctuation draining -------------------------------------------------
+
+    def _drain(self, now: int) -> None:
+        if self.mode == "heap":
+            self._drain_heap(now)
+        else:
+            self._drain_scan(now)
+
+    def _drain_heap(self, now: int) -> None:
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            time = heap[0][0]
+            eps: list = []
+            sps: list = []
+            while heap and heap[0][0] == time:
+                _, _, tag, payload = heapq.heappop(heap)
+                self._classify(time, tag, payload, eps, sps)
+            if eps or sps:
+                self._cut(time, eps, sps)
+
+    def _classify(self, time: int, tag: int, payload, eps: list, sps: list) -> None:
+        if tag == _EP:
+            window = payload
+            if window.uid in self.open_windows:
+                eps.append((window, time))
+            return
+        if tag == _SP_FIXED:
+            tracker = payload
+            if tracker in self.fixed:  # ignore punctuations of removed queries
+                sps.append(self._make_fixed_opener(tracker, time))
+            return
+        if tag == _SESSION_EP:
+            tracker, generation = payload
+            tracker.armed = False
+            if tracker.window is None:
+                return
+            if tracker.generation == generation:
+                eps.append((tracker.window, time))
+                tracker.window = None
+            else:
+                # Stale: newer events extended the session; re-arm lazily.
+                tracker.armed = True
+                self._push(
+                    tracker.tentative_end,
+                    _SESSION_EP,
+                    (tracker, tracker.generation),
+                )
+            return
+        raise EngineError(f"unknown punctuation tag: {tag!r}")
+
+    def _make_fixed_opener(self, tracker: FixedWindowTracker, time: int):
+        def open_fixed() -> None:
+            window = self._open_window(
+                tracker.snapshot(), tracker.ctx, time, time + tracker.length
+            )
+            if self.mode == "heap":
+                self._push(window.end, _EP, window)
+                self._push(tracker.advance(), _SP_FIXED, tracker)
+            else:
+                tracker.advance()
+
+        return open_fixed
+
+    def _drain_scan(self, now: int) -> None:
+        """The baselines' punctuation path: a per-event due-time check with
+        a full tracker scan only when a punctuation is actually due."""
+        if self._scan_next is not None and now < self._scan_next:
+            return
+        while True:
+            due_time: int | None = None
+            for tracker in self.fixed:
+                if tracker.next_start is not None:
+                    if due_time is None or tracker.next_start < due_time:
+                        due_time = tracker.next_start
+            for window in self.open_windows.values():
+                if window.end is not None:
+                    if due_time is None or window.end < due_time:
+                        due_time = window.end
+            for tracker in self.sessions:
+                if tracker.window is not None:
+                    if due_time is None or tracker.tentative_end < due_time:
+                        due_time = tracker.tentative_end
+            if due_time is None or due_time > now:
+                self._scan_next = due_time
+                return
+            eps: list = []
+            sps: list = []
+            for window in list(self.open_windows.values()):
+                if window.end is not None and window.end == due_time:
+                    eps.append((window, due_time))
+            for tracker in self.sessions:
+                if (
+                    tracker.window is not None
+                    and tracker.window.uid in self.open_windows
+                    and tracker.tentative_end == due_time
+                ):
+                    if (tracker.window, due_time) not in eps:
+                        eps.append((tracker.window, due_time))
+                    tracker.window = None
+            for tracker in self.fixed:
+                if tracker.next_start == due_time:
+                    sps.append(self._make_fixed_opener(tracker, due_time))
+            self._cut(due_time, eps, sps)
+
+    # -- event processing -----------------------------------------------------
+
+    def process(self, event: Event) -> None:
+        time = event.time
+        if not self._bootstrapped:
+            self._bootstrap(time)
+        elif self.stream_time is not None and time < self.stream_time:
+            raise OutOfOrderError(
+                f"event at t={time} arrived after stream time {self.stream_time}"
+            )
+        self.stream_time = time
+        self._drain(time)
+
+        selections = self.selections
+        matched: list[int] = [
+            index
+            for index, selection in enumerate(selections)
+            if selection.matches(event)
+        ]
+        self.stats.selection_checks += len(selections)
+        if self._dedup_ctxs and matched:
+            matched = self._apply_dedup(event, matched)
+
+        # Pre-insert punctuations: windows that open with this event.
+        sps: list = []
+        if self.sessions or self.userdef or self.counts:
+            matched_set = set(matched)
+            for tracker in self.sessions:
+                if tracker.ctx in matched_set and tracker.window is None:
+                    sps.append(self._make_session_opener(tracker, time))
+            for tracker in self._userdef_closed:
+                if tracker.opens_at(event):
+                    sps.append(self._make_userdef_opener(tracker, time))
+            for tracker in self.counts:
+                if tracker.ctx in matched_set and tracker.opens_now():
+                    sps.append(self._make_count_opener(tracker, time))
+        if sps:
+            self._cut(time, [], sps)
+
+        if matched:
+            current = self.current
+            operators = self.operators
+            for ctx in matched:
+                current.insert(ctx, event.value, operators)
+            self.stats.inserts += len(matched)
+            self.stats.calculations += len(matched) * len(operators)
+            if self.track_spans:
+                spans = self._spans
+                for ctx in matched:
+                    span = spans.get(ctx)
+                    if span is None:
+                        spans[ctx] = [time, time]
+                    else:
+                        span[1] = time
+
+        # Post-insert punctuations: windows that close with this event.
+        eps: list = []
+        if self.sessions or self.userdef or self.counts:
+            matched_set = set(matched)
+            for tracker in self.sessions:
+                if tracker.ctx in matched_set and tracker.window is not None:
+                    tracker.touch(time)
+                    if self.mode == "heap":
+                        if not tracker.armed:
+                            tracker.armed = True
+                            self._push(
+                                tracker.tentative_end,
+                                _SESSION_EP,
+                                (tracker, tracker.generation),
+                            )
+                    elif (
+                        self._scan_next is None
+                        or tracker.tentative_end < self._scan_next
+                    ):
+                        # The session end may now be the earliest punctuation.
+                        self._scan_next = tracker.tentative_end
+            for tracker in self.counts:
+                if tracker.ctx in matched_set:
+                    for window in tracker.record():
+                        eps.append((window, time))
+            if event.marker is not None:
+                for tracker in self.userdef:
+                    if tracker.closes_at(event):
+                        eps.append((tracker.window, time))
+                        tracker.window = None
+                        self._userdef_closed.append(tracker)
+        if eps:
+            self._cut(time, eps, [])
+
+    def _apply_dedup(self, event: Event, matched: list[int]) -> list[int]:
+        """Drop deduplicating contexts that already saw this exact event
+        within the open slice (the deduplication operator, Sec 4.2.3)."""
+        kept: list[int] = []
+        signature = (event.time, event.key, event.value, event.marker)
+        for ctx in matched:
+            if ctx in self._dedup_ctxs:
+                seen = self._dedup_seen.get(ctx)
+                if seen is None:
+                    seen = self._dedup_seen[ctx] = set()
+                if signature in seen:
+                    self.stats.duplicates_dropped += 1
+                    continue
+                seen.add(signature)
+            kept.append(ctx)
+        return kept
+
+    def _make_session_opener(self, tracker: SessionWindowTracker, time: int):
+        def open_session() -> None:
+            window = self._open_window(tracker.snapshot(), tracker.ctx, time, None)
+            tracker.window = window
+
+        return open_session
+
+    def _make_userdef_opener(self, tracker: UserDefinedWindowTracker, time: int):
+        def open_userdef() -> None:
+            window = self._open_window(tracker.snapshot(), tracker.ctx, time, None)
+            tracker.window = window
+            if tracker in self._userdef_closed:
+                self._userdef_closed.remove(tracker)
+
+        return open_userdef
+
+    def _make_count_opener(self, tracker: CountWindowTracker, time: int):
+        def open_count() -> None:
+            window = self._open_window(
+                tracker.snapshot(), tracker.ctx, time, None, start_count=tracker.seen
+            )
+            tracker.open_windows.append(window)
+
+        return open_count
+
+    # -- progress and shutdown ------------------------------------------------
+
+    def advance(self, time: int) -> None:
+        """Apply a watermark: fire all punctuations up to ``time``."""
+        if not self._bootstrapped:
+            self._bootstrap(time)
+        if self.stream_time is not None and time < self.stream_time:
+            raise OutOfOrderError(
+                f"watermark {time} behind stream time {self.stream_time}"
+            )
+        self.stream_time = time
+        self._drain(time)
+
+    def close(self, at_time: int | None = None) -> None:
+        """End of stream: flush punctuations and force-close open windows.
+
+        Data-driven windows (session, user-defined, count) are closed at
+        the final stream time; fixed windows keep their declared ends but
+        contain only the observed prefix.
+        """
+        final = at_time if at_time is not None else (self.stream_time or 0)
+        self.advance(final)
+        if not self.open_windows:
+            return
+        eps = []
+        for window in list(self.open_windows.values()):
+            end = window.end if window.end is not None else final
+            eps.append((window, min(end, final) if window.end is None else end))
+        for tracker in self.sessions:
+            tracker.window = None
+        for tracker in self.userdef:
+            if tracker.window is not None:
+                tracker.window = None
+                self._userdef_closed.append(tracker)
+        for tracker in self.counts:
+            tracker.open_windows.clear()
+        self._cut(final, eps, [])
+
+
+class AggregationEngine:
+    """Multi-query window aggregation with cross-query sharing (Sec 4).
+
+    This is the centralized engine (and the per-node workhorse of the
+    decentralized clusters).  Construct it with the full query set; feed
+    events in timestamp order via :meth:`process`; results appear in
+    :attr:`sink`.
+
+    Args:
+        queries: the continuous queries to execute.
+        policy: how aggressively to share (Desis = ``FULL``).
+        punctuation_mode: ``"heap"`` (Desis) or ``"scan"`` (baseline cost
+            model); see the module docstring.
+        emit_empty: also emit results for windows without matching events.
+        sink: custom result sink (default: an in-memory :class:`ResultSink`).
+    """
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        *,
+        policy: SharingPolicy = SharingPolicy.FULL,
+        punctuation_mode: str = "heap",
+        emit_empty: bool = False,
+        sink: ResultSink | None = None,
+        plan: QueryPlan | None = None,
+    ) -> None:
+        self.sink = sink if sink is not None else ResultSink()
+        self.stats = EngineStats()
+        self.plan = plan if plan is not None else analyze(queries, policy=policy)
+        self.policy = self.plan.policy
+        self.groups: list[GroupRuntime] = [
+            GroupRuntime(
+                group,
+                self.sink,
+                self.stats,
+                punctuation_mode=punctuation_mode,
+                emit_empty=emit_empty,
+            )
+            for group in self.plan.groups
+        ]
+        self._closed = False
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    def process(self, event: Event) -> None:
+        """Process one event (events must arrive in timestamp order)."""
+        self.stats.events += 1
+        for group in self.groups:
+            group.process(event)
+
+    def process_many(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.process(event)
+
+    def advance(self, time: int) -> None:
+        """Apply a watermark to every group."""
+        for group in self.groups:
+            group.advance(time)
+
+    def close(self, at_time: int | None = None) -> ResultSink:
+        """Flush everything and return the result sink."""
+        if self._closed:
+            raise EngineError("engine already closed")
+        self._closed = True
+        for group in self.groups:
+            group.close(at_time)
+        return self.sink
+
+    # -- runtime query management (Sec 3.2) ------------------------------------
+
+    def remove_query(self, query_id: str, *, drain: bool = False) -> None:
+        """Remove a running query (Sec 3.2).
+
+        ``drain=False`` removes it immediately, discarding open windows;
+        ``drain=True`` lets already-open windows finish first.
+        """
+        group = self.plan.group_of(query_id)
+        runtime = self.groups[group.group_id]
+        runtime.remove_query(query_id, drain=drain)
+        group.remove_query(query_id)
+
+    def add_query(self, query: Query) -> None:
+        """Attach a new query at runtime (Sec 3.2).
+
+        The query joins an existing compatible group (or a new group) and
+        starts windowing at the current stream time.  Operators already
+        planned for running groups are never dropped, so open windows keep
+        the partials they rely on.
+        """
+        from repro.core.analyzer import QueryGroup, _policy_key
+        from repro.core.predicates import compatible as _compatible
+
+        if any(q.query_id == query.query_id for q in self.plan.queries):
+            raise QueryError(f"duplicate query id: {query.query_id!r}")
+        key = _policy_key(query, self.policy)
+        target: GroupRuntime | None = None
+        for runtime in self.groups:
+            group = runtime.group
+            if not group.queries:
+                continue
+            if _policy_key(group.queries[0], self.policy) != key:
+                continue
+            if all(_compatible(query.selection, sel) for sel in group.selections):
+                target = runtime
+                break
+        if target is None:
+            group = QueryGroup(group_id=len(self.plan.groups))
+            self.plan.groups.append(group)
+            group._admit(query)
+            group._replan()
+            target = GroupRuntime(
+                group,
+                self.sink,
+                self.stats,
+                punctuation_mode=self.groups[0].mode if self.groups else "heap",
+            )
+            self.groups.append(target)
+            return
+        group = target.group
+        # Cut the open slice so new selections/operators apply cleanly from
+        # here; historical slices are only read by pre-existing windows.
+        if target._bootstrapped and target.stream_time is not None:
+            target._cut(target.stream_time, [], [])
+        group._admit(query)
+        new_ops = plan_operators_keeping(group, target.operators)
+        group.operators = new_ops
+        target.operators = new_ops
+        target.selections = list(group.selections)
+        target.needed = {
+            q.query_id: required_kinds(q, new_ops) for q in group.queries
+        }
+        target.add_query(query)
+
+
+def plan_operators_keeping(group, existing: tuple) -> tuple:
+    """Replan a running group's operators without dropping any in use."""
+    from repro.core.functions import plan_operators
+
+    fresh = plan_operators(q.function for q in group.queries)
+    merged = list(existing)
+    for kind in fresh:
+        if kind not in merged:
+            merged.append(kind)
+    return tuple(merged)

@@ -1,0 +1,75 @@
+"""Event and watermark records.
+
+Events mirror the four fields of the paper's data generator (Sec 6.1.2):
+``time``, ``key``, ``value``, and ``event`` (a user-defined window marker,
+called ``marker`` here to avoid clashing with the class name).
+
+Timestamps are integers in milliseconds of event time.  All engines in this
+package consume streams ordered by ``time``; helpers below validate and merge
+ordered streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.errors import OutOfOrderError
+
+__all__ = ["Event", "Watermark", "ensure_ordered", "merge_streams"]
+
+
+@dataclass(slots=True, frozen=True)
+class Event:
+    """A single stream event.
+
+    Attributes:
+        time: event timestamp in milliseconds (event time).
+        key: the event's key, e.g. a sensor or player id.
+        value: the numeric payload that aggregation functions consume.
+        marker: optional user-defined window marker (e.g. ``"trip_end"``);
+            ``None`` for ordinary events.
+    """
+
+    time: int
+    key: str
+    value: float
+    marker: str | None = None
+
+
+@dataclass(slots=True, frozen=True)
+class Watermark:
+    """A progress marker: no event with ``time < self.time`` will follow.
+
+    Watermarks let the root node terminate session and user-defined windows
+    whose ends would otherwise wait for the next event (Sec 5.1.2).
+    """
+
+    time: int
+
+
+def ensure_ordered(events: Iterable[Event]) -> Iterator[Event]:
+    """Yield ``events`` unchanged, raising :class:`OutOfOrderError` on regress.
+
+    The check is per-stream and inclusive: equal timestamps are allowed,
+    strictly decreasing ones are not.
+    """
+    last = None
+    for event in events:
+        if last is not None and event.time < last:
+            raise OutOfOrderError(
+                f"event at t={event.time} arrived after stream time {last}"
+            )
+        last = event.time
+        yield event
+
+
+def merge_streams(*streams: Iterable[Event]) -> Iterator[Event]:
+    """Merge several time-ordered streams into one time-ordered stream.
+
+    This models the event order a centralized root observes when every local
+    node forwards its stream.  Ties are broken by stream index so the merge
+    is deterministic.
+    """
+    return heapq.merge(*streams, key=lambda event: event.time)

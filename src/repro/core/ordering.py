@@ -1,0 +1,132 @@
+"""Bounded out-of-order tolerance.
+
+The engines in this package consume in-order streams (the evaluation's
+generators are in-order, Sec 6.1.2).  Real decentralized sources can be
+slightly disordered, so this module provides the standard front-end: a
+:class:`ReorderBuffer` holds events for a bounded *lateness* and releases
+them in timestamp order once the stream's high-water mark has passed them,
+and :class:`ReorderingProcessor` wraps any
+:class:`~repro.baselines.api.StreamProcessor` with one.
+
+Events later than the bound are counted and dropped (or raise, if
+configured) — the same contract watermark-based SPEs offer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.baselines.api import StreamProcessor
+from repro.core.errors import OutOfOrderError, ReproError
+from repro.core.event import Event
+from repro.core.results import ResultSink
+
+__all__ = ["ReorderBuffer", "ReorderingProcessor"]
+
+
+class ReorderBuffer:
+    """Releases buffered events in timestamp order under bounded lateness.
+
+    An event is *safe* to release once ``high_water - max_lateness`` has
+    passed its timestamp: no event older than that may still arrive (by
+    the lateness contract).  ``push`` returns the newly safe events, in
+    order; ``flush`` drains the rest at end of stream.
+    """
+
+    def __init__(self, max_lateness: int, *, on_late: str = "drop") -> None:
+        if max_lateness < 0:
+            raise ReproError("max_lateness must be non-negative")
+        if on_late not in ("drop", "raise"):
+            raise ReproError(f"unknown on_late policy: {on_late!r}")
+        self.max_lateness = max_lateness
+        self.on_late = on_late
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = 0
+        self.high_water: int | None = None
+        #: timestamps strictly below this boundary have been released and
+        #: may no longer arrive
+        self.safe_to: int | None = None
+        self.late_dropped = 0
+
+    def push(self, event: Event) -> list[Event]:
+        """Insert one event; return the events that are now safe, in order."""
+        if self.safe_to is not None and event.time < self.safe_to:
+            if self.on_late == "raise":
+                raise OutOfOrderError(
+                    f"event at t={event.time} is later than the allowed "
+                    f"lateness (safe boundary is {self.safe_to})"
+                )
+            self.late_dropped += 1
+            return []
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, self._seq, event))
+        if self.high_water is None or event.time > self.high_water:
+            self.high_water = event.time
+        return self._release(self.high_water - self.max_lateness)
+
+    def _release(self, up_to: int) -> list[Event]:
+        if self.safe_to is None or up_to > self.safe_to:
+            self.safe_to = up_to
+        released = []
+        while self._heap and self._heap[0][0] <= up_to:
+            released.append(heapq.heappop(self._heap)[2])
+        return released
+
+    def flush(self) -> list[Event]:
+        """Drain every buffered event in order (end of stream)."""
+        released = [heapq.heappop(self._heap)[2] for _ in range(len(self._heap))]
+        if released and (self.safe_to is None or released[-1].time > self.safe_to):
+            self.safe_to = released[-1].time
+        return released
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class ReorderingProcessor:
+    """Any stream processor, fed through a :class:`ReorderBuffer`.
+
+    Satisfies the same driving protocol, so the whole benchmark harness
+    works on disordered streams::
+
+        processor = ReorderingProcessor(DesisProcessor(queries),
+                                        max_lateness=500)
+    """
+
+    def __init__(self, inner: StreamProcessor, max_lateness: int,
+                 *, on_late: str = "drop") -> None:
+        self.inner = inner
+        self.buffer = ReorderBuffer(max_lateness, on_late=on_late)
+        self.name = f"{inner.name}+reorder"
+
+    @property
+    def sink(self) -> ResultSink:
+        return self.inner.sink
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def late_dropped(self) -> int:
+        return self.buffer.late_dropped
+
+    def process(self, event: Event) -> None:
+        for ready in self.buffer.push(event):
+            self.inner.process(ready)
+
+    def process_many(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.process(event)
+
+    def advance(self, time: int) -> None:
+        """A watermark promises no events before ``time`` will arrive."""
+        for ready in self.buffer._release(time):
+            self.inner.process(ready)
+        self.inner.advance(time)
+
+    def close(self, at_time: int | None = None) -> ResultSink:
+        for ready in self.buffer.flush():
+            self.inner.process(ready)
+        return self.inner.close(at_time)

@@ -1,0 +1,180 @@
+"""Query and window specifications.
+
+A :class:`Query` is a continuous windowed aggregation: *window spec* (type,
+measure, extent), *aggregation function*, and *selection predicate*.  This is
+the unit users submit through the interface and the query analyzer groups
+into query-groups (Sec 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import QueryError
+from repro.core.functions import FunctionSpec, is_decomposable
+from repro.core.predicates import Selection
+from repro.core.types import AggFunction, WindowMeasure, WindowType
+
+__all__ = ["WindowSpec", "Query"]
+
+
+@dataclass(slots=True, frozen=True)
+class WindowSpec:
+    """How windows of one query start and end (Sec 2.1).
+
+    Attributes:
+        window_type: tumbling, sliding, session, or user-defined.
+        measure: whether ``length``/``slide`` are milliseconds (``TIME``)
+            or event counts (``COUNT``).
+        length: window extent for tumbling and sliding windows.
+        slide: distance between consecutive sliding-window starts.
+        gap: inactivity gap ending a session window (always time-based).
+        start_marker: user-defined windows open at events carrying this
+            marker; when ``None``, a new window opens right after the
+            previous one ends (back-to-back windows, e.g. car trips).
+        end_marker: user-defined windows close after an event carrying
+            this marker.
+    """
+
+    window_type: WindowType
+    measure: WindowMeasure = WindowMeasure.TIME
+    length: int | None = None
+    slide: int | None = None
+    gap: int | None = None
+    start_marker: str | None = None
+    end_marker: str | None = None
+
+    def __post_init__(self) -> None:
+        kind = self.window_type
+        if kind in (WindowType.TUMBLING, WindowType.SLIDING):
+            if self.length is None or self.length <= 0:
+                raise QueryError(f"{kind.value} window needs a positive length")
+            if self.gap is not None or self.end_marker is not None:
+                raise QueryError(f"{kind.value} window takes no gap or markers")
+        if kind is WindowType.TUMBLING and self.slide is not None:
+            raise QueryError("tumbling window takes no slide (use SLIDING)")
+        if kind is WindowType.SLIDING and (self.slide is None or self.slide <= 0):
+            raise QueryError("sliding window needs a positive slide")
+        if kind is WindowType.SESSION:
+            if self.gap is None or self.gap <= 0:
+                raise QueryError("session window needs a positive gap")
+            if self.measure is not WindowMeasure.TIME:
+                raise QueryError("session windows are time-based")
+            if self.length is not None or self.slide is not None:
+                raise QueryError("session window takes no length or slide")
+        if kind is WindowType.USER_DEFINED:
+            if self.end_marker is None:
+                raise QueryError("user-defined window needs an end_marker")
+            if self.measure is not WindowMeasure.TIME:
+                raise QueryError("user-defined windows are time-based")
+            if self.length is not None or self.slide is not None:
+                raise QueryError("user-defined window takes no length or slide")
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def tumbling(
+        cls, length: int, measure: WindowMeasure = WindowMeasure.TIME
+    ) -> "WindowSpec":
+        """A tumbling window of ``length`` ms (or events for COUNT measure)."""
+        return cls(WindowType.TUMBLING, measure=measure, length=length)
+
+    @classmethod
+    def sliding(
+        cls, length: int, slide: int, measure: WindowMeasure = WindowMeasure.TIME
+    ) -> "WindowSpec":
+        """A sliding window of ``length`` advancing every ``slide``."""
+        return cls(WindowType.SLIDING, measure=measure, length=length, slide=slide)
+
+    @classmethod
+    def session(cls, gap: int) -> "WindowSpec":
+        """A session window closed by ``gap`` ms of inactivity."""
+        return cls(WindowType.SESSION, gap=gap)
+
+    @classmethod
+    def user_defined(
+        cls, end_marker: str, start_marker: str | None = None
+    ) -> "WindowSpec":
+        """A user-defined window delimited by marker events."""
+        return cls(
+            WindowType.USER_DEFINED,
+            start_marker=start_marker,
+            end_marker=end_marker,
+        )
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_fixed_size(self) -> bool:
+        """Fixed-size windows have punctuations computable in advance."""
+        return self.window_type in (WindowType.TUMBLING, WindowType.SLIDING)
+
+    @property
+    def effective_slide(self) -> int:
+        """Distance between window starts for fixed-size windows."""
+        if self.window_type is WindowType.TUMBLING:
+            assert self.length is not None
+            return self.length
+        if self.window_type is WindowType.SLIDING:
+            assert self.slide is not None
+            return self.slide
+        raise QueryError(f"{self.window_type.value} windows have no fixed slide")
+
+    def __str__(self) -> str:
+        kind = self.window_type
+        if kind is WindowType.TUMBLING:
+            return f"tumbling({self.length}, {self.measure.value})"
+        if kind is WindowType.SLIDING:
+            return f"sliding({self.length}/{self.slide}, {self.measure.value})"
+        if kind is WindowType.SESSION:
+            return f"session(gap={self.gap})"
+        return f"user_defined({self.start_marker!r}..{self.end_marker!r})"
+
+
+@dataclass(slots=True, frozen=True)
+class Query:
+    """A continuous windowed aggregation query.
+
+    Attributes:
+        query_id: unique id used to address the query at runtime (Sec 3.2).
+        window: the window specification.
+        function: the aggregation function.
+        selection: the selection predicate (defaults to pass-all).
+    """
+
+    query_id: str
+    window: WindowSpec
+    function: FunctionSpec
+    selection: Selection = field(default_factory=Selection)
+
+    @property
+    def is_decomposable(self) -> bool:
+        return is_decomposable(self.function)
+
+    @property
+    def is_count_based(self) -> bool:
+        return self.window.measure is WindowMeasure.COUNT
+
+    @classmethod
+    def of(
+        cls,
+        query_id: str,
+        window: WindowSpec,
+        fn: AggFunction,
+        *,
+        quantile: float | None = None,
+        selection: Selection | None = None,
+    ) -> "Query":
+        """Shorthand constructor building the :class:`FunctionSpec` inline."""
+        return cls(
+            query_id=query_id,
+            window=window,
+            function=FunctionSpec(fn, quantile),
+            selection=selection if selection is not None else Selection(),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.query_id}: {self.function} over {self.window} "
+            f"where {self.selection}"
+        )

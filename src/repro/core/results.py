@@ -1,0 +1,67 @@
+"""Window result records and sinks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["WindowResult", "ResultSink"]
+
+
+@dataclass(slots=True, frozen=True)
+class WindowResult:
+    """The final aggregate of one window of one query.
+
+    Attributes:
+        query_id: the query this window belongs to.
+        start: window start (ms, inclusive).
+        end: window end (ms; exclusive for time-based windows, the time of
+            the last contained event for count/user-defined windows).
+        value: the aggregation result; ``None`` when the function is
+            undefined on an empty window (e.g. average of nothing).
+        event_count: number of events that matched the query's selection
+            within the window.
+        emitted_at: stream time at which the result was produced; in the
+            decentralized setting this is simulated network time, so
+            ``emitted_at - end`` is the event-time result latency.
+    """
+
+    query_id: str
+    start: int
+    end: int
+    value: float | int | None
+    event_count: int = 0
+    emitted_at: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.query_id}[{self.start}..{self.end})="
+            f"{self.value!r} (n={self.event_count})"
+        )
+
+
+@dataclass(slots=True)
+class ResultSink:
+    """Collects window results; the default sink used by engines and nodes.
+
+    Benchmarks that only need counts can set ``keep=False`` to avoid
+    accumulating millions of result records.
+    """
+
+    keep: bool = True
+    results: list[WindowResult] = field(default_factory=list)
+    count: int = 0
+
+    def emit(self, result: WindowResult) -> None:
+        self.count += 1
+        if self.keep:
+            self.results.append(result)
+
+    def __iter__(self) -> Iterator[WindowResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def for_query(self, query_id: str) -> list[WindowResult]:
+        return [r for r in self.results if r.query_id == query_id]

@@ -1,0 +1,79 @@
+"""Dict (de)serialization of query specifications.
+
+Used by the message manager to broadcast *window attributes* (queries and
+query-groups) from the root node to all other nodes (Sec 3.1), and handy
+for persisting workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.errors import QueryError
+from repro.core.functions import FunctionSpec
+from repro.core.predicates import Selection
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, WindowMeasure, WindowType
+
+__all__ = ["query_to_dict", "query_from_dict"]
+
+
+def query_to_dict(query: Query) -> dict[str, Any]:
+    """A JSON-compatible representation of ``query``."""
+    window = query.window
+    return {
+        "query_id": query.query_id,
+        "window": {
+            "type": window.window_type.value,
+            "measure": window.measure.value,
+            "length": window.length,
+            "slide": window.slide,
+            "gap": window.gap,
+            "start_marker": window.start_marker,
+            "end_marker": window.end_marker,
+        },
+        "function": {
+            "fn": query.function.fn.value,
+            "quantile": query.function.quantile,
+        },
+        "selection": {
+            "key": query.selection.key,
+            "lo": query.selection.lo,
+            "hi": query.selection.hi,
+            "deduplicate": query.selection.deduplicate,
+        },
+    }
+
+
+def query_from_dict(data: Mapping[str, Any]) -> Query:
+    """Inverse of :func:`query_to_dict`."""
+    try:
+        window_data = data["window"]
+        window = WindowSpec(
+            window_type=WindowType(window_data["type"]),
+            measure=WindowMeasure(window_data["measure"]),
+            length=window_data.get("length"),
+            slide=window_data.get("slide"),
+            gap=window_data.get("gap"),
+            start_marker=window_data.get("start_marker"),
+            end_marker=window_data.get("end_marker"),
+        )
+        function_data = data["function"]
+        function = FunctionSpec(
+            AggFunction(function_data["fn"]), function_data.get("quantile")
+        )
+        selection_data = data.get("selection", {})
+        selection = Selection(
+            key=selection_data.get("key"),
+            lo=selection_data.get("lo"),
+            hi=selection_data.get("hi"),
+            deduplicate=selection_data.get("deduplicate", False),
+        )
+        return Query(
+            query_id=data["query_id"],
+            window=window,
+            function=function,
+            selection=selection,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise QueryError(f"malformed query dict: {exc}") from exc

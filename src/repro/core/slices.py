@@ -1,0 +1,163 @@
+"""Slices and the slice store (Sec 4.1).
+
+A :class:`Slice` is the stretch of stream between two consecutive
+punctuations of a query-group.  While open, it holds one mutable
+:class:`~repro.core.operators.OperatorSetState` per selection context that
+received events; closing it freezes those states into partial results.
+
+The :class:`SliceStore` keeps closed slices alive exactly as long as some
+open window still needs them: each closed slice carries a reference count
+equal to the number of windows that were open when it closed, and windows
+decrement the counts of their covered slices when they end.  Slices are
+garbage-collected from the front once their count reaches zero, bounding
+memory by the span of the longest open window — the memory behaviour
+Section 2.3 motivates slicing with.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.core.errors import EngineError
+from repro.core.operators import OperatorSetState
+from repro.core.types import OperatorKind
+
+__all__ = ["Slice", "SliceStore"]
+
+#: A frozen slice's payload: context index -> operator kind -> partial.
+Partials = dict[int, dict[OperatorKind, Any]]
+
+
+class Slice:
+    """One slice of the stream for one query-group."""
+
+    __slots__ = (
+        "index",
+        "start",
+        "end",
+        "contexts",
+        "partials",
+        "insert_counts",
+        "refcount",
+        "closed",
+    )
+
+    def __init__(self, index: int, start: int) -> None:
+        self.index = index
+        self.start = start
+        self.end: int | None = None
+        #: open state: context index -> operator states (created lazily)
+        self.contexts: dict[int, OperatorSetState] = {}
+        #: closed state: context index -> operator kind -> partial result
+        self.partials: Partials = {}
+        #: context index -> number of events inserted
+        self.insert_counts: dict[int, int] = {}
+        self.refcount = 0
+        self.closed = False
+
+    def insert(self, ctx: int, value: float, kinds: Sequence[OperatorKind]) -> None:
+        """Apply one event's value to context ``ctx``'s shared operators."""
+        state = self.contexts.get(ctx)
+        if state is None:
+            state = OperatorSetState(kinds)
+            self.contexts[ctx] = state
+        state.insert(value)
+
+    def close(self, end: int) -> None:
+        """Freeze the slice: compute partial results for every context."""
+        if self.closed:
+            raise EngineError(f"slice {self.index} closed twice")
+        self.end = end
+        for ctx, state in self.contexts.items():
+            self.partials[ctx] = state.partials()
+            self.insert_counts[ctx] = state.inserts
+        self.contexts.clear()
+        self.closed = True
+
+    @property
+    def total_inserts(self) -> int:
+        return sum(self.insert_counts.values())
+
+    def __repr__(self) -> str:
+        status = "closed" if self.closed else "open"
+        return f"Slice(#{self.index} [{self.start}..{self.end}) {status})"
+
+
+class SliceStore:
+    """Closed slices of one query-group, reference-counted by open windows."""
+
+    __slots__ = ("_slices", "freed")
+
+    def __init__(self) -> None:
+        self._slices: OrderedDict[int, Slice] = OrderedDict()
+        self.freed = 0
+
+    def add(self, slice_: Slice, refcount: int) -> None:
+        if not slice_.closed:
+            raise EngineError("only closed slices can be stored")
+        slice_.refcount = refcount
+        if refcount == 0:
+            # No open window covers the slice; it can be dropped immediately
+            # (this happens between windows of non-overlapping queries).
+            self.freed += 1
+            return
+        self._slices[slice_.index] = slice_
+
+    def get(self, index: int) -> Slice | None:
+        return self._slices.get(index)
+
+    def covered(self, first: int, last: int) -> Iterator[Slice]:
+        """Yield stored slices with ``first <= index <= last`` in order."""
+        for index in range(first, last + 1):
+            slice_ = self._slices.get(index)
+            if slice_ is not None:
+                yield slice_
+
+    def release(self, first: int, last: int) -> None:
+        """A window covering slices ``first..last`` ended: drop references."""
+        for index in range(first, last + 1):
+            slice_ = self._slices.get(index)
+            if slice_ is not None:
+                slice_.refcount -= 1
+        self._gc()
+
+    def _gc(self) -> None:
+        while self._slices:
+            index, slice_ = next(iter(self._slices.items()))
+            if slice_.refcount > 0:
+                break
+            del self._slices[index]
+            self.freed += 1
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    def merge_context_partials(
+        self,
+        first: int,
+        last: int,
+        ctx: int,
+        kinds: Iterable[OperatorKind],
+        merge: Callable[[OperatorKind, Iterable[Any]], Any],
+    ) -> tuple[dict[OperatorKind, Any], int]:
+        """Merge context ``ctx``'s partials across slices ``first..last``.
+
+        Returns the merged per-kind partials and the total event count.
+        Slices without activity for the context contribute nothing (their
+        partials are the operator identities).
+        """
+        collected: dict[OperatorKind, list[Any]] = {kind: [] for kind in kinds}
+        events = 0
+        for slice_ in self.covered(first, last):
+            parts = slice_.partials.get(ctx)
+            if parts is None:
+                continue
+            events += slice_.insert_counts.get(ctx, 0)
+            for kind, bucket in collected.items():
+                if kind in parts:
+                    bucket.append(parts[kind])
+        merged = {
+            kind: merge(kind, bucket) for kind, bucket in collected.items() if bucket
+        }
+        return merged, events

@@ -1,0 +1,15 @@
+"""Workload generators (Sec 6.1.2): events, synthetic DEBS data, queries."""
+
+from repro.datagen.debs import DebsConfig, DebsGenerator
+from repro.datagen.events import DataGenerator, DataGeneratorConfig, zipf_weights
+from repro.datagen.queries import QueryGenerator, QueryGeneratorConfig
+
+__all__ = [
+    "DataGenerator",
+    "DataGeneratorConfig",
+    "DebsConfig",
+    "DebsGenerator",
+    "QueryGenerator",
+    "QueryGeneratorConfig",
+    "zipf_weights",
+]

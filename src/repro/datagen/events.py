@@ -1,0 +1,149 @@
+"""The data generator (Sec 6.1.2).
+
+Mirrors the paper's generator: every event has ``time``, ``key``,
+``value``, and ``event`` (marker) fields, and the generator is configured
+with the key distribution, value source, the frequency of user-defined
+events, and session gaps.  Deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import ReproError
+from repro.core.event import Event
+
+__all__ = ["DataGeneratorConfig", "DataGenerator", "zipf_weights"]
+
+
+def zipf_weights(n: int, skew: float = 1.0) -> list[float]:
+    """Zipfian key weights: weight of rank ``r`` is ``1 / r**skew``."""
+    if n < 1:
+        raise ReproError("need at least one key")
+    return [1.0 / (rank**skew) for rank in range(1, n + 1)]
+
+
+@dataclass(slots=True)
+class DataGeneratorConfig:
+    """Knobs of the event generator.
+
+    Attributes:
+        keys: the distinct event keys.
+        key_weights: relative key frequencies (uniform when ``None``).
+        rate: mean events per second of event time.
+        value_lo / value_hi: uniform value range.
+        marker: user-defined window end marker attached at
+            ``marker_every_ms`` intervals (``None`` disables markers).
+        gap_every_ms / gap_ms: inject a stream pause of ``gap_ms`` every
+            ``gap_every_ms`` of event time (drives session windows).
+        jitter: inter-arrival randomness; 0 = perfectly periodic.
+        start: timestamp of the first event (>= cluster origin).
+    """
+
+    keys: tuple[str, ...] = ("k0",)
+    key_weights: tuple[float, ...] | None = None
+    rate: float = 1_000.0
+    value_lo: float = 0.0
+    value_hi: float = 100.0
+    marker: str | None = None
+    marker_every_ms: int = 1_000
+    gap_every_ms: int | None = None
+    gap_ms: int = 5_000
+    jitter: float = 0.5
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ReproError("rate must be positive")
+        if not self.keys:
+            raise ReproError("need at least one key")
+        if self.key_weights is not None and len(self.key_weights) != len(self.keys):
+            raise ReproError("key_weights must match keys")
+        if self.value_lo >= self.value_hi:
+            raise ReproError("empty value range")
+
+
+class DataGenerator:
+    """Deterministic event stream generator."""
+
+    def __init__(self, config: DataGeneratorConfig, *, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+
+    def events(self, n: int) -> Iterator[Event]:
+        """Yield ``n`` in-order events."""
+        cfg = self.config
+        rng = random.Random(self.seed)
+        step = 1_000.0 / cfg.rate  # ms between events
+        keys = cfg.keys
+        weights = list(cfg.key_weights) if cfg.key_weights is not None else None
+        cumulative = None
+        if weights is not None:
+            total = sum(weights)
+            acc = 0.0
+            cumulative = []
+            for w in weights:
+                acc += w / total
+                cumulative.append(acc)
+        clock = float(cfg.start)
+        next_marker = cfg.start + cfg.marker_every_ms
+        next_gap = (
+            cfg.start + cfg.gap_every_ms if cfg.gap_every_ms is not None else None
+        )
+        for _ in range(n):
+            if cfg.jitter > 0.0:
+                clock += step * (1.0 + cfg.jitter * (2.0 * rng.random() - 1.0))
+            else:
+                clock += step
+            if next_gap is not None and clock >= next_gap:
+                clock += cfg.gap_ms
+                next_gap = clock + cfg.gap_every_ms
+            time = int(clock)
+            if cumulative is None:
+                key = keys[rng.randrange(len(keys))]
+            else:
+                pick = rng.random()
+                index = 0
+                while cumulative[index] < pick:
+                    index += 1
+                key = keys[index]
+            marker = None
+            if cfg.marker is not None and time >= next_marker:
+                marker = cfg.marker
+                next_marker = time + cfg.marker_every_ms
+            yield Event(
+                time=time,
+                key=key,
+                value=rng.uniform(cfg.value_lo, cfg.value_hi),
+                marker=marker,
+            )
+
+    def streams(self, n_nodes: int, events_per_node: int) -> dict[str, list[Event]]:
+        """Per-local-node streams (``local-0`` .. ``local-{n-1}``).
+
+        Each node reads from a different position of the underlying data
+        (a different seed) — the paper's "generators read from different
+        positions in the data set".  Node index ``i`` offsets timestamps
+        by ``i`` ms so cross-node timestamps rarely collide.
+        """
+        streams = {}
+        for i in range(n_nodes):
+            cfg = self.config
+            shifted = DataGeneratorConfig(
+                keys=cfg.keys,
+                key_weights=cfg.key_weights,
+                rate=cfg.rate,
+                value_lo=cfg.value_lo,
+                value_hi=cfg.value_hi,
+                marker=cfg.marker,
+                marker_every_ms=cfg.marker_every_ms,
+                gap_every_ms=cfg.gap_every_ms,
+                gap_ms=cfg.gap_ms,
+                jitter=cfg.jitter,
+                start=cfg.start + i,
+            )
+            generator = DataGenerator(shifted, seed=self.seed + 7_919 * (i + 1))
+            streams[f"local-{i}"] = list(generator.events(events_per_node))
+        return streams

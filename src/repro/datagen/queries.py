@@ -1,0 +1,127 @@
+"""The query generator (Sec 6.1.2).
+
+Produces arbitrary query mixes over configured distributions of keys,
+window types, measures, aggregation functions, and window lengths —
+the knob set the paper's evaluation sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+from repro.core.functions import FunctionSpec
+from repro.core.predicates import Selection
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, WindowMeasure, WindowType
+
+__all__ = ["QueryGeneratorConfig", "QueryGenerator"]
+
+#: Functions safe on arbitrary real-valued streams (product/geomean need
+#: value-range care and are opt-in).
+_DEFAULT_FUNCTIONS = (
+    AggFunction.SUM,
+    AggFunction.COUNT,
+    AggFunction.AVERAGE,
+    AggFunction.MIN,
+    AggFunction.MAX,
+    AggFunction.MEDIAN,
+    AggFunction.QUANTILE,
+)
+
+
+@dataclass(slots=True)
+class QueryGeneratorConfig:
+    """Distributions the query generator draws from.
+
+    Attributes:
+        keys: candidate selection keys; ``None`` entries mean pass-all.
+        window_types: candidate window types.
+        measures: candidate window measures (COUNT only applies to
+            tumbling/sliding windows).
+        functions: candidate aggregation functions.
+        min_length_ms / max_length_ms: time-window length range.
+        min_count / max_count: count-window length range.
+        session_gap_ms: session window gap range.
+        decomposable_only: restrict to decomposable functions (e.g. for
+            workloads that must push down, Fig 13a).
+    """
+
+    keys: tuple[str | None, ...] = (None,)
+    window_types: tuple[WindowType, ...] = (
+        WindowType.TUMBLING,
+        WindowType.SLIDING,
+        WindowType.SESSION,
+    )
+    measures: tuple[WindowMeasure, ...] = (WindowMeasure.TIME,)
+    functions: tuple[AggFunction, ...] = _DEFAULT_FUNCTIONS
+    min_length_ms: int = 1_000
+    max_length_ms: int = 10_000
+    min_count: int = 100
+    max_count: int = 10_000
+    session_gap_ms: tuple[int, int] = (500, 5_000)
+    decomposable_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_length_ms <= 0 or self.min_length_ms > self.max_length_ms:
+            raise ReproError("invalid window length range")
+        if not self.window_types or not self.functions:
+            raise ReproError("need window types and functions")
+
+
+class QueryGenerator:
+    """Deterministic random query workloads."""
+
+    def __init__(self, config: QueryGeneratorConfig | None = None, *,
+                 seed: int = 0) -> None:
+        self.config = config if config is not None else QueryGeneratorConfig()
+        self.seed = seed
+
+    def _window(self, rng: random.Random) -> WindowSpec:
+        cfg = self.config
+        kind = rng.choice(cfg.window_types)
+        if kind is WindowType.SESSION:
+            return WindowSpec.session(rng.randint(*cfg.session_gap_ms))
+        if kind is WindowType.USER_DEFINED:
+            return WindowSpec.user_defined(end_marker="end")
+        measure = rng.choice(cfg.measures)
+        if measure is WindowMeasure.COUNT:
+            length = rng.randint(cfg.min_count, cfg.max_count)
+            slide = max(1, length // rng.choice((1, 2, 4)))
+        else:
+            length = rng.randint(cfg.min_length_ms, cfg.max_length_ms)
+            slide = max(1, length // rng.choice((1, 2, 4)))
+        if kind is WindowType.TUMBLING:
+            return WindowSpec.tumbling(length, measure=measure)
+        return WindowSpec.sliding(length, slide, measure=measure)
+
+    def _function(self, rng: random.Random) -> FunctionSpec:
+        cfg = self.config
+        candidates = cfg.functions
+        if cfg.decomposable_only:
+            candidates = tuple(
+                fn
+                for fn in candidates
+                if fn not in (AggFunction.MEDIAN, AggFunction.QUANTILE)
+            )
+        fn = rng.choice(candidates)
+        if fn is AggFunction.QUANTILE:
+            return FunctionSpec(fn, rng.randint(1, 999) / 1_000)
+        return FunctionSpec(fn)
+
+    def queries(self, n: int, *, prefix: str = "q") -> list[Query]:
+        """Generate ``n`` random queries with ids ``{prefix}0..{n-1}``."""
+        rng = random.Random(self.seed)
+        out = []
+        for i in range(n):
+            key = rng.choice(self.config.keys)
+            out.append(
+                Query(
+                    query_id=f"{prefix}{i}",
+                    window=self._window(rng),
+                    function=self._function(rng),
+                    selection=Selection(key=key),
+                )
+            )
+        return out

@@ -1,0 +1,37 @@
+"""Plain-text result tables mirroring the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["print_table", "fmt_rate", "fmt_ms"]
+
+
+def fmt_rate(events_per_second: float) -> str:
+    """Format an event rate the way the paper reports it."""
+    if events_per_second >= 1e6:
+        return f"{events_per_second / 1e6:.2f} M ev/s"
+    if events_per_second >= 1e3:
+        return f"{events_per_second / 1e3:.1f} K ev/s"
+    return f"{events_per_second:.0f} ev/s"
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print an aligned table with a title rule."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in materialized:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))

@@ -1,0 +1,6 @@
+"""The user interface: textual queries and the Desis session facade."""
+
+from repro.interface.parser import expand_by_key, parse_queries, parse_query
+from repro.interface.session import DesisSession
+
+__all__ = ["DesisSession", "expand_by_key", "parse_queries", "parse_query"]

@@ -1,0 +1,208 @@
+"""A small textual query language (the paper's *interface* component).
+
+Grammar (case-insensitive keywords)::
+
+    SELECT <function>(value) FROM stream
+        [WHERE key = '<key>' [AND value >= <lo>] [AND value < <hi>]]
+        WINDOW <window>
+
+    <function> := SUM | COUNT | AVG | AVERAGE | MIN | MAX | MEDIAN
+                | PRODUCT | GEOMETRIC_MEAN | QUANTILE(<q>)
+    <window>   := TUMBLING <extent>
+                | SLIDING <extent> EVERY <extent>
+                | SESSION GAP <duration>
+                | USER_DEFINED END '<marker>' [START '<marker>']
+    <extent>   := <duration> | <int> EVENTS
+    <duration> := <int> MS | <number> S | <number> MIN
+
+Examples::
+
+    SELECT AVG(value) FROM stream WINDOW TUMBLING 5s
+    SELECT QUANTILE(0.95)(value) FROM stream
+        WHERE key = 'speed' AND value >= 80 WINDOW SLIDING 10s EVERY 2s
+    SELECT MAX(value) FROM stream WINDOW USER_DEFINED END 'trip_end'
+    SELECT SUM(value) FROM stream WINDOW TUMBLING 1000 EVENTS
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import QueryError
+from repro.core.functions import FunctionSpec
+from repro.core.predicates import Selection
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, WindowMeasure
+
+__all__ = ["parse_query", "parse_queries", "expand_by_key"]
+
+_FUNCTIONS = {
+    "SUM": AggFunction.SUM,
+    "COUNT": AggFunction.COUNT,
+    "AVG": AggFunction.AVERAGE,
+    "AVERAGE": AggFunction.AVERAGE,
+    "MIN": AggFunction.MIN,
+    "MAX": AggFunction.MAX,
+    "MEDIAN": AggFunction.MEDIAN,
+    "PRODUCT": AggFunction.PRODUCT,
+    "GEOMETRIC_MEAN": AggFunction.GEOMETRIC_MEAN,
+    "VARIANCE": AggFunction.VARIANCE,
+    "STDDEV": AggFunction.STDDEV,
+}
+
+_SELECT = re.compile(
+    r"^\s*SELECT\s+(?P<fn>[A-Z_]+)\s*(?:\(\s*(?P<q>[0-9.]+)\s*\))?"
+    r"\s*\(\s*(?P<distinct>DISTINCT\s+)?value\s*\)\s+FROM\s+stream\s*",
+    re.IGNORECASE,
+)
+_WHERE = re.compile(r"\bWHERE\s+(?P<clauses>.*?)\s*(?=\bWINDOW\b)",
+                    re.IGNORECASE | re.DOTALL)
+_WINDOW = re.compile(r"\bWINDOW\s+(?P<spec>.+?)\s*$", re.IGNORECASE | re.DOTALL)
+_KEY_CLAUSE = re.compile(r"key\s*=\s*'(?P<key>[^']*)'", re.IGNORECASE)
+_LO_CLAUSE = re.compile(r"value\s*>=\s*(?P<lo>-?[0-9.]+)", re.IGNORECASE)
+_HI_CLAUSE = re.compile(r"value\s*<\s*(?P<hi>-?[0-9.]+)", re.IGNORECASE)
+
+_DURATION = re.compile(
+    r"^(?P<n>[0-9]*\.?[0-9]+)\s*(?P<unit>ms|s|min)$", re.IGNORECASE
+)
+_COUNT_EXTENT = re.compile(r"^(?P<n>[0-9]+)\s+events$", re.IGNORECASE)
+
+
+def _parse_extent(text: str) -> tuple[int, WindowMeasure]:
+    """An extent is a duration (ms) or an event count."""
+    text = text.strip()
+    count = _COUNT_EXTENT.match(text)
+    if count:
+        return int(count.group("n")), WindowMeasure.COUNT
+    duration = _DURATION.match(text)
+    if not duration:
+        raise QueryError(f"cannot parse window extent: {text!r}")
+    value = float(duration.group("n"))
+    unit = duration.group("unit").lower()
+    scale = {"ms": 1, "s": 1_000, "min": 60_000}[unit]
+    return int(value * scale), WindowMeasure.TIME
+
+
+def _parse_window(text: str) -> WindowSpec:
+    text = text.strip()
+    upper = text.upper()
+    if upper.startswith("TUMBLING"):
+        length, measure = _parse_extent(text[len("TUMBLING"):])
+        return WindowSpec.tumbling(length, measure=measure)
+    if upper.startswith("SLIDING"):
+        body = text[len("SLIDING"):]
+        parts = re.split(r"\bEVERY\b", body, flags=re.IGNORECASE)
+        if len(parts) != 2:
+            raise QueryError("SLIDING window needs 'EVERY <extent>'")
+        length, measure = _parse_extent(parts[0])
+        slide, slide_measure = _parse_extent(parts[1])
+        if measure is not slide_measure:
+            raise QueryError("SLIDING length and EVERY must share a measure")
+        return WindowSpec.sliding(length, slide, measure=measure)
+    if upper.startswith("SESSION"):
+        match = re.match(r"SESSION\s+GAP\s+(?P<gap>.+)$", text, re.IGNORECASE)
+        if not match:
+            raise QueryError("SESSION window needs 'GAP <duration>'")
+        gap, measure = _parse_extent(match.group("gap"))
+        if measure is not WindowMeasure.TIME:
+            raise QueryError("session gaps are durations")
+        return WindowSpec.session(gap)
+    if upper.startswith("USER_DEFINED"):
+        end = re.search(r"END\s+'(?P<m>[^']*)'", text, re.IGNORECASE)
+        if not end:
+            raise QueryError("USER_DEFINED window needs END '<marker>'")
+        start = re.search(r"START\s+'(?P<m>[^']*)'", text, re.IGNORECASE)
+        return WindowSpec.user_defined(
+            end_marker=end.group("m"),
+            start_marker=start.group("m") if start else None,
+        )
+    raise QueryError(f"unknown window type in: {text!r}")
+
+
+def parse_query(text: str, *, query_id: str) -> Query:
+    """Parse one query string into a :class:`~repro.core.query.Query`."""
+    head = _SELECT.match(text)
+    if not head:
+        raise QueryError(
+            f"query must start with SELECT <fn>(value) FROM stream: {text!r}"
+        )
+    fn_name = head.group("fn").upper()
+    quantile_text = head.group("q")
+    if fn_name == "QUANTILE":
+        if quantile_text is None:
+            raise QueryError("QUANTILE needs a parameter, e.g. QUANTILE(0.95)")
+        function = FunctionSpec(AggFunction.QUANTILE, float(quantile_text))
+    else:
+        if quantile_text is not None:
+            raise QueryError(f"{fn_name} takes no parameter")
+        if fn_name not in _FUNCTIONS:
+            raise QueryError(f"unknown aggregation function: {fn_name}")
+        function = FunctionSpec(_FUNCTIONS[fn_name])
+
+    where = _WHERE.search(text)
+    key = lo = hi = None
+    if where:
+        clauses = where.group("clauses")
+        key_match = _KEY_CLAUSE.search(clauses)
+        if key_match:
+            key = key_match.group("key")
+        lo_match = _LO_CLAUSE.search(clauses)
+        if lo_match:
+            lo = float(lo_match.group("lo"))
+        hi_match = _HI_CLAUSE.search(clauses)
+        if hi_match:
+            hi = float(hi_match.group("hi"))
+        if key is None and lo is None and hi is None:
+            raise QueryError(f"unsupported WHERE clause: {clauses!r}")
+    selection = Selection(
+        key=key, lo=lo, hi=hi, deduplicate=head.group("distinct") is not None
+    )
+
+    window_match = _WINDOW.search(text)
+    if not window_match:
+        raise QueryError("query needs a WINDOW clause")
+    window = _parse_window(window_match.group("spec"))
+    return Query(
+        query_id=query_id, window=window, function=function, selection=selection
+    )
+
+
+def parse_queries(texts: list[str], *, prefix: str = "q") -> list[Query]:
+    """Parse several query strings, assigning ids ``{prefix}0..n-1``."""
+    return [
+        parse_query(text, query_id=f"{prefix}{index}")
+        for index, text in enumerate(texts)
+    ]
+
+
+def expand_by_key(query: Query, keys: list[str]) -> list[Query]:
+    """One query per key: the paper's *window keys* (Sec 2.1).
+
+    Events with different keys go to individual windows; Desis expresses
+    that as one query per key, all sharing a query-group (their key
+    selections are pairwise disjoint) and each key becoming one selection
+    operator per slice (Fig 7e)::
+
+        per_player = expand_by_key(query, generator.keys)
+
+    The template query must not already restrict the key.
+    """
+    if query.selection.key is not None:
+        raise QueryError(
+            f"query {query.query_id!r} already selects key "
+            f"{query.selection.key!r}"
+        )
+    return [
+        Query(
+            query_id=f"{query.query_id}-{key}",
+            window=query.window,
+            function=query.function,
+            selection=Selection(
+                key=key,
+                lo=query.selection.lo,
+                hi=query.selection.hi,
+                deduplicate=query.selection.deduplicate,
+            ),
+        )
+        for key in keys
+    ]

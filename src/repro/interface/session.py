@@ -1,0 +1,117 @@
+"""The Desis user-facing session: the paper's interface component (Sec 3.1).
+
+:class:`DesisSession` ties together the interface, query analyzer, window
+manager, and aggregation engine for centralized use, with runtime query
+management (Sec 3.2)::
+
+    session = DesisSession()
+    session.submit("SELECT AVG(value) FROM stream WINDOW TUMBLING 5s")
+    session.submit("SELECT MEDIAN(value) FROM stream WINDOW SESSION GAP 30s")
+    for event in events:
+        session.process(event)
+    for result in session.close():
+        print(result)
+
+For decentralized deployments build a
+:class:`~repro.cluster.desis.DesisCluster` with the same parsed queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.engine import AggregationEngine, EngineStats
+from repro.core.errors import EngineError
+from repro.core.event import Event
+from repro.core.query import Query
+from repro.core.results import ResultSink, WindowResult
+from repro.core.types import SharingPolicy
+from repro.interface.parser import parse_query
+
+__all__ = ["DesisSession"]
+
+
+class DesisSession:
+    """A centralized Desis instance accepting textual or built queries."""
+
+    def __init__(self, *, policy: SharingPolicy = SharingPolicy.FULL) -> None:
+        self.policy = policy
+        self._engine: AggregationEngine | None = None
+        self._pending: list[Query] = []
+        self._counter = 0
+
+    # -- query management ------------------------------------------------------------
+
+    def submit(self, query: str | Query, *, query_id: str | None = None) -> str:
+        """Register a query (text or :class:`Query`); returns its id.
+
+        Before the first event arrives queries are collected so the
+        analyzer can group them together; afterwards they attach at
+        stream time (Sec 3.2).
+        """
+        if isinstance(query, str):
+            if query_id is None:
+                query_id = f"q{self._counter}"
+            parsed = parse_query(query, query_id=query_id)
+        else:
+            parsed = query
+            if query_id is not None and query_id != parsed.query_id:
+                raise EngineError("query_id conflicts with the Query object")
+        self._counter += 1
+        if self._engine is None:
+            self._pending.append(parsed)
+        else:
+            self._engine.add_query(parsed)
+        return parsed.query_id
+
+    def remove(self, query_id: str, *, drain: bool = False) -> None:
+        """Remove a running (or pending) query.
+
+        ``drain=True`` implements the paper's "wait for the last window to
+        end" removal mode (Sec 3.2); the default removes immediately.
+        """
+        if self._engine is None:
+            before = len(self._pending)
+            self._pending = [q for q in self._pending if q.query_id != query_id]
+            if len(self._pending) == before:
+                raise EngineError(f"unknown query id: {query_id!r}")
+            return
+        self._engine.remove_query(query_id, drain=drain)
+
+    @property
+    def queries(self) -> list[Query]:
+        if self._engine is None:
+            return list(self._pending)
+        return self._engine.plan.queries
+
+    # -- processing ------------------------------------------------------------------
+
+    def _ensure_engine(self) -> AggregationEngine:
+        if self._engine is None:
+            self._engine = AggregationEngine(self._pending, policy=self.policy)
+            self._pending = []
+        return self._engine
+
+    def process(self, event: Event) -> None:
+        self._ensure_engine().process(event)
+
+    def process_many(self, events: Iterable[Event]) -> None:
+        engine = self._ensure_engine()
+        for event in events:
+            engine.process(event)
+
+    def advance(self, time: int) -> None:
+        self._ensure_engine().advance(time)
+
+    def close(self, at_time: int | None = None) -> ResultSink:
+        return self._ensure_engine().close(at_time)
+
+    @property
+    def results(self) -> list[WindowResult]:
+        if self._engine is None:
+            return []
+        return list(self._engine.sink)
+
+    @property
+    def stats(self) -> EngineStats:
+        return self._ensure_engine().stats

@@ -1,0 +1,27 @@
+"""Measurement utilities: throughput, latency, network overhead."""
+
+from repro.metrics.latency import (
+    LatencyProbe,
+    LatencySummary,
+    event_time_latencies,
+    summarize,
+)
+from repro.metrics.network import NetworkBreakdown, breakdown, fmt_bytes
+from repro.metrics.throughput import (
+    ThroughputResult,
+    measure_throughput,
+    modeled_sustainable_throughput,
+)
+
+__all__ = [
+    "LatencyProbe",
+    "LatencySummary",
+    "NetworkBreakdown",
+    "ThroughputResult",
+    "breakdown",
+    "event_time_latencies",
+    "fmt_bytes",
+    "measure_throughput",
+    "modeled_sustainable_throughput",
+    "summarize",
+]

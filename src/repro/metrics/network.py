@@ -1,0 +1,43 @@
+"""Network overhead roll-ups (Sec 6.4.1, Fig 11/13c)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import NodeRole
+from repro.network.simnet import NetworkStats
+
+__all__ = ["NetworkBreakdown", "breakdown", "fmt_bytes"]
+
+
+@dataclass(slots=True)
+class NetworkBreakdown:
+    """Bytes sent per node class, the unit Fig 11 plots."""
+
+    local_bytes: int
+    intermediate_bytes: int
+    total_bytes: int
+    control_bytes: int
+
+    @property
+    def data_bytes(self) -> int:
+        return self.total_bytes - self.control_bytes
+
+
+def breakdown(stats: NetworkStats) -> NetworkBreakdown:
+    """Roll a run's data traffic up by sending node class."""
+    return NetworkBreakdown(
+        local_bytes=stats.data_bytes_from_role.get(NodeRole.LOCAL, 0),
+        intermediate_bytes=stats.data_bytes_from_role.get(NodeRole.INTERMEDIATE, 0),
+        total_bytes=stats.total_bytes,
+        control_bytes=stats.control_bytes,
+    )
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte counts for result tables."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024.0:
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    return f"{n:.1f} TB"

@@ -1,0 +1,82 @@
+"""Throughput measurement (Sec 6.1).
+
+The paper reports *sustainable* throughput — the rate a system handles
+without an ever-growing backlog.  In a replay setting each stage's
+processing rate is measured directly, so sustainable throughput is the
+minimum over stages, optionally capped by link bandwidth (the Raspberry Pi
+experiment's 1G ceiling, Fig 13b/13c).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.baselines.api import StreamProcessor
+from repro.core.errors import ReproError
+from repro.core.event import Event
+
+__all__ = ["ThroughputResult", "measure_throughput", "modeled_sustainable_throughput"]
+
+
+@dataclass(slots=True)
+class ThroughputResult:
+    """Outcome of one replay measurement."""
+
+    events: int
+    seconds: float
+    results: int
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+
+def measure_throughput(
+    processor: StreamProcessor, events: Iterable[Event], *, close: bool = True
+) -> ThroughputResult:
+    """Replay ``events`` through ``processor`` and time the hot loop."""
+    materialized = events if isinstance(events, list) else list(events)
+    process = processor.process
+    started = _time.perf_counter()
+    for event in materialized:
+        process(event)
+    if close:
+        processor.close()
+    elapsed = _time.perf_counter() - started
+    return ThroughputResult(
+        events=len(materialized), seconds=elapsed, results=processor.sink.count
+    )
+
+
+def modeled_sustainable_throughput(
+    *,
+    node_rates: Iterable[float],
+    bytes_per_event: float | None = None,
+    link_bandwidth_bytes_per_s: float | None = None,
+) -> float:
+    """Sustainable throughput = the slowest stage of the pipeline.
+
+    Args:
+        node_rates: measured per-node processing rates (events/s); for a
+            scale-out tier, pass the tier's aggregate rate.
+        bytes_per_event: wire bytes each event costs on the bottleneck
+            link (raw event size for centralized shipping; amortized
+            partial-result bytes for decentralized aggregation).
+        link_bandwidth_bytes_per_s: bandwidth of the bottleneck link.
+
+    Models Fig 13b/13c: Scotty on the Pi cluster is pinned at
+    ``bandwidth / bytes_per_event`` (~3.2M events/s over 1G Ethernet)
+    while Desis' tiny partial results never hit the cap.
+    """
+    rates = list(node_rates)
+    if not rates:
+        raise ReproError("need at least one node rate")
+    bottleneck = min(rates)
+    if bytes_per_event is not None and link_bandwidth_bytes_per_s is not None:
+        if bytes_per_event > 0:
+            bottleneck = min(
+                bottleneck, link_bandwidth_bytes_per_s / bytes_per_event
+            )
+    return bottleneck

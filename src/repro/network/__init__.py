@@ -1,0 +1,35 @@
+"""Simulated decentralized network: codecs, messages, links, topologies."""
+
+from repro.network.codec import BinaryCodec, Codec, StringCodec
+from repro.network.messages import (
+    ContextPartial,
+    ControlMessage,
+    EventBatchMessage,
+    Message,
+    PartialBatchMessage,
+    SliceRecord,
+    WindowPartialMessage,
+)
+from repro.network.simnet import Link, NetworkStats, SimNetwork, SimNode
+from repro.network.topology import Topology, chain, star, three_tier
+
+__all__ = [
+    "BinaryCodec",
+    "Codec",
+    "ContextPartial",
+    "ControlMessage",
+    "EventBatchMessage",
+    "Link",
+    "Message",
+    "NetworkStats",
+    "PartialBatchMessage",
+    "SimNetwork",
+    "SimNode",
+    "SliceRecord",
+    "StringCodec",
+    "Topology",
+    "WindowPartialMessage",
+    "chain",
+    "star",
+    "three_tier",
+]

@@ -1,0 +1,507 @@
+"""Message codecs: compact binary and Disco-style strings.
+
+Network overhead in the evaluation is the number of bytes that actually
+cross each link, so messages are really encoded (and decoded on delivery)
+rather than size-estimated:
+
+* :class:`BinaryCodec` — a compact ``struct``-based wire format.  Desis,
+  Scotty, and CeBuffer "send bytes directly" (Sec 6.4.1).
+* :class:`StringCodec` — JSON text.  Disco "uses strings to send events
+  and messages between nodes", which is why its traffic is higher for the
+  same payload (Fig 11b).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.core.errors import CodecError
+from repro.core.event import Event
+from repro.core.types import OperatorKind
+from repro.network.messages import (
+    ContextPartial,
+    ControlMessage,
+    EventBatchMessage,
+    Message,
+    PartialBatchMessage,
+    SliceRecord,
+    WindowPartialMessage,
+)
+
+__all__ = ["Codec", "BinaryCodec", "StringCodec"]
+
+_TAG_PARTIAL = 1
+_TAG_EVENTS = 2
+_TAG_WINDOW = 3
+_TAG_CONTROL = 4
+
+_OP_CODES = {kind: code for code, kind in enumerate(OperatorKind)}
+_OP_KINDS = {code: kind for kind, code in _OP_CODES.items()}
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+
+class _Writer:
+    __slots__ = ("parts",)
+
+    def __init__(self) -> None:
+        self.parts: list[bytes] = []
+
+    def u8(self, v: int) -> None:
+        self.parts.append(_U8.pack(v))
+
+    def u16(self, v: int) -> None:
+        self.parts.append(_U16.pack(v))
+
+    def u32(self, v: int) -> None:
+        self.parts.append(_U32.pack(v))
+
+    def i64(self, v: int) -> None:
+        self.parts.append(_I64.pack(v))
+
+    def f64(self, v: float) -> None:
+        self.parts.append(_F64.pack(v))
+
+    def text(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise CodecError(f"string too long to encode: {len(raw)} bytes")
+        self.u16(len(raw))
+        self.parts.append(raw)
+
+    def floats(self, values) -> None:
+        self.u32(len(values))
+        self.parts.append(struct.pack(f">{len(values)}d", *values))
+
+    def bytes(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, fmt: struct.Struct):
+        value = fmt.unpack_from(self.data, self.pos)[0]
+        self.pos += fmt.size
+        return value
+
+    def u8(self) -> int:
+        return self._take(_U8)
+
+    def u16(self) -> int:
+        return self._take(_U16)
+
+    def u32(self) -> int:
+        return self._take(_U32)
+
+    def i64(self) -> int:
+        return self._take(_I64)
+
+    def f64(self) -> float:
+        return self._take(_F64)
+
+    def text(self) -> str:
+        n = self.u16()
+        raw = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return raw.decode("utf-8")
+
+    def floats(self) -> list[float]:
+        n = self.u32()
+        values = list(struct.unpack_from(f">{n}d", self.data, self.pos))
+        self.pos += 8 * n
+        return values
+
+
+class Codec:
+    """Codec interface: ``encode`` to bytes, ``decode`` back to a message."""
+
+    name = "abstract"
+
+    def encode(self, message: Message) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes) -> Message:
+        raise NotImplementedError
+
+
+class BinaryCodec(Codec):
+    """Compact struct-based wire format (Desis / Scotty / CeBuffer)."""
+
+    name = "binary"
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode(self, message: Message) -> bytes:
+        w = _Writer()
+        if isinstance(message, PartialBatchMessage):
+            self._encode_partial(w, message)
+        elif isinstance(message, EventBatchMessage):
+            self._encode_events(w, message)
+        elif isinstance(message, WindowPartialMessage):
+            self._encode_window(w, message)
+        elif isinstance(message, ControlMessage):
+            self._encode_control(w, message)
+        else:
+            raise CodecError(f"cannot encode message type {type(message).__name__}")
+        return w.bytes()
+
+    def _encode_ops(self, w: _Writer, ops: dict[OperatorKind, Any]) -> None:
+        w.u8(len(ops))
+        for kind, partial in ops.items():
+            w.u8(_OP_CODES[kind])
+            if kind in (
+                OperatorKind.SUM,
+                OperatorKind.MULTIPLICATION,
+                OperatorKind.SUM_OF_SQUARES,
+            ):
+                w.f64(float(partial))
+            elif kind is OperatorKind.COUNT:
+                w.i64(int(partial))
+            elif kind is OperatorKind.DECOMPOSABLE_SORT:
+                if partial is None:
+                    w.u8(0)
+                else:
+                    w.u8(1)
+                    w.f64(partial[0])
+                    w.f64(partial[1])
+            elif kind is OperatorKind.NON_DECOMPOSABLE_SORT:
+                w.floats(partial)
+            else:  # pragma: no cover - enum exhaustive
+                raise CodecError(f"cannot encode operator {kind!r}")
+
+    def _decode_ops(self, r: _Reader) -> dict[OperatorKind, Any]:
+        ops: dict[OperatorKind, Any] = {}
+        for _ in range(r.u8()):
+            kind = _OP_KINDS[r.u8()]
+            if kind in (
+                OperatorKind.SUM,
+                OperatorKind.MULTIPLICATION,
+                OperatorKind.SUM_OF_SQUARES,
+            ):
+                ops[kind] = r.f64()
+            elif kind is OperatorKind.COUNT:
+                ops[kind] = r.i64()
+            elif kind is OperatorKind.DECOMPOSABLE_SORT:
+                ops[kind] = (r.f64(), r.f64()) if r.u8() else None
+            else:
+                ops[kind] = r.floats()
+        return ops
+
+    def _encode_partial(self, w: _Writer, msg: PartialBatchMessage) -> None:
+        w.u8(_TAG_PARTIAL)
+        w.text(msg.sender)
+        w.u16(msg.group_id)
+        w.i64(msg.first_slice_seq)
+        w.i64(msg.covered_to)
+        w.u32(len(msg.records))
+        for record in msg.records:
+            w.i64(record.start)
+            w.i64(record.end)
+            w.u16(len(record.contexts))
+            for ctx, part in record.contexts.items():
+                w.u16(ctx)
+                w.u32(part.count)
+                flags = (1 if part.span is not None else 0) | (
+                    2 if part.timed is not None else 0
+                )
+                w.u8(flags)
+                if part.span is not None:
+                    w.i64(part.span[0])
+                    w.i64(part.span[1])
+                self._encode_ops(w, part.ops)
+                if part.timed is not None:
+                    w.u32(len(part.timed))
+                    for time, value in part.timed:
+                        w.i64(time)
+                        w.f64(value)
+            w.u16(len(record.userdef_eps))
+            for query_id, end in record.userdef_eps:
+                w.text(query_id)
+                w.i64(end)
+
+    def _decode_partial(self, r: _Reader) -> PartialBatchMessage:
+        sender = r.text()
+        group_id = r.u16()
+        first_seq = r.i64()
+        covered = r.i64()
+        records = []
+        for _ in range(r.u32()):
+            start = r.i64()
+            end = r.i64()
+            contexts: dict[int, ContextPartial] = {}
+            for _ in range(r.u16()):
+                ctx = r.u16()
+                count = r.u32()
+                flags = r.u8()
+                span = (r.i64(), r.i64()) if flags & 1 else None
+                ops = self._decode_ops(r)
+                timed = None
+                if flags & 2:
+                    timed = [(r.i64(), r.f64()) for _ in range(r.u32())]
+                contexts[ctx] = ContextPartial(
+                    count=count, ops=ops, span=span, timed=timed
+                )
+            eps = [(r.text(), r.i64()) for _ in range(r.u16())]
+            records.append(
+                SliceRecord(start=start, end=end, contexts=contexts, userdef_eps=eps)
+            )
+        return PartialBatchMessage(
+            sender=sender,
+            group_id=group_id,
+            first_slice_seq=first_seq,
+            covered_to=covered,
+            records=records,
+        )
+
+    def _encode_events(self, w: _Writer, msg: EventBatchMessage) -> None:
+        w.u8(_TAG_EVENTS)
+        w.text(msg.sender)
+        w.i64(msg.covered_to)
+        w.u32(len(msg.events))
+        for event in msg.events:
+            w.i64(event.time)
+            w.text(event.key)
+            w.f64(event.value)
+            if event.marker is None:
+                w.u8(0)
+            else:
+                w.u8(1)
+                w.text(event.marker)
+
+    def _decode_events(self, r: _Reader) -> EventBatchMessage:
+        sender = r.text()
+        covered = r.i64()
+        events = []
+        for _ in range(r.u32()):
+            time = r.i64()
+            key = r.text()
+            value = r.f64()
+            marker = r.text() if r.u8() else None
+            events.append(Event(time, key, value, marker))
+        return EventBatchMessage(sender=sender, covered_to=covered, events=events)
+
+    def _encode_window(self, w: _Writer, msg: WindowPartialMessage) -> None:
+        w.u8(_TAG_WINDOW)
+        w.text(msg.sender)
+        w.text(msg.query_id)
+        w.i64(msg.start)
+        w.i64(msg.end)
+        w.u32(msg.count)
+        w.i64(msg.covered_to)
+        self._encode_ops(w, msg.ops)
+        if msg.values is None:
+            w.u8(0)
+        else:
+            w.u8(1)
+            w.floats(msg.values)
+
+    def _decode_window(self, r: _Reader) -> WindowPartialMessage:
+        sender = r.text()
+        query_id = r.text()
+        start = r.i64()
+        end = r.i64()
+        count = r.u32()
+        covered = r.i64()
+        ops = self._decode_ops(r)
+        values = r.floats() if r.u8() else None
+        return WindowPartialMessage(
+            sender=sender,
+            query_id=query_id,
+            start=start,
+            end=end,
+            count=count,
+            covered_to=covered,
+            ops=ops,
+            values=values,
+        )
+
+    def _encode_control(self, w: _Writer, msg: ControlMessage) -> None:
+        w.u8(_TAG_CONTROL)
+        w.text(msg.sender)
+        w.text(msg.kind)
+        try:
+            payload = json.dumps(msg.payload)
+        except TypeError as exc:
+            raise CodecError(f"control payload not JSON-serializable: {exc}") from exc
+        raw = payload.encode("utf-8")
+        w.u32(len(raw))
+        w.parts.append(raw)
+
+    def _decode_control(self, r: _Reader) -> ControlMessage:
+        sender = r.text()
+        kind = r.text()
+        n = r.u32()
+        raw = r.data[r.pos : r.pos + n]
+        r.pos += n
+        return ControlMessage(
+            sender=sender, kind=kind, payload=json.loads(raw.decode("utf-8"))
+        )
+
+    # -- decoding ----------------------------------------------------------------
+
+    def decode(self, data: bytes) -> Message:
+        r = _Reader(data)
+        try:
+            tag = r.u8()
+            if tag == _TAG_PARTIAL:
+                return self._decode_partial(r)
+            if tag == _TAG_EVENTS:
+                return self._decode_events(r)
+            if tag == _TAG_WINDOW:
+                return self._decode_window(r)
+            if tag == _TAG_CONTROL:
+                return self._decode_control(r)
+        except (struct.error, IndexError, UnicodeDecodeError) as exc:
+            raise CodecError(f"truncated or corrupt message: {exc}") from exc
+        raise CodecError(f"unknown message tag: {tag}")
+
+
+class StringCodec(Codec):
+    """Disco-style JSON-text encoding (verbose on purpose)."""
+
+    name = "string"
+
+    def encode(self, message: Message) -> bytes:
+        payload = _to_jsonable(message)
+        return json.dumps(payload).encode("utf-8")
+
+    def decode(self, data: bytes) -> Message:
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CodecError(f"corrupt string message: {exc}") from exc
+        return _from_jsonable(payload)
+
+
+def _ops_to_jsonable(ops: dict[OperatorKind, Any]) -> dict[str, Any]:
+    return {kind.value: partial for kind, partial in ops.items()}
+
+
+def _ops_from_jsonable(data: dict[str, Any]) -> dict[OperatorKind, Any]:
+    out: dict[OperatorKind, Any] = {}
+    for key, partial in data.items():
+        kind = OperatorKind(key)
+        if kind is OperatorKind.DECOMPOSABLE_SORT and partial is not None:
+            partial = tuple(partial)
+        out[kind] = partial
+    return out
+
+
+def _to_jsonable(message: Message) -> dict[str, Any]:
+    if isinstance(message, PartialBatchMessage):
+        return {
+            "type": "partial",
+            "sender": message.sender,
+            "group_id": message.group_id,
+            "first_slice_seq": message.first_slice_seq,
+            "covered_to": message.covered_to,
+            "records": [
+                {
+                    "start": record.start,
+                    "end": record.end,
+                    "contexts": {
+                        str(ctx): {
+                            "count": part.count,
+                            "ops": _ops_to_jsonable(part.ops),
+                            "span": part.span,
+                            "timed": part.timed,
+                        }
+                        for ctx, part in record.contexts.items()
+                    },
+                    "userdef_eps": record.userdef_eps,
+                }
+                for record in message.records
+            ],
+        }
+    if isinstance(message, EventBatchMessage):
+        return {
+            "type": "events",
+            "sender": message.sender,
+            "covered_to": message.covered_to,
+            "events": [
+                [e.time, e.key, e.value, e.marker] for e in message.events
+            ],
+        }
+    if isinstance(message, WindowPartialMessage):
+        return {
+            "type": "window",
+            "sender": message.sender,
+            "query_id": message.query_id,
+            "start": message.start,
+            "end": message.end,
+            "count": message.count,
+            "covered_to": message.covered_to,
+            "ops": _ops_to_jsonable(message.ops),
+            "values": message.values,
+        }
+    if isinstance(message, ControlMessage):
+        return {
+            "type": "control",
+            "sender": message.sender,
+            "kind": message.kind,
+            "payload": message.payload,
+        }
+    raise CodecError(f"cannot encode message type {type(message).__name__}")
+
+
+def _from_jsonable(data: dict[str, Any]) -> Message:
+    kind = data.get("type")
+    if kind == "partial":
+        return PartialBatchMessage(
+            sender=data["sender"],
+            group_id=data["group_id"],
+            first_slice_seq=data["first_slice_seq"],
+            covered_to=data["covered_to"],
+            records=[
+                SliceRecord(
+                    start=record["start"],
+                    end=record["end"],
+                    contexts={
+                        int(ctx): ContextPartial(
+                            count=part["count"],
+                            ops=_ops_from_jsonable(part["ops"]),
+                            span=tuple(part["span"]) if part["span"] else None,
+                            timed=[tuple(tv) for tv in part["timed"]]
+                            if part["timed"] is not None
+                            else None,
+                        )
+                        for ctx, part in record["contexts"].items()
+                    },
+                    userdef_eps=[tuple(ep) for ep in record["userdef_eps"]],
+                )
+                for record in data["records"]
+            ],
+        )
+    if kind == "events":
+        return EventBatchMessage(
+            sender=data["sender"],
+            covered_to=data["covered_to"],
+            events=[Event(t, k, v, m) for t, k, v, m in data["events"]],
+        )
+    if kind == "window":
+        return WindowPartialMessage(
+            sender=data["sender"],
+            query_id=data["query_id"],
+            start=data["start"],
+            end=data["end"],
+            count=data["count"],
+            covered_to=data["covered_to"],
+            ops=_ops_from_jsonable(data["ops"]),
+            values=data["values"],
+        )
+    if kind == "control":
+        return ControlMessage(
+            sender=data["sender"], kind=data["kind"], payload=data["payload"]
+        )
+    raise CodecError(f"unknown string message type: {kind!r}")

@@ -1,0 +1,130 @@
+"""Message types exchanged between nodes (the message manager's vocabulary).
+
+Four payload families cover every deployment in the evaluation:
+
+* :class:`EventBatchMessage` — raw events, shipped upward by centralized
+  deployments (CeBuffer/Scotty in Sec 6.4) and, with timestamps, by
+  root-evaluated Desis groups that contain count-based windows.
+* :class:`PartialBatchMessage` — Desis' per-*slice* partial results
+  (Sec 5.1): slice records carrying per-selection-context operator
+  partials, activity spans for session assembly, and user-defined end
+  punctuations.
+* :class:`WindowPartialMessage` — Disco's per-*window* partial results;
+  one message per window per node, which is why Disco's traffic grows with
+  the number of concurrent windows (Fig 11d) while Desis' does not.
+* :class:`ControlMessage` — query distribution, topology updates, and
+  heartbeats (Sec 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.event import Event
+from repro.core.types import OperatorKind
+
+__all__ = [
+    "ContextPartial",
+    "SliceRecord",
+    "PartialBatchMessage",
+    "EventBatchMessage",
+    "WindowPartialMessage",
+    "ControlMessage",
+    "Message",
+]
+
+
+@dataclass(slots=True)
+class ContextPartial:
+    """One selection context's contribution to one slice record.
+
+    Attributes:
+        count: matching events inserted in the slice.
+        ops: operator kind -> partial result (Sec 4.2.1 representations).
+        span: ``(first_event_time, last_event_time)`` of the context's
+            activity within the slice; present when the group contains
+            session windows, enabling exact gap covering at the root
+            (Sec 5.1.2).
+        timed: ``(time, value)`` pairs, present only for root-evaluated
+            groups containing count-based windows, whose ends only the
+            root can determine (Sec 5.2).
+    """
+
+    count: int = 0
+    ops: dict[OperatorKind, Any] = field(default_factory=dict)
+    span: tuple[int, int] | None = None
+    timed: list[tuple[int, float]] | None = None
+
+
+@dataclass(slots=True)
+class SliceRecord:
+    """Partial results of one local/intermediate slice (Sec 5.1)."""
+
+    start: int
+    end: int
+    contexts: dict[int, ContextPartial] = field(default_factory=dict)
+    #: user-defined window end punctuations observed in the slice:
+    #: (query_id, marker event time)
+    userdef_eps: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.contexts and not self.userdef_eps
+
+
+@dataclass(slots=True)
+class PartialBatchMessage:
+    """A node's per-slice partial results for one query-group.
+
+    ``first_slice_seq`` is the auto-incrementing id of the first record
+    (Sec 5.1.1); parents use the ids to detect duplicated or missing
+    slices.  ``covered_to`` is the sender's progress watermark: it has
+    emitted everything ending at or before this time.
+    """
+
+    sender: str
+    group_id: int
+    first_slice_seq: int
+    covered_to: int
+    records: list[SliceRecord] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class EventBatchMessage:
+    """Raw events forwarded toward the root (centralized aggregation)."""
+
+    sender: str
+    covered_to: int
+    events: list[Event] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class WindowPartialMessage:
+    """Disco-style per-window partial result (one window, one sender)."""
+
+    sender: str
+    query_id: str
+    start: int
+    end: int
+    count: int
+    covered_to: int
+    ops: dict[OperatorKind, Any] = field(default_factory=dict)
+    values: list[float] | None = None  # shipped events for holistic functions
+
+
+@dataclass(slots=True)
+class ControlMessage:
+    """Cluster management traffic (Sec 3.2): queries, topology, heartbeats."""
+
+    sender: str
+    kind: str  # "queries" | "topology" | "heartbeat" | "query_add" | "query_remove"
+    payload: Any = None
+
+
+Message = (
+    PartialBatchMessage
+    | EventBatchMessage
+    | WindowPartialMessage
+    | ControlMessage
+)

@@ -1,0 +1,282 @@
+"""A discrete-event simulated network (the message manager's substrate).
+
+The paper runs on a 10-node 25G cluster and a Raspberry Pi 1G cluster;
+here every node is a Python object and the network is simulated:
+
+* messages are *really* serialized by a :class:`~repro.network.codec.Codec`
+  and decoded on delivery, so byte counts are exact and serialization cost
+  is paid;
+* links have latency and an optional bandwidth cap; a saturated link
+  queues messages (``busy_until``), which is how the Pi experiment's
+  bandwidth ceiling appears (Fig 13);
+* simulated time is milliseconds of event time, so event-time result
+  latency falls out of ``emitted_at - window_end``;
+* per-node wall-clock processing time is sampled around every handler
+  call, giving the per-node-class latency/throughput breakdowns of
+  Figures 7 and 12.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.errors import TopologyError
+from repro.core.event import Event
+from repro.core.types import NodeRole
+from repro.network.codec import BinaryCodec, Codec
+from repro.network.messages import ControlMessage, Message
+
+__all__ = ["SimNode", "Link", "SimNetwork", "NetworkStats"]
+
+_EVENT = 0
+_TICK = 1
+_MESSAGE = 2
+_FINISH = 3
+
+
+class SimNode:
+    """Base class for simulated nodes.
+
+    Subclasses override the ``on_*`` handlers; each handler may call
+    :meth:`SimNetwork.send` to emit messages.  ``cpu_time`` accumulates the
+    wall-clock seconds spent inside this node's handlers.
+    """
+
+    def __init__(self, node_id: str, role: NodeRole) -> None:
+        self.node_id = node_id
+        self.role = role
+        self.cpu_time = 0.0
+        self.events_handled = 0
+        self.messages_handled = 0
+
+    def on_event(self, event: Event, now: int, net: "SimNetwork") -> None:
+        """A stream event arrived at this (local) node."""
+
+    def on_message(self, message: Message, now: int, net: "SimNetwork") -> None:
+        """A message from another node was delivered."""
+
+    def on_tick(self, now: int, net: "SimNetwork") -> None:
+        """A scheduled watermark tick fired."""
+
+    def on_finish(self, now: int, net: "SimNetwork") -> None:
+        """The stream ended; flush all remaining state."""
+
+
+@dataclass(slots=True)
+class Link:
+    """A directed link with latency, optional bandwidth, and counters."""
+
+    src: str
+    dst: str
+    latency_ms: float = 1.0
+    #: bytes per simulated millisecond; ``None`` means unlimited.
+    bandwidth_bytes_per_ms: float | None = None
+    codec: Codec = field(default_factory=BinaryCodec)
+    bytes_sent: int = 0
+    control_bytes: int = 0
+    messages_sent: int = 0
+    busy_until: float = 0.0
+
+    def transfer(self, size: int, now: float, *, control: bool = False) -> float:
+        """Account for ``size`` bytes leaving at ``now``; return arrival time."""
+        self.bytes_sent += size
+        if control:
+            self.control_bytes += size
+        self.messages_sent += 1
+        start = max(now, self.busy_until)
+        duration = (
+            size / self.bandwidth_bytes_per_ms
+            if self.bandwidth_bytes_per_ms
+            else 0.0
+        )
+        self.busy_until = start + duration
+        return self.busy_until + self.latency_ms
+
+
+@dataclass(slots=True)
+class NetworkStats:
+    """Rolled-up traffic statistics."""
+
+    bytes_by_link: dict[tuple[str, str], int] = field(default_factory=dict)
+    messages_by_link: dict[tuple[str, str], int] = field(default_factory=dict)
+    bytes_from_role: dict[NodeRole, int] = field(default_factory=dict)
+    #: like ``bytes_from_role`` but excluding control traffic
+    data_bytes_from_role: dict[NodeRole, int] = field(default_factory=dict)
+    control_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes on all links, control traffic included."""
+        return sum(self.bytes_by_link.values())
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes excluding control messages (queries, topology, heartbeats,
+        progress) — the steady-state traffic Figure 11 reports."""
+        return self.total_bytes - self.control_bytes
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_link.values())
+
+
+class SimNetwork:
+    """The discrete-event simulator driving nodes, links, and streams."""
+
+    def __init__(self, *, default_codec: Codec | None = None,
+                 default_latency_ms: float = 1.0,
+                 default_bandwidth_bytes_per_ms: float | None = None) -> None:
+        self.nodes: dict[str, SimNode] = {}
+        self.links: dict[tuple[str, str], Link] = {}
+        self.default_codec = default_codec if default_codec is not None else BinaryCodec()
+        self.default_latency_ms = default_latency_ms
+        self.default_bandwidth = default_bandwidth_bytes_per_ms
+        self._queue: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self.delivered = 0
+
+    # -- construction ------------------------------------------------------------
+
+    def add_node(self, node: SimNode) -> None:
+        if node.node_id in self.nodes:
+            raise TopologyError(f"duplicate node id: {node.node_id!r}")
+        self.nodes[node.node_id] = node
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        *,
+        latency_ms: float | None = None,
+        bandwidth_bytes_per_ms: float | None = None,
+        codec: Codec | None = None,
+        bidirectional: bool = True,
+    ) -> None:
+        """Create a link (both directions by default) between two nodes."""
+        for a, b in ((src, dst), (dst, src)) if bidirectional else ((src, dst),):
+            if a not in self.nodes or b not in self.nodes:
+                raise TopologyError(f"cannot link unknown nodes {a!r} -> {b!r}")
+            self.links[(a, b)] = Link(
+                src=a,
+                dst=b,
+                latency_ms=(
+                    latency_ms if latency_ms is not None else self.default_latency_ms
+                ),
+                bandwidth_bytes_per_ms=(
+                    bandwidth_bytes_per_ms
+                    if bandwidth_bytes_per_ms is not None
+                    else self.default_bandwidth
+                ),
+                codec=codec if codec is not None else self.default_codec,
+            )
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _push(self, at: float, kind: int, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, kind, payload))
+
+    def inject_stream(self, node_id: str, events: Iterable[Event]) -> int:
+        """Schedule a local node's events at their own timestamps.
+
+        Returns the last event time (or 0 for an empty stream).
+        """
+        if node_id not in self.nodes:
+            raise TopologyError(f"unknown node: {node_id!r}")
+        last = 0
+        for event in events:
+            self._push(float(event.time), _EVENT, (node_id, event))
+            last = event.time
+        return last
+
+    def schedule_ticks(self, node_id: str, start: int, end: int, interval: int) -> None:
+        """Schedule watermark ticks for a node at ``start + k*interval <= end``."""
+        t = start + interval
+        while t <= end:
+            self._push(float(t), _TICK, (node_id, t))
+            t += interval
+
+    def schedule_finish(self, node_id: str, at: float) -> None:
+        self._push(at, _FINISH, node_id)
+
+    def send(self, src: str, dst: str, message: Message) -> None:
+        """Serialize, account, and schedule delivery of ``message``."""
+        link = self.links.get((src, dst))
+        if link is None:
+            raise TopologyError(f"no link {src!r} -> {dst!r}")
+        data = link.codec.encode(message)
+        arrival = link.transfer(
+            len(data), self.now, control=isinstance(message, ControlMessage)
+        )
+        self._push(arrival, _MESSAGE, (dst, link.codec, data))
+
+    # -- running ---------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Process queued activity in time order (optionally up to ``until``)."""
+        queue = self._queue
+        while queue:
+            if until is not None and queue[0][0] > until:
+                return
+            at, _, kind, payload = heapq.heappop(queue)
+            self.now = max(self.now, at)
+            if kind == _EVENT:
+                node_id, event = payload
+                node = self.nodes[node_id]
+                started = _time.perf_counter()
+                node.on_event(event, int(self.now), self)
+                node.cpu_time += _time.perf_counter() - started
+                node.events_handled += 1
+            elif kind == _MESSAGE:
+                node_id, codec, data = payload
+                node = self.nodes[node_id]
+                started = _time.perf_counter()
+                message = codec.decode(data)
+                node.on_message(message, int(self.now), self)
+                node.cpu_time += _time.perf_counter() - started
+                node.messages_handled += 1
+                self.delivered += 1
+            elif kind == _TICK:
+                node_id, tick_time = payload
+                node = self.nodes[node_id]
+                started = _time.perf_counter()
+                node.on_tick(tick_time, self)
+                node.cpu_time += _time.perf_counter() - started
+            elif kind == _FINISH:
+                node = self.nodes[payload]
+                started = _time.perf_counter()
+                node.on_finish(int(self.now), self)
+                node.cpu_time += _time.perf_counter() - started
+
+    # -- statistics --------------------------------------------------------------------
+
+    def stats(self) -> NetworkStats:
+        stats = NetworkStats()
+        for (src, dst), link in self.links.items():
+            if link.messages_sent == 0:
+                continue
+            stats.bytes_by_link[(src, dst)] = link.bytes_sent
+            stats.messages_by_link[(src, dst)] = link.messages_sent
+            stats.control_bytes += link.control_bytes
+            role = self.nodes[src].role
+            stats.bytes_from_role[role] = (
+                stats.bytes_from_role.get(role, 0) + link.bytes_sent
+            )
+            stats.data_bytes_from_role[role] = (
+                stats.data_bytes_from_role.get(role, 0)
+                + link.bytes_sent
+                - link.control_bytes
+            )
+        return stats
+
+    def cpu_time_by_role(self) -> dict[NodeRole, float]:
+        """Total handler wall-clock seconds per node role."""
+        rollup: dict[NodeRole, float] = defaultdict(float)
+        for node in self.nodes.values():
+            rollup[node.role] += node.cpu_time
+        return dict(rollup)

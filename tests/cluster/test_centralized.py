@@ -1,0 +1,77 @@
+"""Tests for centralized aggregation over a topology (CeBuffer/Scotty)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CeBufferProcessor, ScottyProcessor
+from repro.core.engine import AggregationEngine
+from repro.core.event import merge_streams
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, NodeRole
+from repro.cluster import CentralizedCluster, ClusterConfig
+from repro.network.topology import chain, three_tier
+
+from tests.cluster.test_desis_parity import TICK, make_streams
+
+
+def queries():
+    return [
+        Query.of("avg", WindowSpec.tumbling(1_000), AggFunction.AVERAGE),
+        Query.of("max", WindowSpec.sliding(2_000, 500), AggFunction.MAX),
+    ]
+
+
+@pytest.mark.parametrize("factory", [ScottyProcessor, CeBufferProcessor])
+def test_results_match_local_processor(factory):
+    """Shipping events to the root must not change any result."""
+    streams = make_streams(3, 300)
+    cluster = CentralizedCluster(
+        queries(),
+        three_tier(3, 1),
+        factory,
+        config=ClusterConfig(tick_interval=TICK),
+    )
+    result = cluster.run(streams)
+
+    merged = list(merge_streams(*streams.values()))
+    reference = factory(queries())
+    reference.advance(0)  # the deployment anchors windows at the origin
+    for event in merged:
+        reference.process(event)
+    reference.close(((merged[-1].time // TICK) + 1) * TICK)
+
+    got = sorted(
+        (r.query_id, r.start, r.end, r.event_count, round(float(r.value), 9))
+        for r in result.sink
+    )
+    expected = sorted(
+        (r.query_id, r.start, r.end, r.event_count, round(float(r.value), 9))
+        for r in reference.sink
+    )
+    assert got == expected
+
+
+def test_intermediates_pay_the_bytes_again():
+    """Sec 6.4.1: every hop of a centralized deployment re-ships all data."""
+    streams = make_streams(2, 400)
+    cluster = CentralizedCluster(
+        queries(),
+        chain(2, hops=2),
+        ScottyProcessor,
+        config=ClusterConfig(tick_interval=TICK),
+    )
+    result = cluster.run(streams)
+    by_role = result.network.bytes_from_role
+    # Two intermediate layers forward everything the locals sent.
+    assert by_role[NodeRole.INTERMEDIATE] == pytest.approx(
+        2 * by_role[NodeRole.LOCAL], rel=0.01
+    )
+
+
+def test_unknown_stream_target_rejected():
+    from repro.core.errors import ClusterError
+
+    cluster = CentralizedCluster(queries(), three_tier(2, 1), ScottyProcessor)
+    with pytest.raises(ClusterError):
+        cluster.run({"ghost": []})

@@ -1,0 +1,101 @@
+"""Tests for the Disco baseline cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import AggregationEngine
+from repro.core.errors import ClusterError
+from repro.core.event import merge_streams
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+from repro.cluster import ClusterConfig, DesisCluster, DiscoCluster
+from repro.network.topology import three_tier
+
+from tests.cluster.test_desis_parity import TICK, make_streams
+
+
+def run_disco(queries, streams, topology):
+    cluster = DiscoCluster(
+        queries, topology, config=ClusterConfig(tick_interval=TICK)
+    )
+    return cluster.run(streams)
+
+
+def reference(queries, streams):
+    merged = list(merge_streams(*streams.values()))
+    engine = AggregationEngine(queries)
+    engine.advance(0)
+    for event in merged:
+        engine.process(event)
+    return engine.close(((merged[-1].time // TICK) + 1) * TICK)
+
+
+def signature(sink):
+    return sorted(
+        (r.query_id, r.start, r.end, r.event_count, round(float(r.value), 9))
+        for r in sink
+    )
+
+
+class TestCorrectness:
+    def test_decomposable_parity(self):
+        queries = [
+            Query.of("avg", WindowSpec.tumbling(1_000), AggFunction.AVERAGE),
+            Query.of("sum", WindowSpec.sliding(2_000, 500), AggFunction.SUM),
+        ]
+        streams = make_streams(3, 300)
+        result = run_disco(queries, streams, three_tier(3, 1))
+        assert signature(result.sink) == signature(reference(queries, streams))
+
+    def test_holistic_parity(self):
+        queries = [Query.of("med", WindowSpec.tumbling(1_500), AggFunction.MEDIAN)]
+        streams = make_streams(2, 250)
+        result = run_disco(queries, streams, three_tier(2, 1))
+        assert signature(result.sink) == signature(reference(queries, streams))
+
+    def test_unsupported_windows_rejected(self):
+        with pytest.raises(ClusterError):
+            DiscoCluster(
+                [Query.of("s", WindowSpec.session(100), AggFunction.SUM)],
+                three_tier(2, 1),
+            )
+
+
+class TestTrafficBehaviour:
+    def test_string_messages_cost_more_than_desis(self):
+        """Fig 11a/11b: Disco ships per-window strings, Desis per-slice bytes."""
+        queries = [Query.of("avg", WindowSpec.tumbling(1_000), AggFunction.AVERAGE)]
+        streams = make_streams(2, 400)
+        disco = run_disco(queries, streams, three_tier(2, 1))
+        desis = DesisCluster(
+            queries, three_tier(2, 1), config=ClusterConfig(tick_interval=TICK)
+        ).run(streams)
+        assert disco.network.total_bytes > desis.network.total_bytes
+
+    def test_per_window_traffic_grows_with_windows(self):
+        """Fig 11d: Disco's traffic grows with concurrent windows; Desis'
+        per-slice shipping stays flat."""
+        streams = make_streams(2, 400)
+
+        def disco_bytes(n_queries):
+            queries = [
+                Query.of(f"q{i}", WindowSpec.tumbling(1_000), AggFunction.AVERAGE)
+                for i in range(n_queries)
+            ]
+            return run_disco(
+                queries, dict(streams), three_tier(2, 1)
+            ).network.data_bytes
+
+        def desis_bytes(n_queries):
+            queries = [
+                Query.of(f"q{i}", WindowSpec.tumbling(1_000), AggFunction.AVERAGE)
+                for i in range(n_queries)
+            ]
+            cluster = DesisCluster(
+                queries, three_tier(2, 1), config=ClusterConfig(tick_interval=TICK)
+            )
+            return cluster.run(dict(streams)).network.data_bytes
+
+        assert disco_bytes(8) > 4 * disco_bytes(1) * 0.9
+        assert desis_bytes(8) < 1.5 * desis_bytes(1)

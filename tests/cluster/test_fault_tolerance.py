@@ -1,0 +1,126 @@
+"""Fault tolerance and runtime management tests (Sec 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ClusterError
+from repro.core.event import Event
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+from repro.cluster import ClusterConfig, DesisCluster
+from repro.network.topology import star, three_tier
+
+from tests.cluster.test_desis_parity import TICK, make_streams
+
+
+def avg(qid="avg", length=1_000):
+    return Query.of(qid, WindowSpec.tumbling(length), AggFunction.AVERAGE)
+
+
+def build(queries, topo, **cfg):
+    return DesisCluster(
+        queries, topo, config=ClusterConfig(tick_interval=TICK, **cfg)
+    )
+
+
+class TestRuntimeQueries:
+    def test_add_query_mid_run(self):
+        streams = make_streams(2, 600)
+        cluster = build([avg()], three_tier(2, 1))
+        result = cluster.run(
+            streams,
+            actions=[(3_000, lambda c: c.add_query(avg("late", 500)))],
+        )
+        late = result.sink.for_query("late")
+        assert late
+        assert min(r.start for r in late) >= 3_000
+        assert result.sink.for_query("avg")
+
+    def test_add_duplicate_query_rejected(self):
+        cluster = build([avg()], star(1))
+        with pytest.raises(ClusterError):
+            cluster.add_query(avg())
+
+    def test_remove_query_mid_run(self):
+        streams = make_streams(2, 600)
+        cluster = build([avg("keep"), avg("drop", 500)], three_tier(2, 1))
+        result = cluster.run(
+            streams,
+            actions=[(3_000, lambda c: c.remove_query("drop"))],
+        )
+        dropped = result.sink.for_query("drop")
+        kept = result.sink.for_query("keep")
+        assert max(r.end for r in kept) > 3_000
+        assert all(r.end <= 3_500 for r in dropped)
+
+
+class TestMembership:
+    def test_add_local_node_mid_run(self):
+        streams = make_streams(2, 600)
+        extra = [Event(4_000 + 10 * i, "k", float(i)) for i in range(200)]
+        cluster = build([avg()], three_tier(2, 1))
+        result = cluster.run(
+            streams,
+            actions=[
+                (3_500, lambda c: c.add_local_node("local-9", "mid-0", extra))
+            ],
+        )
+        assert "local-9" in result.local_stats
+        assert result.local_stats["local-9"].events == 200
+
+    def test_remove_local_node_mid_run(self):
+        streams = make_streams(3, 600)
+        cluster = build([avg()], three_tier(3, 1))
+        result = cluster.run(
+            streams,
+            actions=[(3_000, lambda c: c.remove_node("local-2"))],
+        )
+        # Results keep flowing after the removal.
+        assert any(r.end > 4_000 for r in result.sink)
+        assert "local-2" not in cluster.topology.nodes()
+
+    def test_remove_unknown_node_rejected(self):
+        cluster = build([avg()], star(2))
+        with pytest.raises(ClusterError):
+            cluster.remove_node("ghost")
+
+    def test_heartbeat_timeout_eviction(self):
+        streams = make_streams(2, 800)
+        cluster = build(
+            [avg()],
+            star(2),
+            heartbeat_interval=TICK,
+            node_timeout=2 * TICK,
+        )
+
+        def kill(c):
+            c.locals["local-1"].alive = False
+
+        def evict(c):
+            dead = c.evict_timed_out()
+            assert dead == ["local-1"]
+
+        last = max(e.time for s in streams.values() for e in s)
+        result = cluster.run(
+            streams,
+            actions=[(2_000, kill), (last - 100, evict)],
+        )
+        assert "local-1" not in cluster.topology.nodes()
+        # Coverage resumed after eviction: windows past the kill time were
+        # produced from the surviving node.
+        assert any(r.end > 2_500 for r in result.sink)
+
+    def test_no_eviction_while_heartbeats_flow(self):
+        streams = make_streams(2, 600)
+        cluster = build(
+            [avg()], star(2), heartbeat_interval=TICK, node_timeout=3 * TICK
+        )
+        checked = []
+
+        def check(c):
+            checked.append(c.evict_timed_out())
+
+        last = max(e.time for s in streams.values() for e in s)
+        cluster.run(streams, actions=[(last - 100, check)])
+        assert checked == [[]]

@@ -1,0 +1,140 @@
+"""Unit tests for the intermediate node's merge-and-forward behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, NodeRole, OperatorKind
+from repro.cluster.config import ClusterConfig
+from repro.cluster.intermediate import IntermediateNode
+from repro.network.codec import BinaryCodec
+from repro.network.messages import (
+    ContextPartial,
+    ControlMessage,
+    PartialBatchMessage,
+    SliceRecord,
+)
+from repro.network.simnet import SimNetwork, SimNode
+
+K = OperatorKind
+
+
+class _Sink(SimNode):
+    def __init__(self):
+        super().__init__("root", NodeRole.ROOT)
+        self.messages = []
+
+    def on_message(self, message, now, net):
+        self.messages.append(message)
+
+
+def build(*queries):
+    plan = analyze(queries, decentralized=True)
+    net = SimNetwork(default_codec=BinaryCodec(), default_latency_ms=0.0)
+    sink = _Sink()
+    mid = IntermediateNode("mid", "root", ["a", "b"], plan, ClusterConfig())
+    net.add_node(sink)
+    net.add_node(mid)
+    a = SimNode("a", NodeRole.LOCAL)
+    b = SimNode("b", NodeRole.LOCAL)
+    net.add_node(a)
+    net.add_node(b)
+    net.connect("mid", "root")
+    net.connect("a", "mid")
+    net.connect("b", "mid")
+    return net, mid, sink
+
+
+def record(start, end, total, count):
+    return SliceRecord(
+        start=start,
+        end=end,
+        contexts={0: ContextPartial(count=count, ops={K.SUM: total})},
+    )
+
+
+def batch(sender, seq, covered, records):
+    return PartialBatchMessage(
+        sender=sender,
+        group_id=0,
+        first_slice_seq=seq,
+        covered_to=covered,
+        records=records,
+    )
+
+
+def test_forwards_only_when_all_children_covered():
+    net, mid, sink = build(
+        Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)
+    )
+    mid.on_message(batch("a", 0, 1_000, [record(0, 1_000, 3.0, 2)]), 0, net)
+    net.run()
+    assert sink.messages == []  # b has not reported yet
+    mid.on_message(batch("b", 0, 1_000, [record(0, 1_000, 4.0, 1)]), 0, net)
+    net.run()
+    (message,) = sink.messages
+    assert message.covered_to == 1_000
+    (merged,) = message.records
+    assert merged.contexts[0].ops[K.SUM] == 7.0
+    assert merged.contexts[0].count == 3
+
+
+def test_own_slice_sequence_assigned():
+    net, mid, sink = build(
+        Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)
+    )
+    for covered in (1_000, 2_000):
+        seq = covered // 1_000 - 1
+        mid.on_message(
+            batch("a", seq, covered, [record(covered - 1_000, covered, 1.0, 1)]),
+            0,
+            net,
+        )
+        mid.on_message(
+            batch("b", seq, covered, [record(covered - 1_000, covered, 1.0, 1)]),
+            0,
+            net,
+        )
+    net.run()
+    first, second = sink.messages
+    assert first.first_slice_seq == 0
+    assert second.first_slice_seq == 1  # one merged record forwarded before
+
+
+def test_heartbeats_relayed_upward():
+    net, mid, sink = build(
+        Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)
+    )
+    mid.on_message(
+        ControlMessage(sender="a", kind="heartbeat", payload=5_000), 0, net
+    )
+    net.run()
+    (message,) = sink.messages
+    assert isinstance(message, ControlMessage)
+    assert message.sender == "a"  # original sender preserved for timeouts
+
+
+def test_dead_intermediate_forwards_nothing():
+    net, mid, sink = build(
+        Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)
+    )
+    mid.alive = False
+    mid.on_message(batch("a", 0, 1_000, [record(0, 1_000, 1.0, 1)]), 0, net)
+    mid.on_message(batch("b", 0, 1_000, [record(0, 1_000, 1.0, 1)]), 0, net)
+    net.run()
+    assert sink.messages == []
+
+
+def test_child_membership_changes():
+    net, mid, sink = build(
+        Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)
+    )
+    mid.remove_child("b")
+    mid.on_message(batch("a", 0, 1_000, [record(0, 1_000, 2.0, 1)]), 0, net)
+    net.run()
+    (message,) = sink.messages  # no longer waits for b
+    assert message.records[0].contexts[0].ops[K.SUM] == 2.0
+    mid.add_child("c")
+    assert "c" in mid.children

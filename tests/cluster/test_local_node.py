@@ -1,0 +1,151 @@
+"""Unit tests for the local node's slicing and batching behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.engine import EngineStats
+from repro.core.event import Event
+from repro.core.predicates import Selection
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, OperatorKind, WindowMeasure
+from repro.cluster.config import ClusterConfig
+from repro.cluster.local import _RootEvalLocalGroup, _SlicedLocalGroup
+
+K = OperatorKind
+
+
+def sliced_group(*queries, tick=1_000):
+    plan = analyze(queries, decentralized=True)
+    (group,) = [g for g in plan.groups if not g.root_evaluated]
+    return _SlicedLocalGroup(
+        "local-0", group, ClusterConfig(tick_interval=tick), EngineStats()
+    )
+
+
+def rooteval_group(*queries, tick=1_000):
+    plan = analyze(queries, decentralized=True)
+    (group,) = [g for g in plan.groups if g.root_evaluated]
+    return _RootEvalLocalGroup(
+        "local-0", group, ClusterConfig(tick_interval=tick), EngineStats()
+    )
+
+
+class TestSlicedLocalGroup:
+    def test_flush_ships_partials_not_events(self):
+        handler = sliced_group(
+            Query.of("avg", WindowSpec.tumbling(500), AggFunction.AVERAGE)
+        )
+        for t in range(0, 1_000, 100):
+            handler.on_event(Event(t, "k", 2.0))
+        message = handler.flush(1_000)
+        assert message.covered_to == 1_000
+        assert len(message.records) == 2  # two 500ms slices
+        first = message.records[0]
+        assert first.contexts[0].ops[K.SUM] == 10.0
+        assert first.contexts[0].ops[K.COUNT] == 5
+        assert first.contexts[0].count == 5
+
+    def test_slice_seq_increments_across_flushes(self):
+        handler = sliced_group(
+            Query.of("avg", WindowSpec.tumbling(500), AggFunction.AVERAGE)
+        )
+        handler.on_event(Event(100, "k", 1.0))
+        first = handler.flush(1_000)
+        handler.on_event(Event(1_100, "k", 1.0))
+        second = handler.flush(2_000)
+        assert first.first_slice_seq == 0
+        assert second.first_slice_seq == len(first.records)
+
+    def test_empty_interval_still_advances_coverage(self):
+        handler = sliced_group(
+            Query.of("avg", WindowSpec.tumbling(500), AggFunction.AVERAGE)
+        )
+        message = handler.flush(1_000)
+        assert message.covered_to == 1_000
+        assert message.records == []
+
+    def test_session_groups_ship_activity_spans(self):
+        handler = sliced_group(
+            Query.of("s", WindowSpec.session(300), AggFunction.SUM)
+        )
+        handler.on_event(Event(120, "k", 1.0))
+        handler.on_event(Event(180, "k", 1.0))
+        message = handler.flush(1_000)
+        spans = [
+            part.span
+            for record in message.records
+            for part in record.contexts.values()
+        ]
+        assert (120, 180) in spans
+
+    def test_userdef_eps_marked_on_slices(self):
+        handler = sliced_group(
+            Query.of(
+                "u", WindowSpec.user_defined(end_marker="end"), AggFunction.SUM
+            )
+        )
+        handler.on_event(Event(100, "k", 1.0))
+        handler.on_event(Event(200, "k", 2.0, "end"))
+        message = handler.flush(1_000)
+        eps = [ep for record in message.records for ep in record.userdef_eps]
+        assert eps == [("u", 200)]
+
+
+class TestRootEvalLocalGroup:
+    def test_median_ships_sorted_values(self):
+        handler = rooteval_group(
+            Query.of("m", WindowSpec.tumbling(1_000), AggFunction.MEDIAN)
+        )
+        for t, v in ((10, 5.0), (20, 1.0), (30, 3.0)):
+            handler.on_event(Event(t, "k", v))
+        message = handler.flush(1_000)
+        (record,) = message.records
+        assert record.contexts[0].ops[K.NON_DECOMPOSABLE_SORT] == [1.0, 3.0, 5.0]
+
+    def test_count_groups_ship_timestamps(self):
+        handler = rooteval_group(
+            Query.of(
+                "c",
+                WindowSpec.tumbling(10, measure=WindowMeasure.COUNT),
+                AggFunction.SUM,
+            )
+        )
+        handler.on_event(Event(10, "k", 5.0))
+        message = handler.flush(1_000)
+        (record,) = message.records
+        assert record.contexts[0].timed == [(10, 5.0)]
+        assert not record.contexts[0].ops
+
+    def test_boundary_event_kept_for_next_slice(self):
+        handler = rooteval_group(
+            Query.of("m", WindowSpec.tumbling(1_000), AggFunction.MEDIAN)
+        )
+        handler.on_event(Event(999, "k", 1.0))
+        handler.on_event(Event(1_000, "k", 2.0))  # exactly at the tick
+        first = handler.flush(1_000)
+        assert first.records[0].contexts[0].count == 1
+        second = handler.flush(2_000)
+        assert second.records[0].contexts[0].count == 1
+
+    def test_selection_contexts_separated(self):
+        handler = rooteval_group(
+            Query.of(
+                "m1",
+                WindowSpec.tumbling(1_000),
+                AggFunction.MEDIAN,
+                selection=Selection(key="a"),
+            ),
+            Query.of(
+                "m2",
+                WindowSpec.tumbling(1_000),
+                AggFunction.MEDIAN,
+                selection=Selection(key="b"),
+            ),
+        )
+        handler.on_event(Event(10, "a", 1.0))
+        handler.on_event(Event(20, "b", 2.0))
+        message = handler.flush(1_000)
+        (record,) = message.records
+        assert len(record.contexts) == 2

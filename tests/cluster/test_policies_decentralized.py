@@ -1,0 +1,78 @@
+"""Decentralized deployments of the restricted-sharing baselines.
+
+The paper's DeSW and DeBucket "are developed based on Desis and have the
+same architecture that can calculate decentralized aggregations"
+(Sec 6.1.1) — in this code base that is a :class:`DesisCluster` with a
+restricted sharing policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, SharingPolicy
+from repro.cluster import ClusterConfig, DesisCluster
+from repro.network.topology import three_tier
+
+from tests.cluster.test_desis_parity import (
+    TICK,
+    centralized_reference,
+    make_streams,
+    signature,
+)
+
+
+def mixed_queries():
+    return [
+        Query.of("avg1", WindowSpec.tumbling(1_000), AggFunction.AVERAGE),
+        Query.of("avg2", WindowSpec.tumbling(2_000), AggFunction.AVERAGE),
+        Query.of("sum1", WindowSpec.sliding(2_000, 500), AggFunction.SUM),
+    ]
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [
+        SharingPolicy.FULL,
+        SharingPolicy.SAME_FUNCTION,
+        SharingPolicy.SAME_FUNCTION_AND_MEASURE,
+        SharingPolicy.NONE,
+    ],
+)
+def test_results_identical_under_any_policy(policy):
+    """Sharing changes who does the work, never the answers — in the
+    decentralized deployment too."""
+    queries = mixed_queries()
+    streams = make_streams(2, 250)
+    cluster = DesisCluster(
+        queries,
+        three_tier(2, 1),
+        config=ClusterConfig(tick_interval=TICK),
+        policy=policy,
+    )
+    result = cluster.run(streams)
+    reference = centralized_reference(queries, streams)
+    assert signature(result.sink) == signature(reference)
+
+
+def test_restricted_policies_create_more_groups_and_traffic():
+    queries = mixed_queries()
+    streams = make_streams(2, 400)
+
+    def run(policy):
+        cluster = DesisCluster(
+            queries,
+            three_tier(2, 1),
+            config=ClusterConfig(tick_interval=TICK),
+            policy=policy,
+        )
+        result = cluster.run(dict(streams))
+        return len(cluster.plan.groups), result.network.data_bytes
+
+    full_groups, full_bytes = run(SharingPolicy.FULL)
+    none_groups, none_bytes = run(SharingPolicy.NONE)
+    assert full_groups == 1
+    assert none_groups == 3
+    # Per-group slice batches mean the unshared deployment ships more.
+    assert none_bytes > 1.5 * full_bytes

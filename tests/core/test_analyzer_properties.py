@@ -1,0 +1,112 @@
+"""Property-based tests for query-group formation invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import analyze
+from repro.core.functions import FunctionSpec, operators_for
+from repro.core.predicates import Selection, compatible
+from repro.core.query import Query, WindowSpec
+from repro.core.types import (
+    AggFunction,
+    OperatorKind,
+    SharingPolicy,
+    WindowMeasure,
+)
+
+
+@st.composite
+def random_queries(draw, max_queries=12):
+    n = draw(st.integers(1, max_queries))
+    queries = []
+    for i in range(n):
+        kind = draw(st.sampled_from(["tumbling", "sliding", "session", "count"]))
+        if kind == "tumbling":
+            window = WindowSpec.tumbling(draw(st.integers(1, 1_000)))
+        elif kind == "sliding":
+            window = WindowSpec.sliding(
+                draw(st.integers(2, 1_000)), draw(st.integers(1, 1_000))
+            )
+        elif kind == "session":
+            window = WindowSpec.session(draw(st.integers(1, 1_000)))
+        else:
+            window = WindowSpec.tumbling(
+                draw(st.integers(1, 100)), measure=WindowMeasure.COUNT
+            )
+        fn = draw(st.sampled_from(list(AggFunction)))
+        quantile = draw(st.floats(0.01, 0.99)) if fn is AggFunction.QUANTILE else None
+        selection = draw(
+            st.sampled_from(
+                [
+                    Selection(),
+                    Selection(key="a"),
+                    Selection(key="b"),
+                    Selection(key="a", lo=0.0, hi=50.0),
+                    Selection(key="a", lo=50.0),
+                    Selection(lo=0.0, hi=50.0),
+                    Selection(lo=25.0, hi=75.0),
+                ]
+            )
+        )
+        queries.append(
+            Query(
+                query_id=f"q{i}",
+                window=window,
+                function=FunctionSpec(fn, quantile),
+                selection=selection,
+            )
+        )
+    return queries
+
+
+policies = st.sampled_from(list(SharingPolicy))
+
+
+@settings(max_examples=200, deadline=None)
+@given(queries=random_queries(), policy=policies)
+def test_partition_invariants(queries, policy):
+    """Every query lands in exactly one group; group members are pairwise
+    selection-compatible; the group plan covers every member's operators."""
+    plan = analyze(queries, policy=policy)
+    seen = []
+    for group in plan.groups:
+        for query in group.queries:
+            seen.append(query.query_id)
+        for left in group.queries:
+            for right in group.queries:
+                assert compatible(left.selection, right.selection)
+        planned = set(group.operators)
+        for query in group.queries:
+            wanted = set(operators_for(query.function))
+            if OperatorKind.NON_DECOMPOSABLE_SORT in planned:
+                wanted.discard(OperatorKind.DECOMPOSABLE_SORT)
+                if OperatorKind.DECOMPOSABLE_SORT in operators_for(query.function):
+                    wanted.add(OperatorKind.NON_DECOMPOSABLE_SORT)
+            assert wanted <= planned
+    assert sorted(seen) == sorted(q.query_id for q in queries)
+
+
+@settings(max_examples=100, deadline=None)
+@given(queries=random_queries())
+def test_decentralized_placement_is_homogeneous(queries):
+    """Root-evaluated groups contain only root-evaluated queries and vice
+    versa (Sec 5.2)."""
+    plan = analyze(queries, decentralized=True)
+    for group in plan.groups:
+        placements = {
+            (not q.is_decomposable) or q.is_count_based for q in group.queries
+        }
+        assert len(placements) == 1
+        assert group.root_evaluated == placements.pop()
+
+
+@settings(max_examples=100, deadline=None)
+@given(queries=random_queries())
+def test_full_policy_never_more_groups_than_restricted(queries):
+    full = len(analyze(queries, policy=SharingPolicy.FULL).groups)
+    same_fn = len(analyze(queries, policy=SharingPolicy.SAME_FUNCTION).groups)
+    none = len(analyze(queries, policy=SharingPolicy.NONE).groups)
+    assert full <= same_fn <= none
+    assert none == len(queries)

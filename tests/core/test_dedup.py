@@ -1,0 +1,126 @@
+"""Tests for the deduplication non-aggregate operator (Sec 4.2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import AggregationEngine
+from repro.core.event import Event
+from repro.core.predicates import Selection
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+
+
+def run(queries, events):
+    engine = AggregationEngine(queries)
+    for event in events:
+        engine.process(event)
+    return engine, engine.close()
+
+
+DUPLICATED = [
+    Event(0, "a", 1.0),
+    Event(0, "a", 1.0),      # exact duplicate
+    Event(10, "a", 2.0),
+    Event(10, "a", 2.0),     # exact duplicate
+    Event(10, "a", 3.0),     # same time, different value: kept
+]
+
+
+class TestDeduplication:
+    def test_duplicates_dropped_for_dedup_query(self):
+        queries = [
+            Query.of(
+                "d",
+                WindowSpec.tumbling(1_000),
+                AggFunction.SUM,
+                selection=Selection(deduplicate=True),
+            )
+        ]
+        engine, sink = run(queries, DUPLICATED)
+        (result,) = sink.for_query("d")
+        assert result.value == 6.0  # 1 + 2 + 3
+        assert result.event_count == 3
+        assert engine.stats.duplicates_dropped == 2
+
+    def test_plain_query_keeps_duplicates(self):
+        queries = [
+            Query.of("p", WindowSpec.tumbling(1_000), AggFunction.SUM)
+        ]
+        _, sink = run(queries, DUPLICATED)
+        assert sink.for_query("p")[0].value == 9.0
+
+    def test_dedup_and_plain_share_group_with_separate_contexts(self):
+        """The aggregation engine binds non-aggregate operators per
+        selection context, so dedup and plain queries coexist in one
+        query-group with individual results."""
+        queries = [
+            Query.of(
+                "d",
+                WindowSpec.tumbling(1_000),
+                AggFunction.SUM,
+                selection=Selection(deduplicate=True),
+            ),
+            Query.of("p", WindowSpec.tumbling(1_000), AggFunction.SUM),
+        ]
+        engine, sink = run(queries, DUPLICATED)
+        assert engine.group_count == 1
+        assert sink.for_query("d")[0].value == 6.0
+        assert sink.for_query("p")[0].value == 9.0
+
+    def test_dedup_scope_is_per_slice(self):
+        """Duplicates in different slices are both aggregated: the
+        deduplication state is slice-local (partial results must stay
+        mergeable)."""
+        queries = [
+            Query.of(
+                "d",
+                WindowSpec.tumbling(100),
+                AggFunction.COUNT,
+                selection=Selection(deduplicate=True),
+            )
+        ]
+        events = [Event(0, "a", 1.0), Event(150, "a", 1.0)]
+        _, sink = run(queries, events)
+        assert sum(r.value for r in sink.for_query("d")) == 2
+
+    def test_parser_distinct_keyword(self):
+        from repro.interface import parse_query
+
+        query = parse_query(
+            "SELECT AVG(DISTINCT value) FROM stream WINDOW TUMBLING 1s",
+            query_id="q",
+        )
+        assert query.selection.deduplicate
+
+    def test_serde_roundtrip_preserves_flag(self):
+        from repro.core.serde import query_from_dict, query_to_dict
+
+        query = Query.of(
+            "q",
+            WindowSpec.tumbling(10),
+            AggFunction.SUM,
+            selection=Selection(key="a", deduplicate=True),
+        )
+        assert query_from_dict(query_to_dict(query)) == query
+
+
+class TestMemoryPeaks:
+    def test_peak_counters_track_highs(self):
+        queries = [
+            Query.of("long", WindowSpec.sliding(2_000, 100), AggFunction.SUM)
+        ]
+        engine, _ = run(
+            queries, [Event(t, "a", 1.0) for t in range(0, 3_000, 25)]
+        )
+        # A 2s window over 100ms slices keeps ~20 slices and windows live.
+        assert 15 <= engine.stats.peak_live_slices <= 30
+        assert 15 <= engine.stats.peak_open_windows <= 30
+
+    def test_tumbling_keeps_single_slice(self):
+        queries = [Query.of("t", WindowSpec.tumbling(100), AggFunction.SUM)]
+        engine, _ = run(
+            queries, [Event(t, "a", 1.0) for t in range(0, 2_000, 10)]
+        )
+        assert engine.stats.peak_live_slices == 1
+        assert engine.stats.peak_open_windows == 1

@@ -1,0 +1,96 @@
+"""Cross-cutting engine invariants on random workloads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import AggregationEngine
+from repro.core.event import Event
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+
+
+@st.composite
+def streams(draw):
+    n = draw(st.integers(5, 150))
+    deltas = draw(st.lists(st.integers(0, 300), min_size=n, max_size=n))
+    events = []
+    t = 0
+    for index, dt in enumerate(deltas):
+        t += dt
+        events.append(Event(t, "k", float(index % 13)))
+    return events
+
+
+@settings(max_examples=80, deadline=None)
+@given(events=streams(), length=st.integers(50, 2_000))
+def test_tumbling_conservation(events, length):
+    """Every event lands in exactly one tumbling window: counts conserve."""
+    engine = AggregationEngine(
+        [Query.of("q", WindowSpec.tumbling(length), AggFunction.COUNT)]
+    )
+    for event in events:
+        engine.process(event)
+    sink = engine.close()
+    assert sum(r.value for r in sink.for_query("q")) == len(events)
+
+
+@settings(max_examples=80, deadline=None)
+@given(events=streams(), gap=st.integers(10, 1_000))
+def test_session_conservation_and_separation(events, gap):
+    """Sessions partition the events; consecutive sessions are separated
+    by at least the gap."""
+    engine = AggregationEngine(
+        [Query.of("s", WindowSpec.session(gap), AggFunction.COUNT)]
+    )
+    for event in events:
+        engine.process(event)
+    sink = engine.close()
+    results = sorted(sink.for_query("s"), key=lambda r: r.start)
+    assert sum(r.value for r in results) == len(events)
+    for left, right in zip(results, results[1:]):
+        assert right.start - (left.end - gap) >= gap
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=streams(), length=st.integers(100, 1_000), k=st.integers(2, 4))
+def test_sliding_window_count_multiplicity(events, length, k):
+    """With slide = length/k every event is counted by at most k windows
+    (fewer at the stream edges)."""
+    slide = max(length // k, 1)
+    engine = AggregationEngine(
+        [Query.of("q", WindowSpec.sliding(length, slide), AggFunction.COUNT)]
+    )
+    for event in events:
+        engine.process(event)
+    sink = engine.close()
+    total = sum(r.value for r in sink.for_query("q"))
+    windows_per_event = -(-length // slide)  # ceil
+    assert len(events) <= total <= windows_per_event * len(events)
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=streams())
+def test_slice_insert_counts_match_matched_events(events):
+    """Per-slice insert counts sum to the engine's insert counter."""
+    engine = AggregationEngine(
+        [Query.of("q", WindowSpec.tumbling(500), AggFunction.SUM)]
+    )
+    slice_inserts = 0
+    runtime = engine.groups[0]
+    original = runtime._cut
+
+    def counting_cut(time, eps, sps):
+        nonlocal slice_inserts
+        slice_inserts += sum(
+            state.inserts for state in runtime.current.contexts.values()
+        )
+        original(time, eps, sps)
+
+    runtime._cut = counting_cut
+    for event in events:
+        engine.process(event)
+    engine.close()
+    assert slice_inserts == engine.stats.inserts

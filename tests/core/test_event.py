@@ -1,0 +1,70 @@
+"""Tests for event records and stream helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import OutOfOrderError
+from repro.core.event import Event, Watermark, ensure_ordered, merge_streams
+
+
+class TestEvent:
+    def test_fields(self):
+        event = Event(5, "speed", 88.0, "trip_end")
+        assert (event.time, event.key, event.value, event.marker) == (
+            5,
+            "speed",
+            88.0,
+            "trip_end",
+        )
+
+    def test_immutable(self):
+        event = Event(1, "a", 1.0)
+        with pytest.raises(AttributeError):
+            event.time = 2  # type: ignore[misc]
+
+    def test_marker_defaults_none(self):
+        assert Event(1, "a", 1.0).marker is None
+
+
+class TestEnsureOrdered:
+    def test_passes_ordered(self):
+        events = [Event(t, "a", 0.0) for t in (1, 1, 2, 5)]
+        assert list(ensure_ordered(events)) == events
+
+    def test_raises_on_regress(self):
+        events = [Event(2, "a", 0.0), Event(1, "a", 0.0)]
+        with pytest.raises(OutOfOrderError):
+            list(ensure_ordered(events))
+
+
+class TestMergeStreams:
+    def test_merges_by_time(self):
+        a = [Event(1, "a", 0.0), Event(4, "a", 0.0)]
+        b = [Event(2, "b", 0.0), Event(3, "b", 0.0)]
+        merged = list(merge_streams(a, b))
+        assert [e.time for e in merged] == [1, 2, 3, 4]
+
+    @given(
+        st.lists(st.lists(st.integers(0, 1_000), max_size=30), max_size=4)
+    )
+    def test_merge_is_ordered_and_complete(self, time_lists):
+        streams = [
+            [Event(t, f"s{i}", 0.0) for t in sorted(times)]
+            for i, times in enumerate(time_lists)
+        ]
+        merged = list(merge_streams(*streams))
+        assert [e.time for e in merged] == sorted(
+            t for times in time_lists for t in times
+        )
+
+    def test_ties_are_stable_by_stream(self):
+        a = [Event(5, "a", 0.0)]
+        b = [Event(5, "b", 0.0)]
+        assert [e.key for e in merge_streams(a, b)] == ["a", "b"]
+
+
+def test_watermark_record():
+    assert Watermark(42).time == 42

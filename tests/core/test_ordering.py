@@ -1,0 +1,143 @@
+"""Tests for bounded out-of-order handling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DesisProcessor
+from repro.core.errors import OutOfOrderError, ReproError
+from repro.core.event import Event
+from repro.core.ordering import ReorderBuffer, ReorderingProcessor
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+
+from tests.conftest import make_stream
+
+
+def shuffle_within(events, radius, seed=3):
+    """Disorder a stream by swapping events within a bounded radius."""
+    rng = random.Random(seed)
+    out = list(events)
+    for i in range(len(out) - 1):
+        j = min(i + rng.randrange(radius + 1), len(out) - 1)
+        out[i], out[j] = out[j], out[i]
+    return out
+
+
+class TestReorderBuffer:
+    def test_in_order_stream_passes_through(self):
+        buffer = ReorderBuffer(max_lateness=0)
+        released = []
+        for t in (1, 2, 3):
+            released += buffer.push(Event(t, "a", 1.0))
+        assert [e.time for e in released] == [1, 2, 3]
+
+    def test_reorders_within_bound(self):
+        buffer = ReorderBuffer(max_lateness=10)
+        out = []
+        for t in (5, 3, 8, 6, 20):
+            out += buffer.push(Event(t, "a", float(t)))
+        out += buffer.flush()
+        assert [e.time for e in out] == [3, 5, 6, 8, 20]
+
+    def test_too_late_event_dropped(self):
+        buffer = ReorderBuffer(max_lateness=5)
+        buffer.push(Event(0, "a", 1.0))
+        buffer.push(Event(100, "a", 1.0))  # releases everything <= 95
+        assert buffer.push(Event(10, "a", 1.0)) == []
+        assert buffer.late_dropped == 1
+
+    def test_too_late_event_raises_when_configured(self):
+        buffer = ReorderBuffer(max_lateness=5, on_late="raise")
+        buffer.push(Event(0, "a", 1.0))
+        buffer.push(Event(100, "a", 1.0))
+        with pytest.raises(OutOfOrderError):
+            buffer.push(Event(10, "a", 1.0))
+
+    def test_invalid_config(self):
+        with pytest.raises(ReproError):
+            ReorderBuffer(max_lateness=-1)
+        with pytest.raises(ReproError):
+            ReorderBuffer(max_lateness=1, on_late="shrug")
+
+    @given(
+        times=st.lists(st.integers(0, 1_000), min_size=1, max_size=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_output_is_always_ordered(self, times):
+        buffer = ReorderBuffer(max_lateness=100)
+        out = []
+        for t in times:
+            out += buffer.push(Event(t, "a", 1.0))
+        out += buffer.flush()
+        assert [e.time for e in out] == sorted(e.time for e in out)
+        assert len(out) + buffer.late_dropped == len(times)
+
+
+class TestReorderingProcessor:
+    def queries(self):
+        return [
+            Query.of("avg", WindowSpec.tumbling(500), AggFunction.AVERAGE),
+            Query.of("med", WindowSpec.tumbling(700), AggFunction.MEDIAN),
+        ]
+
+    def test_disordered_equals_ordered(self):
+        events = make_stream(600)
+        disordered = shuffle_within(events, radius=8)
+        assert disordered != events
+
+        plain = DesisProcessor(self.queries())
+        for event in events:
+            plain.process(event)
+        plain.close()
+
+        # The exact lateness this disordered stream needs: how far behind
+        # the running high-water mark any event arrives.
+        high = disordered[0].time
+        max_skew = 0
+        for event in disordered:
+            high = max(high, event.time)
+            max_skew = max(max_skew, high - event.time)
+        wrapped = ReorderingProcessor(
+            DesisProcessor(self.queries()), max_lateness=max_skew
+        )
+        for event in disordered:
+            wrapped.process(event)
+        wrapped.close()
+
+        assert wrapped.late_dropped == 0
+        key = lambda r: (r.query_id, r.start, r.end)
+        assert sorted(
+            (r.query_id, r.start, r.end, r.value) for r in wrapped.sink
+        ) == sorted((r.query_id, r.start, r.end, r.value) for r in plain.sink)
+
+    def test_late_events_are_counted_not_fatal(self):
+        wrapped = ReorderingProcessor(
+            DesisProcessor(self.queries()), max_lateness=10
+        )
+        wrapped.process(Event(0, "a", 1.0))
+        wrapped.process(Event(1_000, "a", 2.0))
+        wrapped.process(Event(5, "a", 99.0))  # far too late
+        wrapped.close()
+        assert wrapped.late_dropped == 1
+        total = sum(r.event_count for r in wrapped.sink.for_query("avg"))
+        assert total == 2
+
+    def test_watermark_releases_buffer(self):
+        wrapped = ReorderingProcessor(
+            DesisProcessor(self.queries()), max_lateness=1_000
+        )
+        wrapped.process(Event(100, "a", 1.0))
+        assert len(wrapped.buffer) == 1
+        wrapped.advance(600)
+        assert len(wrapped.buffer) == 0
+        wrapped.close()
+
+    def test_name_and_stats_delegate(self):
+        wrapped = ReorderingProcessor(DesisProcessor(self.queries()), 10)
+        assert wrapped.name == "Desis+reorder"
+        assert wrapped.stats.events == 0

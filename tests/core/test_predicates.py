@@ -1,0 +1,123 @@
+"""Tests for selection predicates and query-group compatibility (Sec 4.2.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import QueryError
+from repro.core.event import Event
+from repro.core.predicates import (
+    Selection,
+    SelectionRelation,
+    compatible,
+    selection_relation,
+)
+
+R = SelectionRelation
+
+
+def ev(key: str = "a", value: float = 1.0) -> Event:
+    return Event(time=0, key=key, value=value)
+
+
+class TestMatches:
+    def test_pass_all(self):
+        sel = Selection()
+        assert sel.is_pass_all
+        assert sel.matches(ev("x", -1e9))
+
+    def test_key_filter(self):
+        sel = Selection(key="speed")
+        assert sel.matches(ev("speed"))
+        assert not sel.matches(ev("temp"))
+
+    def test_value_range_is_half_open(self):
+        sel = Selection(lo=10.0, hi=20.0)
+        assert sel.matches(ev(value=10.0))
+        assert sel.matches(ev(value=19.999))
+        assert not sel.matches(ev(value=20.0))
+        assert not sel.matches(ev(value=9.999))
+
+    def test_open_bounds(self):
+        assert Selection(lo=5.0).matches(ev(value=1e9))
+        assert Selection(hi=5.0).matches(ev(value=-1e9))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            Selection(lo=5.0, hi=5.0)
+
+    def test_str_is_sql_ish(self):
+        assert str(Selection()) == "TRUE"
+        assert "key = 'speed'" in str(Selection(key="speed", lo=80.0))
+
+
+class TestRelation:
+    def test_identical_selections_are_equal(self):
+        a = Selection(key="speed", lo=80.0)
+        assert selection_relation(a, Selection(key="speed", lo=80.0)) is R.EQUAL
+
+    def test_different_keys_are_disjoint(self):
+        assert (
+            selection_relation(Selection(key="a"), Selection(key="b")) is R.DISJOINT
+        )
+
+    def test_paper_example_disjoint_ranges(self):
+        """WHERE speed > 80 and WHERE speed < 25 may share a group."""
+        fast = Selection(key="speed", lo=80.0)
+        slow = Selection(key="speed", hi=25.0)
+        assert selection_relation(fast, slow) is R.DISJOINT
+        assert compatible(fast, slow)
+
+    def test_partial_range_overlap(self):
+        a = Selection(lo=0.0, hi=50.0)
+        b = Selection(lo=25.0, hi=75.0)
+        assert selection_relation(a, b) is R.OVERLAPPING
+        assert not compatible(a, b)
+
+    def test_touching_ranges_are_disjoint(self):
+        a = Selection(lo=0.0, hi=50.0)
+        b = Selection(lo=50.0, hi=100.0)
+        assert selection_relation(a, b) is R.DISJOINT
+
+    def test_containment_is_overlap(self):
+        """A pass-all selection strictly contains any keyed one."""
+        assert selection_relation(Selection(), Selection(key="a")) is R.OVERLAPPING
+        assert not compatible(Selection(), Selection(key="a"))
+
+    def test_keyed_vs_all_keys_disjoint_ranges_ok(self):
+        a = Selection(key="a", lo=0.0, hi=10.0)
+        b = Selection(lo=10.0, hi=20.0)
+        assert selection_relation(a, b) is R.DISJOINT
+
+    def test_pass_all_with_itself(self):
+        assert selection_relation(Selection(), Selection()) is R.EQUAL
+
+
+selections = st.builds(
+    Selection,
+    key=st.sampled_from([None, "a", "b"]),
+    lo=st.sampled_from([None, 0.0, 10.0, 50.0]),
+    hi=st.sampled_from([None, 60.0, 100.0]),
+)
+event_values = st.floats(min_value=-10.0, max_value=120.0, allow_nan=False)
+event_keys = st.sampled_from(["a", "b", "c"])
+
+
+class TestRelationProperties:
+    @given(a=selections, b=selections)
+    def test_relation_is_symmetric(self, a, b):
+        assert selection_relation(a, b) is selection_relation(b, a)
+
+    @given(a=selections, b=selections, key=event_keys, value=event_values)
+    def test_disjoint_means_no_common_event(self, a, b, key, value):
+        event = ev(key, value)
+        if selection_relation(a, b) is R.DISJOINT:
+            assert not (a.matches(event) and b.matches(event))
+
+    @given(a=selections, b=selections, key=event_keys, value=event_values)
+    def test_equal_means_same_matching(self, a, b, key, value):
+        event = ev(key, value)
+        if selection_relation(a, b) is R.EQUAL:
+            assert a.matches(event) == b.matches(event)

@@ -1,0 +1,97 @@
+"""Tests for query and window specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.functions import FunctionSpec
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, WindowMeasure, WindowType
+
+
+class TestWindowSpec:
+    def test_tumbling(self):
+        spec = WindowSpec.tumbling(1_000)
+        assert spec.window_type is WindowType.TUMBLING
+        assert spec.is_fixed_size
+        assert spec.effective_slide == 1_000
+
+    def test_tumbling_count(self):
+        spec = WindowSpec.tumbling(100, measure=WindowMeasure.COUNT)
+        assert spec.measure is WindowMeasure.COUNT
+
+    def test_sliding(self):
+        spec = WindowSpec.sliding(2_000, 500)
+        assert spec.effective_slide == 500
+        assert spec.is_fixed_size
+
+    def test_session(self):
+        spec = WindowSpec.session(gap=250)
+        assert not spec.is_fixed_size
+        with pytest.raises(QueryError):
+            spec.effective_slide
+
+    def test_user_defined(self):
+        spec = WindowSpec.user_defined(end_marker="trip_end")
+        assert spec.start_marker is None
+        assert not spec.is_fixed_size
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: WindowSpec.tumbling(0),
+            lambda: WindowSpec.tumbling(-5),
+            lambda: WindowSpec.sliding(1_000, 0),
+            lambda: WindowSpec(WindowType.SLIDING, length=1_000),
+            lambda: WindowSpec(WindowType.TUMBLING, length=10, slide=5),
+            lambda: WindowSpec(WindowType.SESSION, gap=0),
+            lambda: WindowSpec(WindowType.SESSION, gap=10, length=5),
+            lambda: WindowSpec(
+                WindowType.SESSION, gap=10, measure=WindowMeasure.COUNT
+            ),
+            lambda: WindowSpec(WindowType.USER_DEFINED),
+            lambda: WindowSpec(
+                WindowType.USER_DEFINED, end_marker="e", length=5
+            ),
+            lambda: WindowSpec(WindowType.TUMBLING, length=10, gap=4),
+        ],
+    )
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(QueryError):
+            bad()
+
+    def test_str_forms(self):
+        assert "tumbling" in str(WindowSpec.tumbling(5))
+        assert "sliding" in str(WindowSpec.sliding(10, 5))
+        assert "session" in str(WindowSpec.session(3))
+        assert "user_defined" in str(WindowSpec.user_defined(end_marker="x"))
+
+
+class TestQuery:
+    def test_of_shorthand(self):
+        query = Query.of("q", WindowSpec.tumbling(10), AggFunction.AVERAGE)
+        assert query.function == FunctionSpec(AggFunction.AVERAGE)
+        assert query.selection.is_pass_all
+        assert query.is_decomposable
+        assert not query.is_count_based
+
+    def test_of_quantile(self):
+        query = Query.of(
+            "q", WindowSpec.tumbling(10), AggFunction.QUANTILE, quantile=0.95
+        )
+        assert not query.is_decomposable
+        assert query.function.quantile == 0.95
+
+    def test_count_based_flag(self):
+        query = Query.of(
+            "q",
+            WindowSpec.tumbling(100, measure=WindowMeasure.COUNT),
+            AggFunction.SUM,
+        )
+        assert query.is_count_based
+
+    def test_str(self):
+        query = Query.of("q9", WindowSpec.session(5), AggFunction.MEDIAN)
+        text = str(query)
+        assert "q9" in text and "median" in text and "session" in text

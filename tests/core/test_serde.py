@@ -1,0 +1,74 @@
+"""Tests for query dict (de)serialization (window-attribute broadcast)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import QueryError
+from repro.core.functions import FunctionSpec
+from repro.core.predicates import Selection
+from repro.core.query import Query, WindowSpec
+from repro.core.serde import query_from_dict, query_to_dict
+from repro.core.types import AggFunction, WindowMeasure
+
+
+@st.composite
+def queries(draw):
+    kind = draw(st.sampled_from(["tumbling", "sliding", "session", "userdef"]))
+    if kind == "tumbling":
+        window = WindowSpec.tumbling(
+            draw(st.integers(1, 10_000)),
+            measure=draw(st.sampled_from(list(WindowMeasure))),
+        )
+    elif kind == "sliding":
+        window = WindowSpec.sliding(
+            draw(st.integers(1, 10_000)), draw(st.integers(1, 10_000))
+        )
+    elif kind == "session":
+        window = WindowSpec.session(draw(st.integers(1, 10_000)))
+    else:
+        window = WindowSpec.user_defined(
+            end_marker=draw(st.sampled_from(["end", "stop"])),
+            start_marker=draw(st.sampled_from([None, "go"])),
+        )
+    fn = draw(st.sampled_from(list(AggFunction)))
+    quantile = draw(st.floats(0.01, 0.99)) if fn is AggFunction.QUANTILE else None
+    selection = Selection(
+        key=draw(st.sampled_from([None, "a", "b"])),
+        lo=draw(st.sampled_from([None, 0.0, 10.0])),
+        hi=draw(st.sampled_from([None, 50.0, 100.0])),
+    )
+    return Query(
+        query_id=draw(st.text(min_size=1, max_size=8)),
+        window=window,
+        function=FunctionSpec(fn, quantile),
+        selection=selection,
+    )
+
+
+@given(query=queries())
+def test_roundtrip(query):
+    assert query_from_dict(query_to_dict(query)) == query
+
+
+@given(query=queries())
+def test_dict_is_json_compatible(query):
+    payload = json.dumps(query_to_dict(query))
+    assert query_from_dict(json.loads(payload)) == query
+
+
+def test_malformed_dict_raises():
+    with pytest.raises(QueryError):
+        query_from_dict({"query_id": "q"})
+    with pytest.raises(QueryError):
+        query_from_dict(
+            {
+                "query_id": "q",
+                "window": {"type": "nonsense", "measure": "time"},
+                "function": {"fn": "sum"},
+            }
+        )

@@ -1,0 +1,113 @@
+"""Tests for slices and the reference-counted slice store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.core.operators import merge_many_partials
+from repro.core.slices import Slice, SliceStore
+from repro.core.types import OperatorKind
+
+K = OperatorKind
+KINDS = (K.SUM, K.COUNT)
+
+
+def closed_slice(index: int, values_by_ctx: dict[int, list[float]], span=(0, 10)):
+    s = Slice(index=index, start=span[0])
+    for ctx, values in values_by_ctx.items():
+        for v in values:
+            s.insert(ctx, v, KINDS)
+    s.close(span[1])
+    return s
+
+
+class TestSlice:
+    def test_lazy_context_creation(self):
+        s = Slice(0, 0)
+        assert not s.contexts
+        s.insert(3, 1.0, KINDS)
+        assert set(s.contexts) == {3}
+
+    def test_close_freezes_partials(self):
+        s = closed_slice(0, {0: [1.0, 2.0], 1: [5.0]})
+        assert s.partials[0][K.SUM] == 3.0
+        assert s.partials[0][K.COUNT] == 2
+        assert s.partials[1][K.SUM] == 5.0
+        assert s.insert_counts == {0: 2, 1: 1}
+        assert s.total_inserts == 3
+        assert not s.contexts  # open state is discarded
+
+    def test_double_close_raises(self):
+        s = closed_slice(0, {})
+        with pytest.raises(EngineError):
+            s.close(20)
+
+    def test_repr_mentions_state(self):
+        s = Slice(7, 0)
+        assert "open" in repr(s)
+        s.close(5)
+        assert "closed" in repr(s)
+
+
+class TestSliceStore:
+    def test_rejects_open_slice(self):
+        store = SliceStore()
+        with pytest.raises(EngineError):
+            store.add(Slice(0, 0), refcount=1)
+
+    def test_zero_refcount_drops_immediately(self):
+        store = SliceStore()
+        store.add(closed_slice(0, {0: [1.0]}), refcount=0)
+        assert len(store) == 0
+        assert store.freed == 1
+
+    def test_release_gc_frees_front(self):
+        store = SliceStore()
+        for i in range(3):
+            store.add(closed_slice(i, {0: [float(i)]}), refcount=1)
+        assert len(store) == 3
+        store.release(0, 1)
+        assert len(store) == 1
+        assert store.get(2) is not None
+        store.release(2, 2)
+        assert len(store) == 0
+
+    def test_gc_stops_at_live_slice(self):
+        store = SliceStore()
+        store.add(closed_slice(0, {0: [1.0]}), refcount=2)
+        store.add(closed_slice(1, {0: [1.0]}), refcount=1)
+        store.release(0, 1)  # slice 0 still held by one window
+        assert len(store) == 2
+        store.release(0, 0)
+        assert len(store) == 0
+
+    def test_merge_context_partials(self):
+        store = SliceStore()
+        store.add(closed_slice(0, {0: [1.0, 2.0]}), refcount=1)
+        store.add(closed_slice(1, {1: [9.0]}), refcount=1)  # other context
+        store.add(closed_slice(2, {0: [3.0]}), refcount=1)
+        merged, events = store.merge_context_partials(
+            0, 2, ctx=0, kinds=KINDS, merge=merge_many_partials
+        )
+        assert merged[K.SUM] == 6.0
+        assert merged[K.COUNT] == 3
+        assert events == 3
+
+    def test_merge_skips_missing_slices(self):
+        store = SliceStore()
+        store.add(closed_slice(5, {0: [4.0]}), refcount=1)
+        merged, events = store.merge_context_partials(
+            0, 9, ctx=0, kinds=(K.SUM,), merge=merge_many_partials
+        )
+        assert merged[K.SUM] == 4.0
+        assert events == 1
+
+    def test_merge_empty_context_returns_nothing(self):
+        store = SliceStore()
+        store.add(closed_slice(0, {1: [4.0]}), refcount=1)
+        merged, events = store.merge_context_partials(
+            0, 0, ctx=0, kinds=KINDS, merge=merge_many_partials
+        )
+        assert merged == {}
+        assert events == 0

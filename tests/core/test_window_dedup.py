@@ -1,0 +1,147 @@
+"""Tests for window deduplication: identical windows share one instance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import AggregationEngine
+from repro.core.event import Event
+from repro.core.predicates import Selection
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+
+from tests.conftest import make_stream
+
+
+def run(queries, events):
+    engine = AggregationEngine(queries)
+    for event in events:
+        engine.process(event)
+    return engine, engine.close()
+
+
+class TestDeduplication:
+    def test_identical_windows_share_an_instance(self):
+        queries = [
+            Query.of(f"q{i}", WindowSpec.tumbling(500), AggFunction.AVERAGE)
+            for i in range(100)
+        ]
+        events = make_stream(300, dt_choices=(10,))
+        engine, sink = run(queries, events)
+        # One tracker, one window instance per 500ms — but 100 results.
+        runtime = engine.groups[0]
+        assert len(runtime.fixed) == 1
+        assert engine.stats.windows_closed * 100 == engine.stats.results
+        first_window_results = [r for r in sink if r.start == events[0].time]
+        assert len(first_window_results) == 100
+        assert len({r.value for r in first_window_results}) == 1
+
+    def test_different_functions_share_window_not_result(self):
+        spec = WindowSpec.tumbling(1_000)
+        queries = [
+            Query.of("avg", spec, AggFunction.AVERAGE),
+            Query.of("sum", spec, AggFunction.SUM),
+            Query.of("max", spec, AggFunction.MAX),
+        ]
+        events = [Event(0, "a", 2.0), Event(100, "a", 4.0), Event(1_500, "a", 0.0)]
+        engine, sink = run(queries, events)
+        assert len(engine.groups[0].fixed) == 1
+        assert sink.for_query("avg")[0].value == 3.0
+        assert sink.for_query("sum")[0].value == 6.0
+        assert sink.for_query("max")[0].value == 4.0
+
+    def test_different_selections_do_not_share(self):
+        spec = WindowSpec.tumbling(1_000)
+        queries = [
+            Query.of("a", spec, AggFunction.SUM, selection=Selection(key="a")),
+            Query.of("b", spec, AggFunction.SUM, selection=Selection(key="b")),
+        ]
+        engine, _ = run(queries, [Event(0, "a", 1.0), Event(1_500, "b", 1.0)])
+        assert len(engine.groups[0].fixed) == 2
+
+    def test_different_lengths_do_not_share(self):
+        queries = [
+            Query.of("a", WindowSpec.tumbling(1_000), AggFunction.SUM),
+            Query.of("b", WindowSpec.tumbling(2_000), AggFunction.SUM),
+        ]
+        engine, _ = run(queries, [Event(0, "a", 1.0), Event(2_500, "a", 1.0)])
+        assert len(engine.groups[0].fixed) == 2
+
+    def test_session_subscribers_share_gap_tracking(self):
+        queries = [
+            Query.of(f"s{i}", WindowSpec.session(300), AggFunction.COUNT)
+            for i in range(5)
+        ]
+        events = [Event(0, "a", 1.0), Event(100, "a", 1.0), Event(1_000, "a", 1.0)]
+        engine, sink = run(queries, events)
+        assert len(engine.groups[0].sessions) == 1
+        for i in range(5):
+            counts = [r.value for r in sink.for_query(f"s{i}")]
+            assert counts == [2, 1]
+
+
+class TestRuntimeInteraction:
+    def test_removed_subscriber_stops_receiving(self):
+        spec = WindowSpec.tumbling(500)
+        queries = [
+            Query.of("keep", spec, AggFunction.SUM),
+            Query.of("drop", spec, AggFunction.SUM),
+        ]
+        engine = AggregationEngine(queries)
+        engine.process(Event(0, "a", 1.0))
+        engine.remove_query("drop")
+        engine.process(Event(600, "a", 2.0))
+        sink = engine.close()
+        assert len(sink.for_query("keep")) == 2
+        assert len(sink.for_query("drop")) == 0  # window was still open
+
+    def test_drain_removal_finishes_open_windows(self):
+        """Sec 3.2: removal may 'wait for the last window to end'."""
+        spec = WindowSpec.tumbling(500)
+        engine = AggregationEngine([Query.of("q", spec, AggFunction.SUM)])
+        engine.process(Event(0, "a", 1.0))
+        engine.remove_query("q", drain=True)
+        engine.process(Event(100, "a", 2.0))   # still in the open window
+        engine.process(Event(700, "a", 4.0))   # a new window q never joins
+        sink = engine.close()
+        results = sink.for_query("q")
+        assert [r.value for r in results] == [3.0]  # open window completed
+
+    def test_drain_removal_with_shared_tracker(self):
+        spec = WindowSpec.tumbling(500)
+        engine = AggregationEngine(
+            [
+                Query.of("keep", spec, AggFunction.SUM),
+                Query.of("drop", spec, AggFunction.SUM),
+            ]
+        )
+        engine.process(Event(0, "a", 1.0))
+        engine.remove_query("drop", drain=True)
+        engine.process(Event(700, "a", 2.0))
+        sink = engine.close()
+        assert len(sink.for_query("drop")) == 1  # the draining window only
+        assert len(sink.for_query("keep")) == 2
+
+    def test_late_subscriber_joins_next_window(self):
+        spec = WindowSpec.tumbling(500)
+        engine = AggregationEngine([Query.of("early", spec, AggFunction.SUM)])
+        engine.process(Event(0, "a", 1.0))
+        engine.add_query(Query.of("late", spec, AggFunction.SUM))
+        engine.process(Event(100, "a", 2.0))   # still window [0, 500)
+        engine.process(Event(600, "a", 4.0))   # window [500, 1000)
+        sink = engine.close()
+        assert [r.value for r in sink.for_query("early")] == [3.0, 4.0]
+        assert [r.value for r in sink.for_query("late")] == [4.0]
+
+    def test_scaling_many_identical_queries_is_cheap(self):
+        """10k identical queries: one shared tracker, per-query work only
+        at result materialization (the paper's 'millions of queries')."""
+        queries = [
+            Query.of(f"q{i}", WindowSpec.tumbling(1_000), AggFunction.AVERAGE)
+            for i in range(10_000)
+        ]
+        events = [Event(t, "a", 1.0) for t in range(0, 2_000, 50)]
+        engine, sink = run(queries, events)
+        assert engine.stats.calculations == 2 * len(events)  # sum + count
+        assert engine.stats.windows_closed == 2
+        assert engine.stats.results == 20_000

@@ -1,0 +1,164 @@
+"""Tests for the data, DEBS, and query generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.event import ensure_ordered
+from repro.core.types import AggFunction, WindowMeasure, WindowType
+from repro.datagen import (
+    DataGenerator,
+    DataGeneratorConfig,
+    DebsConfig,
+    DebsGenerator,
+    QueryGenerator,
+    QueryGeneratorConfig,
+    zipf_weights,
+)
+
+
+class TestDataGenerator:
+    def test_deterministic_under_seed(self):
+        cfg = DataGeneratorConfig(keys=("a", "b"))
+        one = list(DataGenerator(cfg, seed=42).events(200))
+        two = list(DataGenerator(cfg, seed=42).events(200))
+        assert one == two
+        other = list(DataGenerator(cfg, seed=43).events(200))
+        assert one != other
+
+    def test_events_are_ordered(self):
+        cfg = DataGeneratorConfig(rate=5_000)
+        events = list(DataGenerator(cfg, seed=1).events(1_000))
+        list(ensure_ordered(events))  # raises on disorder
+
+    def test_rate_is_roughly_honoured(self):
+        cfg = DataGeneratorConfig(rate=1_000, jitter=0.5)
+        events = list(DataGenerator(cfg, seed=1).events(2_000))
+        span_s = (events[-1].time - events[0].time) / 1_000
+        assert 2_000 / span_s == pytest.approx(1_000, rel=0.1)
+
+    def test_key_weights(self):
+        cfg = DataGeneratorConfig(
+            keys=("hot", "cold"), key_weights=(9.0, 1.0)
+        )
+        events = list(DataGenerator(cfg, seed=1).events(5_000))
+        hot = sum(1 for e in events if e.key == "hot")
+        assert 0.85 < hot / 5_000 < 0.95
+
+    def test_markers_at_interval(self):
+        cfg = DataGeneratorConfig(marker="end", marker_every_ms=1_000, rate=1_000)
+        events = list(DataGenerator(cfg, seed=1).events(5_000))
+        markers = [e for e in events if e.marker == "end"]
+        assert len(markers) == pytest.approx(5, abs=2)
+
+    def test_gaps_injected(self):
+        cfg = DataGeneratorConfig(gap_every_ms=1_000, gap_ms=4_000, rate=1_000)
+        events = list(DataGenerator(cfg, seed=1).events(3_000))
+        deltas = [b.time - a.time for a, b in zip(events, events[1:])]
+        assert max(deltas) >= 4_000
+
+    def test_streams_have_distinct_content(self):
+        cfg = DataGeneratorConfig()
+        streams = DataGenerator(cfg, seed=1).streams(3, 100)
+        assert set(streams) == {"local-0", "local-1", "local-2"}
+        assert streams["local-0"] != streams["local-1"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(rate=0),
+            dict(keys=()),
+            dict(keys=("a",), key_weights=(1.0, 2.0)),
+            dict(value_lo=5.0, value_hi=5.0),
+        ],
+    )
+    def test_invalid_config(self, bad):
+        with pytest.raises(ReproError):
+            DataGeneratorConfig(**bad)
+
+    def test_zipf_weights(self):
+        weights = zipf_weights(4, skew=1.0)
+        assert weights == [1.0, 0.5, pytest.approx(1 / 3), 0.25]
+        with pytest.raises(ReproError):
+            zipf_weights(0)
+
+
+class TestDebsGenerator:
+    def test_keys_cover_players_and_channels(self):
+        generator = DebsGenerator(DebsConfig(players=2))
+        assert len(generator.keys) == 8
+        assert "p0-px" in generator.keys and "p1-a" in generator.keys
+
+    def test_values_within_pitch(self):
+        generator = DebsGenerator(DebsConfig(players=4), seed=3)
+        for event in generator.events(2_000):
+            if event.key.endswith("-px"):
+                assert 0.0 <= event.value <= 105.0
+            elif event.key.endswith("-py"):
+                assert 0.0 <= event.value <= 68.0
+            else:
+                assert event.value >= 0.0
+
+    def test_ordered_and_deterministic(self):
+        generator = DebsGenerator(DebsConfig(players=4), seed=3)
+        events = list(generator.events(500))
+        list(ensure_ordered(events))
+        assert events == list(DebsGenerator(DebsConfig(players=4), seed=3).events(500))
+
+    def test_out_of_play_markers(self):
+        generator = DebsGenerator(
+            DebsConfig(players=2, out_of_play_every_ms=500), seed=1
+        )
+        events = list(generator.events(5_000))
+        assert any(e.marker == "out_of_play" for e in events)
+
+    def test_streams(self):
+        streams = DebsGenerator(DebsConfig(players=2), seed=1).streams(2, 100)
+        assert set(streams) == {"local-0", "local-1"}
+
+
+class TestQueryGenerator:
+    def test_count_and_ids(self):
+        queries = QueryGenerator(seed=1).queries(25)
+        assert len(queries) == 25
+        assert len({q.query_id for q in queries}) == 25
+
+    def test_deterministic(self):
+        assert QueryGenerator(seed=5).queries(10) == QueryGenerator(seed=5).queries(10)
+
+    def test_respects_window_types(self):
+        cfg = QueryGeneratorConfig(window_types=(WindowType.TUMBLING,))
+        queries = QueryGenerator(cfg, seed=1).queries(20)
+        assert all(q.window.window_type is WindowType.TUMBLING for q in queries)
+
+    def test_decomposable_only(self):
+        cfg = QueryGeneratorConfig(decomposable_only=True)
+        queries = QueryGenerator(cfg, seed=1).queries(50)
+        assert all(q.is_decomposable for q in queries)
+
+    def test_quantiles_get_parameters(self):
+        cfg = QueryGeneratorConfig(functions=(AggFunction.QUANTILE,),
+                                   window_types=(WindowType.TUMBLING,))
+        queries = QueryGenerator(cfg, seed=1).queries(10)
+        assert all(0 < q.function.quantile < 1 for q in queries)
+
+    def test_count_measures(self):
+        cfg = QueryGeneratorConfig(
+            window_types=(WindowType.TUMBLING,),
+            measures=(WindowMeasure.COUNT,),
+        )
+        queries = QueryGenerator(cfg, seed=1).queries(10)
+        assert all(q.is_count_based for q in queries)
+
+    def test_generated_queries_are_runnable(self):
+        from repro.core.engine import AggregationEngine
+        from repro.datagen import DataGenerator, DataGeneratorConfig
+
+        queries = QueryGenerator(seed=9).queries(30)
+        engine = AggregationEngine(queries)
+        events = DataGenerator(DataGeneratorConfig(rate=2_000), seed=2).events(2_000)
+        for event in events:
+            engine.process(event)
+        sink = engine.close()
+        assert sink.count > 0

@@ -1,0 +1,184 @@
+"""Tests for the textual query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.types import AggFunction, WindowMeasure, WindowType
+from repro.interface import parse_queries, parse_query
+
+
+def parse(text):
+    return parse_query(text, query_id="q")
+
+
+class TestFunctions:
+    @pytest.mark.parametrize(
+        "name, fn",
+        [
+            ("SUM", AggFunction.SUM),
+            ("COUNT", AggFunction.COUNT),
+            ("AVG", AggFunction.AVERAGE),
+            ("AVERAGE", AggFunction.AVERAGE),
+            ("MIN", AggFunction.MIN),
+            ("MAX", AggFunction.MAX),
+            ("MEDIAN", AggFunction.MEDIAN),
+            ("PRODUCT", AggFunction.PRODUCT),
+            ("GEOMETRIC_MEAN", AggFunction.GEOMETRIC_MEAN),
+        ],
+    )
+    def test_named_functions(self, name, fn):
+        query = parse(f"SELECT {name}(value) FROM stream WINDOW TUMBLING 5s")
+        assert query.function.fn is fn
+
+    def test_quantile(self):
+        query = parse(
+            "SELECT QUANTILE(0.95)(value) FROM stream WINDOW TUMBLING 5s"
+        )
+        assert query.function.fn is AggFunction.QUANTILE
+        assert query.function.quantile == 0.95
+
+    def test_quantile_without_parameter_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT QUANTILE(value) FROM stream WINDOW TUMBLING 5s")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT MODE(value) FROM stream WINDOW TUMBLING 5s")
+
+
+class TestWindows:
+    def test_tumbling_durations(self):
+        assert parse("SELECT SUM(value) FROM stream WINDOW TUMBLING 5s").window.length == 5_000
+        assert parse("SELECT SUM(value) FROM stream WINDOW TUMBLING 250ms").window.length == 250
+        assert parse("SELECT SUM(value) FROM stream WINDOW TUMBLING 2min").window.length == 120_000
+
+    def test_tumbling_count_measure(self):
+        query = parse("SELECT SUM(value) FROM stream WINDOW TUMBLING 1000 EVENTS")
+        assert query.window.measure is WindowMeasure.COUNT
+        assert query.window.length == 1_000
+
+    def test_sliding(self):
+        query = parse(
+            "SELECT SUM(value) FROM stream WINDOW SLIDING 10s EVERY 2s"
+        )
+        assert query.window.window_type is WindowType.SLIDING
+        assert (query.window.length, query.window.slide) == (10_000, 2_000)
+
+    def test_sliding_measure_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM(value) FROM stream WINDOW SLIDING 10s EVERY 5 EVENTS")
+
+    def test_session(self):
+        query = parse("SELECT SUM(value) FROM stream WINDOW SESSION GAP 30s")
+        assert query.window.window_type is WindowType.SESSION
+        assert query.window.gap == 30_000
+
+    def test_user_defined(self):
+        query = parse(
+            "SELECT MAX(value) FROM stream WINDOW USER_DEFINED END 'trip_end'"
+        )
+        assert query.window.end_marker == "trip_end"
+        assert query.window.start_marker is None
+        with_start = parse(
+            "SELECT MAX(value) FROM stream "
+            "WINDOW USER_DEFINED END 'stop' START 'go'"
+        )
+        assert with_start.window.start_marker == "go"
+
+    def test_missing_window_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM(value) FROM stream")
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT SUM(value) FROM stream WINDOW HOPPING 5s")
+
+
+class TestWhere:
+    def test_key_filter(self):
+        query = parse(
+            "SELECT AVG(value) FROM stream WHERE key = 'speed' "
+            "WINDOW TUMBLING 5s"
+        )
+        assert query.selection.key == "speed"
+
+    def test_paper_example_speed_range(self):
+        query = parse(
+            "SELECT AVG(value) FROM stream "
+            "WHERE key = 'speed' AND value >= 80 WINDOW TUMBLING 5s"
+        )
+        assert query.selection.key == "speed"
+        assert query.selection.lo == 80.0
+
+    def test_full_range(self):
+        query = parse(
+            "SELECT AVG(value) FROM stream "
+            "WHERE value >= 25 AND value < 80 WINDOW TUMBLING 5s"
+        )
+        assert (query.selection.lo, query.selection.hi) == (25.0, 80.0)
+
+    def test_unsupported_clause_rejected(self):
+        with pytest.raises(QueryError):
+            parse(
+                "SELECT AVG(value) FROM stream WHERE color = 'red' "
+                "WINDOW TUMBLING 5s"
+            )
+
+
+class TestExpandByKey:
+    def test_per_key_queries_share_a_group(self):
+        from repro.core.engine import AggregationEngine
+        from repro.interface import expand_by_key
+
+        template = parse_query(
+            "SELECT AVG(value) FROM stream WINDOW TUMBLING 1s", query_id="avg"
+        )
+        queries = expand_by_key(template, ["speed", "temp", "rpm"])
+        assert [q.query_id for q in queries] == [
+            "avg-speed",
+            "avg-temp",
+            "avg-rpm",
+        ]
+        assert AggregationEngine(queries).group_count == 1
+
+    def test_value_bounds_preserved(self):
+        from repro.interface import expand_by_key
+
+        template = parse_query(
+            "SELECT COUNT(value) FROM stream WHERE value >= 80 "
+            "WINDOW TUMBLING 1s",
+            query_id="fast",
+        )
+        (query,) = expand_by_key(template, ["speed"])
+        assert query.selection.key == "speed"
+        assert query.selection.lo == 80.0
+
+    def test_keyed_template_rejected(self):
+        from repro.interface import expand_by_key
+
+        template = parse_query(
+            "SELECT AVG(value) FROM stream WHERE key = 'x' WINDOW TUMBLING 1s",
+            query_id="q",
+        )
+        with pytest.raises(QueryError):
+            expand_by_key(template, ["a"])
+
+
+class TestBatch:
+    def test_parse_queries_assigns_ids(self):
+        queries = parse_queries(
+            [
+                "SELECT SUM(value) FROM stream WINDOW TUMBLING 1s",
+                "SELECT MAX(value) FROM stream WINDOW TUMBLING 2s",
+            ]
+        )
+        assert [q.query_id for q in queries] == ["q0", "q1"]
+
+    def test_case_insensitive(self):
+        query = parse(
+            "select avg(value) from stream where key = 'x' window tumbling 1s"
+        )
+        assert query.function.fn is AggFunction.AVERAGE
+        assert query.selection.key == "x"

@@ -1,0 +1,81 @@
+"""Tests for the DesisSession facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.core.event import Event
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+from repro.interface import DesisSession
+
+from tests.conftest import make_stream
+
+
+def test_text_queries_end_to_end():
+    session = DesisSession()
+    avg_id = session.submit(
+        "SELECT AVG(value) FROM stream WINDOW TUMBLING 500ms"
+    )
+    med_id = session.submit(
+        "SELECT MEDIAN(value) FROM stream WINDOW SESSION GAP 2s"
+    )
+    assert {avg_id, med_id} == {"q0", "q1"}
+    session.process_many(make_stream(500, gap_every=90, gap_dt=3_000))
+    sink = session.close()
+    assert sink.for_query(avg_id)
+    assert sink.for_query(med_id)
+
+
+def test_query_objects_accepted():
+    session = DesisSession()
+    qid = session.submit(
+        Query.of("mine", WindowSpec.tumbling(200), AggFunction.SUM)
+    )
+    assert qid == "mine"
+    session.process(Event(0, "a", 1.0))
+    session.process(Event(500, "a", 2.0))
+    assert session.close().for_query("mine")
+
+
+def test_pending_queries_grouped_together():
+    session = DesisSession()
+    session.submit("SELECT AVG(value) FROM stream WINDOW TUMBLING 1s")
+    session.submit("SELECT SUM(value) FROM stream WINDOW TUMBLING 2s")
+    session.process(Event(0, "a", 1.0))
+    assert session._engine is not None
+    assert session._engine.group_count == 1
+
+
+def test_runtime_submit_and_remove():
+    session = DesisSession()
+    session.submit("SELECT SUM(value) FROM stream WINDOW TUMBLING 1s")
+    for event in make_stream(200, dt_choices=(10,)):
+        session.process(event)
+    late = session.submit(
+        "SELECT COUNT(value) FROM stream WINDOW TUMBLING 500ms"
+    )
+    session.remove("q0")
+    for event in make_stream(200, dt_choices=(10,), start=3_000):
+        session.process(event)
+    sink = session.close()
+    assert sink.for_query(late)
+
+
+def test_remove_pending_query():
+    session = DesisSession()
+    session.submit("SELECT SUM(value) FROM stream WINDOW TUMBLING 1s")
+    session.remove("q0")
+    assert session.queries == []
+    with pytest.raises(EngineError):
+        session.remove("nope")
+
+
+def test_results_property_before_and_after():
+    session = DesisSession()
+    assert session.results == []
+    session.submit("SELECT SUM(value) FROM stream WINDOW TUMBLING 100ms")
+    session.process(Event(0, "a", 1.0))
+    session.process(Event(500, "a", 1.0))
+    assert len(session.results) >= 1

@@ -1,0 +1,175 @@
+"""Codec tests: exact roundtrips for both wire formats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import CodecError
+from repro.core.event import Event
+from repro.core.types import OperatorKind
+from repro.network.codec import BinaryCodec, StringCodec
+from repro.network.messages import (
+    ContextPartial,
+    ControlMessage,
+    EventBatchMessage,
+    PartialBatchMessage,
+    SliceRecord,
+    WindowPartialMessage,
+)
+
+K = OperatorKind
+CODECS = [BinaryCodec(), StringCodec()]
+
+floats = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+times = st.integers(0, 2**40)
+
+
+ops_strategy = st.fixed_dictionaries(
+    {},
+    optional={
+        K.SUM: floats,
+        K.COUNT: st.integers(0, 2**40),
+        K.MULTIPLICATION: floats,
+        K.DECOMPOSABLE_SORT: st.one_of(
+            st.none(), st.tuples(floats, floats).map(lambda t: (min(t), max(t)))
+        ),
+        K.NON_DECOMPOSABLE_SORT: st.lists(floats, max_size=12).map(sorted),
+    },
+)
+
+context_strategy = st.builds(
+    ContextPartial,
+    count=st.integers(0, 10_000),
+    ops=ops_strategy,
+    span=st.one_of(st.none(), st.tuples(times, times).map(lambda t: (min(t), max(t)))),
+    timed=st.one_of(
+        st.none(), st.lists(st.tuples(times, floats), max_size=8)
+    ),
+)
+
+record_strategy = st.builds(
+    SliceRecord,
+    start=times,
+    end=times,
+    contexts=st.dictionaries(st.integers(0, 500), context_strategy, max_size=4),
+    userdef_eps=st.lists(
+        st.tuples(st.text(min_size=1, max_size=8), times), max_size=3
+    ),
+)
+
+partial_msg_strategy = st.builds(
+    PartialBatchMessage,
+    sender=st.text(min_size=1, max_size=12),
+    group_id=st.integers(0, 1_000),
+    first_slice_seq=st.integers(0, 2**40),
+    covered_to=times,
+    records=st.lists(record_strategy, max_size=4),
+)
+
+event_strategy = st.builds(
+    Event,
+    time=times,
+    key=st.text(min_size=1, max_size=6),
+    value=floats,
+    marker=st.one_of(st.none(), st.sampled_from(["end", "trip_end"])),
+)
+
+event_msg_strategy = st.builds(
+    EventBatchMessage,
+    sender=st.text(min_size=1, max_size=12),
+    covered_to=times,
+    events=st.lists(event_strategy, max_size=10),
+)
+
+window_msg_strategy = st.builds(
+    WindowPartialMessage,
+    sender=st.text(min_size=1, max_size=12),
+    query_id=st.text(min_size=1, max_size=8),
+    start=times,
+    end=times,
+    count=st.integers(0, 10_000),
+    covered_to=times,
+    ops=ops_strategy,
+    values=st.one_of(st.none(), st.lists(floats, max_size=10).map(sorted)),
+)
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+class TestRoundtrip:
+    @given(message=partial_msg_strategy)
+    def test_partial_batch(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    @given(message=event_msg_strategy)
+    def test_event_batch(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    @given(message=window_msg_strategy)
+    def test_window_partial(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_control(self, codec):
+        message = ControlMessage(
+            sender="root", kind="topology", payload={"a": [1, 2], "b": "x"}
+        )
+        assert codec.decode(codec.encode(message)) == message
+
+
+class TestSizes:
+    def test_string_codec_is_larger(self):
+        """Fig 11b: Disco's string messages cost more bytes than binary."""
+        import random
+
+        rng = random.Random(3)
+        message = EventBatchMessage(
+            sender="local-0",
+            covered_to=1_000,
+            events=[
+                Event(t, "speed", rng.uniform(0.0, 120.0)) for t in range(100)
+            ],
+        )
+        binary = len(BinaryCodec().encode(message))
+        text = len(StringCodec().encode(message))
+        assert text > binary * 1.2
+
+    def test_partials_much_smaller_than_events(self):
+        """Sec 6.4.1: a slice partial replaces thousands of raw events."""
+        events = EventBatchMessage(
+            sender="l",
+            covered_to=1_000,
+            events=[Event(t, "k", 1.0) for t in range(1_000)],
+        )
+        partial = PartialBatchMessage(
+            sender="l",
+            group_id=0,
+            first_slice_seq=0,
+            covered_to=1_000,
+            records=[
+                SliceRecord(
+                    start=0,
+                    end=1_000,
+                    contexts={0: ContextPartial(count=1_000, ops={K.SUM: 1_000.0, K.COUNT: 1_000})},
+                )
+            ],
+        )
+        codec = BinaryCodec()
+        assert len(codec.encode(partial)) < len(codec.encode(events)) / 100
+
+    def test_corrupt_data_raises(self):
+        with pytest.raises(CodecError):
+            BinaryCodec().decode(b"\x01\x00\x05ab")
+        with pytest.raises(CodecError):
+            BinaryCodec().decode(b"\xff")
+        with pytest.raises(CodecError):
+            StringCodec().decode(b"not json")
+
+    def test_unknown_string_type_raises(self):
+        with pytest.raises(CodecError):
+            StringCodec().decode(b'{"type": "mystery"}')
+
+    def test_control_payload_must_be_jsonable(self):
+        message = ControlMessage(sender="r", kind="x", payload={1, 2})
+        with pytest.raises(CodecError):
+            BinaryCodec().encode(message)

@@ -1,0 +1,65 @@
+"""Fuzz tests: codecs must fail cleanly on arbitrary bytes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import CodecError
+from repro.network.codec import BinaryCodec, StringCodec
+from repro.network.messages import Message
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_binary_decode_never_crashes(data):
+    """Arbitrary bytes either decode to a message or raise CodecError —
+    never an uncaught struct/index/decode error."""
+    codec = BinaryCodec()
+    try:
+        message = codec.decode(data)
+    except CodecError:
+        return
+    assert isinstance(message, Message)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_string_decode_never_crashes(data):
+    codec = StringCodec()
+    try:
+        message = codec.decode(data)
+    except (CodecError, KeyError, TypeError, AttributeError):
+        # JSON that parses but has the wrong shape may surface shape
+        # errors; they must at least be deterministic exceptions, not
+        # crashes deeper in the stack.
+        return
+    assert isinstance(message, Message)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=1, max_size=300))
+def test_truncations_of_valid_messages_fail_cleanly(data):
+    """Prefixes of a real message must raise CodecError, not misparse
+    silently into a different valid message of the same type."""
+    from repro.core.event import Event
+    from repro.network.messages import EventBatchMessage
+
+    codec = BinaryCodec()
+    message = EventBatchMessage(
+        sender="local-0",
+        covered_to=1_000,
+        events=[Event(t, "k", float(t)) for t in range(5)],
+    )
+    encoded = codec.encode(message)
+    cut = len(data) % len(encoded)
+    if cut == 0:
+        return
+    try:
+        decoded = codec.decode(encoded[:cut])
+    except CodecError:
+        return
+    # A short prefix can only decode "successfully" if every trailing
+    # field it lost was optional-with-zero-count; never a different type.
+    assert type(decoded) is EventBatchMessage

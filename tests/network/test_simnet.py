@@ -1,0 +1,150 @@
+"""Tests for the discrete-event simulated network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.core.event import Event
+from repro.core.types import NodeRole
+from repro.network.codec import BinaryCodec, StringCodec
+from repro.network.messages import ControlMessage, EventBatchMessage
+from repro.network.simnet import SimNetwork, SimNode
+
+
+class Recorder(SimNode):
+    """Test node that records everything it sees."""
+
+    def __init__(self, node_id, role=NodeRole.ROOT):
+        super().__init__(node_id, role)
+        self.events: list[tuple[int, Event]] = []
+        self.messages: list[tuple[int, object]] = []
+        self.ticks: list[int] = []
+        self.finished_at: int | None = None
+
+    def on_event(self, event, now, net):
+        self.events.append((now, event))
+
+    def on_message(self, message, now, net):
+        self.messages.append((now, message))
+
+    def on_tick(self, now, net):
+        self.ticks.append(now)
+
+    def on_finish(self, now, net):
+        self.finished_at = now
+
+
+class Forwarder(Recorder):
+    """Forwards every event upstream immediately as a one-event batch."""
+
+    def __init__(self, node_id, parent):
+        super().__init__(node_id, NodeRole.LOCAL)
+        self.parent = parent
+
+    def on_event(self, event, now, net):
+        super().on_event(event, now, net)
+        net.send(
+            self.node_id,
+            self.parent,
+            EventBatchMessage(sender=self.node_id, covered_to=now, events=[event]),
+        )
+
+
+def build(latency=2.0, bandwidth=None, codec=None):
+    net = SimNetwork(
+        default_latency_ms=latency,
+        default_bandwidth_bytes_per_ms=bandwidth,
+        default_codec=codec if codec is not None else BinaryCodec(),
+    )
+    root = Recorder("root")
+    local = Forwarder("local", "root")
+    net.add_node(root)
+    net.add_node(local)
+    net.connect("local", "root")
+    return net, root, local
+
+
+class TestDelivery:
+    def test_events_arrive_in_time_order(self):
+        net, root, local = build()
+        net.inject_stream("local", [Event(10, "a", 1.0), Event(30, "a", 2.0)])
+        net.run()
+        assert [e.time for _, e in local.events] == [10, 30]
+
+    def test_messages_delayed_by_latency(self):
+        net, root, local = build(latency=5.0)
+        net.inject_stream("local", [Event(10, "a", 1.0)])
+        net.run()
+        (arrival, message), = root.messages
+        assert arrival == 15
+        assert message.events[0] == Event(10, "a", 1.0)
+
+    def test_roundtrip_through_codec(self):
+        net, root, local = build(codec=StringCodec())
+        net.inject_stream("local", [Event(10, "a", 1.5, "end")])
+        net.run()
+        (_, message), = root.messages
+        assert isinstance(message, EventBatchMessage)
+        assert message.events[0].marker == "end"
+
+    def test_bandwidth_cap_serializes_transfers(self):
+        # 1 byte/ms: two back-to-back messages queue behind each other.
+        net, root, local = build(latency=0.0, bandwidth=1.0)
+        net.inject_stream(
+            "local", [Event(0, "a", 1.0), Event(0, "a", 2.0)]
+        )
+        net.run()
+        first, second = (t for t, _ in root.messages)
+        size = net.links[("local", "root")].bytes_sent / 2
+        assert first == pytest.approx(size, rel=0.1)
+        assert second == pytest.approx(2 * size, rel=0.1)
+
+    def test_ticks_fire_between_events(self):
+        net, root, local = build()
+        net.inject_stream("local", [Event(0, "a", 1.0), Event(100, "a", 1.0)])
+        net.schedule_ticks("local", start=0, end=100, interval=25)
+        net.run()
+        assert local.ticks == [25, 50, 75, 100]
+
+    def test_finish_fires_after_stream(self):
+        net, root, local = build()
+        last = net.inject_stream("local", [Event(0, "a", 1.0)])
+        net.schedule_finish("local", last + 1_000)
+        net.run()
+        assert local.finished_at == 1_000
+
+    def test_run_until_pauses(self):
+        net, root, local = build()
+        net.inject_stream("local", [Event(10, "a", 1.0), Event(500, "a", 2.0)])
+        net.run(until=100)
+        assert len(local.events) == 1
+        net.run()
+        assert len(local.events) == 2
+
+
+class TestAccounting:
+    def test_stats_rollup(self):
+        net, root, local = build()
+        net.inject_stream("local", [Event(10, "a", 1.0), Event(20, "a", 2.0)])
+        net.run()
+        stats = net.stats()
+        assert stats.total_messages == 2
+        assert stats.bytes_by_link[("local", "root")] > 0
+        assert stats.bytes_from_role[NodeRole.LOCAL] == stats.total_bytes
+        assert net.cpu_time_by_role()[NodeRole.LOCAL] > 0.0
+
+    def test_send_without_link_raises(self):
+        net, root, local = build()
+        with pytest.raises(TopologyError):
+            net.send("root", "ghost", ControlMessage(sender="root", kind="x"))
+
+    def test_duplicate_node_rejected(self):
+        net, root, local = build()
+        with pytest.raises(TopologyError):
+            net.add_node(Recorder("root"))
+
+    def test_inject_into_unknown_node_raises(self):
+        net, root, local = build()
+        with pytest.raises(TopologyError):
+            net.inject_stream("ghost", [Event(0, "a", 1.0)])

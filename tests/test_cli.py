@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestRun:
+    def test_run_single_query(self, capsys):
+        code = main(
+            [
+                "run",
+                "SELECT AVG(value) FROM stream WINDOW TUMBLING 1s",
+                "--events",
+                "5000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "window results" in out
+        assert "q0[" in out
+
+    def test_run_multiple_queries_share_group(self, capsys):
+        code = main(
+            [
+                "run",
+                "SELECT AVG(value) FROM stream WINDOW TUMBLING 1s",
+                "SELECT MEDIAN(value) FROM stream WINDOW SESSION GAP 2s",
+                "--events",
+                "3000",
+                "--gap-every",
+                "10000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 query-group(s)" in out
+
+    def test_limit_truncates_output(self, capsys):
+        main(
+            [
+                "run",
+                "SELECT SUM(value) FROM stream WINDOW TUMBLING 200ms",
+                "--events",
+                "5000",
+                "--limit",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "more" in out
+
+
+class TestCompare:
+    def test_compare_prints_all_systems(self, capsys):
+        code = main(
+            ["compare", "--queries", "5", "--events", "5000", "--rate", "5000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("Desis", "Scotty", "DeSW", "DeBucket", "CeBuffer"):
+            assert name in out
+
+    def test_compare_quantiles_skips_bucketed_at_scale(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--queries",
+                "300",
+                "--events",
+                "2000",
+                "--workload",
+                "quantiles",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "-" in out  # skipped systems
+
+
+class TestCluster:
+    def test_cluster_demo(self, capsys):
+        code = main(
+            ["cluster", "--locals", "2", "--events", "3000", "--rate", "3000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Desis (decentralized)" in out
+        assert "Scotty (centralized)" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,31 @@
+"""Smoke tests: every example script runs end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,58 @@
+"""The public API surface stays importable and coherent."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports_exist():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.baselines",
+        "repro.network",
+        "repro.cluster",
+        "repro.datagen",
+        "repro.metrics",
+        "repro.harness",
+        "repro.interface",
+    ],
+)
+def test_subpackage_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+
+def test_readme_quickstart_runs():
+    """The README's programmatic quickstart, executed verbatim-ish."""
+    from repro import AggregationEngine, AggFunction, Event, Query, WindowSpec
+
+    queries = [
+        Query.of("avg", WindowSpec.tumbling(1_000), AggFunction.AVERAGE),
+        Query.of(
+            "p99",
+            WindowSpec.sliding(5_000, 1_000),
+            AggFunction.QUANTILE,
+            quantile=0.99,
+        ),
+    ]
+    engine = AggregationEngine(queries)
+    for t in range(0, 10_000, 20):
+        engine.process(Event(time=t, key="sensor-1", value=float(t % 97)))
+    results = engine.close()
+    assert results.for_query("avg")
+    assert results.for_query("p99")
