@@ -5,6 +5,9 @@ implements the same driving protocol so that harnesses and benchmarks can
 treat them interchangeably:
 
 * ``process(event)`` — consume one in-order event,
+* ``process_batch(events)`` — consume an ordered event batch; systems
+  without a batched fast path fall back to a per-event loop so their cost
+  model is unchanged (:func:`per_event_fallback` is that loop),
 * ``advance(time)`` — apply a watermark,
 * ``close()`` — flush and return the :class:`~repro.core.results.ResultSink`,
 * ``stats`` — an :class:`~repro.core.engine.EngineStats` with work counters,
@@ -13,14 +16,14 @@ treat them interchangeably:
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, runtime_checkable
+from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.core.engine import EngineStats
 from repro.core.event import Event
 from repro.core.query import Query
 from repro.core.results import ResultSink
 
-__all__ = ["StreamProcessor", "ProcessorFactory"]
+__all__ = ["StreamProcessor", "ProcessorFactory", "per_event_fallback"]
 
 
 @runtime_checkable
@@ -33,9 +36,23 @@ class StreamProcessor(Protocol):
 
     def process(self, event: Event) -> None: ...
 
+    def process_batch(self, events: Sequence[Event]) -> None: ...
+
     def advance(self, time: int) -> None: ...
 
     def close(self, at_time: int | None = None) -> ResultSink: ...
+
+
+def per_event_fallback(processor: "StreamProcessor", events: Sequence[Event]) -> None:
+    """The default ``process_batch``: one :meth:`process` call per event.
+
+    Baselines route their batch entry point here so harnesses can feed
+    batches uniformly while every baseline keeps paying its per-event
+    cost model (the work Figures 6–10 measure).
+    """
+    process = processor.process
+    for event in events:
+        process(event)
 
 
 class ProcessorFactory(Protocol):

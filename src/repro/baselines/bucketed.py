@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.baselines.api import per_event_fallback
 from repro.core.engine import EngineStats
 from repro.core.errors import OutOfOrderError
 from repro.core.event import Event
@@ -220,6 +221,11 @@ class _BucketedProcessor:
                 if bucket is not None and relevant and event.marker == state.end_marker:
                     state.userdef_bucket = None
                     self._close(state, bucket, now)
+
+    def process_batch(self, events) -> None:
+        """Bucketed systems have no batched fast path: every event still
+        pays the full per-window work their cost model charges."""
+        per_event_fallback(self, events)
 
     def advance(self, time: int) -> None:
         if self.stream_time is not None and time < self.stream_time:

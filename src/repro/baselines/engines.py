@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.baselines.api import per_event_fallback
 from repro.core.engine import AggregationEngine
+from repro.core.event import Event
 from repro.core.query import Query
 from repro.core.results import ResultSink
 from repro.core.types import SharingPolicy
@@ -50,6 +52,11 @@ class ScottyProcessor(AggregationEngine):
             sink=sink,
         )
 
+    def process_batch(self, events: "list[Event]") -> None:
+        # Scotty "checks each arriving event" (Sec 6.2.1): batch input
+        # still pays the per-event loop so its cost model is preserved.
+        per_event_fallback(self, events)
+
 
 class DeSWProcessor(AggregationEngine):
     """The DeSW baseline: same function *and* measure, per-event checks."""
@@ -63,3 +70,7 @@ class DeSWProcessor(AggregationEngine):
             punctuation_mode="scan",
             sink=sink,
         )
+
+    def process_batch(self, events: "list[Event]") -> None:
+        # Like Scotty, DeSW models an engine without batched ingestion.
+        per_event_fallback(self, events)

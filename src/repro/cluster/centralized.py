@@ -37,6 +37,9 @@ class _ForwardingLocal(SimNode):
     def on_event(self, event: Event, now: int, net: SimNetwork) -> None:
         self.pending.append(event)
 
+    def on_events(self, events: list[Event], now: int, net: SimNetwork) -> None:
+        self.pending.extend(events)
+
     def _flush(self, now: int, net: SimNetwork) -> None:
         net.send(
             self.node_id,
@@ -102,8 +105,12 @@ class _CentralRoot(SimNode):
                 split += 1
             ready.append(buffer[:split])
             self.pending[sender] = buffer[split:]
-        for event in heapq.merge(*ready, key=lambda e: e.time):
-            self.processor.process(event)
+        # Replay the merged span as one ordered batch; processors without
+        # a batched fast path (Scotty, CeBuffer, ...) fall back to the
+        # per-event loop inside their ``process_batch``.
+        merged = list(heapq.merge(*ready, key=lambda e: e.time))
+        if merged:
+            self.processor.process_batch(merged)
         self.processor.advance(covered)
 
     def finish(self) -> None:
@@ -163,7 +170,12 @@ class CentralizedCluster:
                 raise ClusterError(f"{node_id!r} is not a local node")
             materialized = list(stream)
             events += len(materialized)
-            last = max(last, self.net.inject_stream(node_id, materialized))
+            last = max(
+                last,
+                self.net.inject_stream(
+                    node_id, materialized, batch_ms=self.config.batch_ms
+                ),
+            )
         end = self._align_up(last)
         for node_id in self.locals:
             self.net.schedule_ticks(

@@ -27,6 +27,13 @@ class ClusterConfig:
         codec: wire format for data traffic.
         heartbeat_interval: cadence of node heartbeats to the root (ms).
         node_timeout: silence after which the root evicts a node (ms).
+        batch_ms: when set, inject each local stream in per-tick event
+            batches of this granularity (see
+            :meth:`~repro.network.simnet.SimNetwork.inject_stream`), so
+            nodes with a batched ingestion path process slice-runs in one
+            handler call.  ``None`` (the default) keeps per-event
+            injection; deployments with runtime actions always use
+            per-event injection regardless.
     """
 
     origin: int = 0
@@ -36,3 +43,4 @@ class ClusterConfig:
     codec: Codec = field(default_factory=BinaryCodec)
     heartbeat_interval: int = 5_000
     node_timeout: int = 15_000
+    batch_ms: int | None = None

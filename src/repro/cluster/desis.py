@@ -277,6 +277,11 @@ class DesisCluster:
         """
         started = _time.perf_counter()
         self._broadcast_attributes()
+        # Batched injection is only safe without runtime actions: an
+        # action fires between queue pops (``net.run(until=at)``), and a
+        # batch spanning its timestamp would let events past the action
+        # be processed before it runs.
+        batch_ms = self.config.batch_ms if not actions else None
         last = self.config.origin
         events = 0
         for node_id, stream in streams.items():
@@ -284,7 +289,10 @@ class DesisCluster:
                 raise ClusterError(f"{node_id!r} is not a local node")
             materialized = list(stream)
             events += len(materialized)
-            last = max(last, self.net.inject_stream(node_id, materialized))
+            last = max(
+                last,
+                self.net.inject_stream(node_id, materialized, batch_ms=batch_ms),
+            )
         end = self._align_up(last)
         self._end_boundary = end
         for node_id in list(self.locals):

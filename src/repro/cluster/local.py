@@ -89,6 +89,11 @@ class _SlicedLocalGroup:
     def on_event(self, event: Event) -> None:
         self.runtime.process(event)
 
+    def on_events(self, events: list[Event]) -> None:
+        # Slice-run fast path: the runtime splits the batch at its own
+        # punctuations (falling back per-event for data-driven windows).
+        self.runtime.process_batch(events)
+
     def flush(self, now: int) -> PartialBatchMessage:
         """Cut at the watermark boundary and drain pending slice records."""
         self.runtime.advance(now)
@@ -251,6 +256,12 @@ class _RootEvalLocalGroup:
                 # trip it ends.
                 self._cut(event.time, inclusive=True)
 
+    def on_events(self, events: list[Event]) -> None:
+        # Root-evaluated groups cut on data-driven boundaries (session
+        # gaps, end markers), so every event still runs the full check.
+        for event in events:
+            self.on_event(event)
+
     def flush(self, now: int) -> PartialBatchMessage:
         if self._fixed_schedules:
             boundary = self._next_fixed_boundary(self.window_start)
@@ -295,6 +306,11 @@ class LocalNode(SimNode):
         self.stats.events += 1
         for group in self.groups:
             group.on_event(event)
+
+    def on_events(self, events: list[Event], now: int, net: SimNetwork) -> None:
+        self.stats.events += len(events)
+        for group in self.groups:
+            group.on_events(events)
 
     def on_tick(self, now: int, net: SimNetwork) -> None:
         if not self.alive:

@@ -157,6 +157,9 @@ class GroupRuntime:
         self._spans: dict[int, list[int]] = {}
 
         self.selections = list(group.selections)
+        #: key-indexed selection routing used by the batched fast path;
+        #: the per-event path keeps the linear scan (its cost model)
+        self._router = group.build_router()
         #: selection contexts carrying the deduplication operator
         self._dedup_ctxs = frozenset(
             index
@@ -248,6 +251,15 @@ class GroupRuntime:
                 start = tracker.bootstrap(self.stream_time or 0)
                 if self.mode == "heap":
                     self._push(start, _SP_FIXED, tracker)
+
+    def refresh_selections(self) -> None:
+        """Re-sync selections (and their routing index) with the group.
+
+        Called after runtime query admission changes the group's distinct
+        selection contexts.
+        """
+        self.selections = list(self.group.selections)
+        self._router = self.group.build_router()
 
     def remove_query(self, query_id: str, *, drain: bool = False) -> None:
         """Detach a query (Sec 3.2).
@@ -528,10 +540,16 @@ class GroupRuntime:
         if self._dedup_ctxs and matched:
             matched = self._apply_dedup(event, matched)
 
+        # ``matched`` is final from here on; both the pre- and post-insert
+        # data-driven punctuation passes share one membership set.
+        data_driven = bool(self.sessions or self.userdef or self.counts)
+        matched_set: frozenset[int] | set[int] = (
+            set(matched) if data_driven else frozenset()
+        )
+
         # Pre-insert punctuations: windows that open with this event.
         sps: list = []
-        if self.sessions or self.userdef or self.counts:
-            matched_set = set(matched)
+        if data_driven:
             for tracker in self.sessions:
                 if tracker.ctx in matched_set and tracker.window is None:
                     sps.append(self._make_session_opener(tracker, time))
@@ -562,8 +580,7 @@ class GroupRuntime:
 
         # Post-insert punctuations: windows that close with this event.
         eps: list = []
-        if self.sessions or self.userdef or self.counts:
-            matched_set = set(matched)
+        if data_driven:
             for tracker in self.sessions:
                 if tracker.ctx in matched_set and tracker.window is not None:
                     tracker.touch(time)
@@ -593,6 +610,140 @@ class GroupRuntime:
                         self._userdef_closed.append(tracker)
         if eps:
             self._cut(time, eps, [])
+
+    # -- batched event processing ---------------------------------------------
+
+    def _next_punctuation(self) -> int | None:
+        """Earliest upcoming punctuation time (a safe lower bound).
+
+        Valid right after a drain: in heap mode the heap top is strictly
+        in the future (possibly stale entries only shorten runs); in scan
+        mode ``_scan_next`` is the cached earliest due time, which may be
+        early but never late.  ``None`` means no punctuation is pending.
+        """
+        if self.mode == "heap":
+            return self._heap[0][0] if self._heap else None
+        return self._scan_next
+
+    @property
+    def batch_eligible(self) -> bool:
+        """Whether slice-runs are safe: only time-driven punctuations.
+
+        Data-driven windows (session, count, user-defined) can cut on any
+        event, so their groups must process events one at a time.
+        """
+        return not (self.sessions or self.userdef or self.counts)
+
+    def begin_run(self, time: int) -> int | None:
+        """Start a slice-run at ``time``: advance the stream clock, drain
+        due punctuations, and return the next punctuation deadline (every
+        event strictly before it lands in the currently open slice)."""
+        if not self._bootstrapped:
+            self._bootstrap(time)
+        elif self.stream_time is not None and time < self.stream_time:
+            raise OutOfOrderError(
+                f"event at t={time} arrived after stream time {self.stream_time}"
+            )
+        self.stream_time = time
+        self._drain(time)
+        return self._next_punctuation()
+
+    def process_batch(self, events: Sequence[Event]) -> None:
+        """Process an ordered batch of events, amortizing per-event work.
+
+        Between two consecutive punctuations no cuts can occur, so every
+        maximal prefix of the batch strictly before the next punctuation
+        deadline (*slice-run*) lands in the same open slice and is applied
+        in one tight loop: punctuations are drained once per run, selection
+        matching is routed through the group's key index, and operator
+        updates go through the bulk :meth:`Slice.insert_run` API.  Results,
+        engine state, and :class:`EngineStats` come out identical to
+        per-event :meth:`process` calls.
+
+        Groups that are not :attr:`batch_eligible` fall back to the
+        per-event path.
+        """
+        if not self.batch_eligible:
+            for event in events:
+                self.process(event)
+            return
+        i = 0
+        n = len(events)
+        while i < n:
+            deadline = self.begin_run(events[i].time)
+            if deadline is None:
+                j = n
+            else:
+                j = i + 1
+                while j < n and events[j].time < deadline:
+                    j += 1
+            self._process_run(events, i, j)
+            i = j
+
+    def _process_run(self, events: Sequence[Event], start: int, stop: int) -> None:
+        """Apply ``events[start:stop]`` — all inside the open slice.
+
+        The caller guarantees no punctuation falls inside the run, so no
+        cuts, window transitions, or result emissions can happen here; the
+        loop only routes selections and buffers matching values per
+        context, then writes each context's run through one bulk insert.
+        Stats count the batched work as if it had been applied per event
+        (``selection_checks`` still bills the full linear scan).
+        """
+        stats = self.stats
+        router = self._router
+        current = self.current
+        operators = self.operators
+        dedup = bool(self._dedup_ctxs)
+        track = self.track_spans
+        spans = self._spans
+        prev = self.stream_time if self.stream_time is not None else events[start].time
+        run_values: dict[int, list[float]] = {}
+        matched_total = 0
+        for k in range(start, stop):
+            event = events[k]
+            time = event.time
+            if time < prev:
+                raise OutOfOrderError(
+                    f"event at t={time} arrived after stream time {prev}"
+                )
+            prev = time
+            value = event.value
+            if dedup or track:
+                matched = [
+                    index
+                    for index, lo, hi in router.candidates(event.key)
+                    if (lo is None or value >= lo) and (hi is None or value < hi)
+                ]
+                if dedup and matched:
+                    matched = self._apply_dedup(event, matched)
+                for ctx in matched:
+                    bucket = run_values.get(ctx)
+                    if bucket is None:
+                        bucket = run_values[ctx] = []
+                    bucket.append(value)
+                    if track:
+                        span = spans.get(ctx)
+                        if span is None:
+                            spans[ctx] = [time, time]
+                        else:
+                            span[1] = time
+                matched_total += len(matched)
+            else:
+                for ctx, lo, hi in router.candidates(event.key):
+                    if (lo is None or value >= lo) and (hi is None or value < hi):
+                        bucket = run_values.get(ctx)
+                        if bucket is None:
+                            bucket = run_values[ctx] = []
+                        bucket.append(value)
+                        matched_total += 1
+        self.stream_time = prev
+        stats.selection_checks += router.total * (stop - start)
+        if matched_total:
+            for ctx, values in run_values.items():
+                current.insert_run(ctx, values, operators)
+            stats.inserts += matched_total
+            stats.calculations += matched_total * len(operators)
 
     def _apply_dedup(self, event: Event, matched: list[int]) -> list[int]:
         """Drop deduplicating contexts that already saw this exact event
@@ -728,9 +879,86 @@ class AggregationEngine:
         for group in self.groups:
             group.process(event)
 
-    def process_many(self, events: Iterable[Event]) -> None:
+    def process_batch(self, events: Sequence[Event]) -> None:
+        """Process an ordered batch of events through the fast path.
+
+        Equivalent to calling :meth:`process` per event — identical
+        results, state, and :class:`EngineStats` — but each query-group
+        amortizes punctuation drains, selection matching, and operator
+        dispatch over whole slice-runs (see
+        :meth:`GroupRuntime.process_batch`).
+
+        The groups advance through the batch in *synchronized* slice-runs
+        (every chunk ends at the earliest next punctuation across the
+        batch-eligible groups), so even the cross-group result
+        interleaving is byte-identical to per-event processing: eligible
+        groups only emit at chunk starts — in group order, exactly when
+        and where the per-event path drains them — while groups with
+        data-driven windows process each chunk event by event, emitting at
+        their own events just like under :meth:`process`.
+
+        The batch must be internally time-ordered; this is validated up
+        front so a mid-batch regression cannot leave groups at diverging
+        stream times.
+        """
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        if not events:
+            return
+        prev = events[0].time
         for event in events:
-            self.process(event)
+            if event.time < prev:
+                raise OutOfOrderError(
+                    f"event at t={event.time} arrived after stream time {prev}"
+                )
+            prev = event.time
+        self.stats.events += len(events)
+        groups = self.groups
+        if len(groups) == 1:
+            groups[0].process_batch(events)
+            return
+        eligible = [group.batch_eligible for group in groups]
+        any_fallback = not all(eligible)
+        i = 0
+        n = len(events)
+        while i < n:
+            time = events[i].time
+            deadline: int | None = None
+            # The chunk's first event, in group order: eligible groups
+            # drain (emitting due results) and open their run; data-driven
+            # groups process the event outright.
+            for index, group in enumerate(groups):
+                if eligible[index]:
+                    due = group.begin_run(time)
+                    if due is not None and (deadline is None or due < deadline):
+                        deadline = due
+                else:
+                    group.process(events[i])
+            if deadline is None:
+                j = n
+            else:
+                j = i + 1
+                while j < n and events[j].time < deadline:
+                    j += 1
+            # Eligible groups cannot emit again before the deadline, so
+            # data-driven groups may run ahead through the chunk without
+            # disturbing the per-event result interleaving.
+            if any_fallback:
+                for k in range(i + 1, j):
+                    event = events[k]
+                    for index, group in enumerate(groups):
+                        if not eligible[index]:
+                            group.process(event)
+            for index, group in enumerate(groups):
+                if eligible[index]:
+                    group._process_run(events, i, j)
+            i = j
+
+    def process_many(self, events: Iterable[Event]) -> None:
+        """Batched ingestion for any iterable of in-order events."""
+        self.process_batch(
+            events if isinstance(events, (list, tuple)) else list(events)
+        )
 
     def advance(self, time: int) -> None:
         """Apply a watermark to every group."""
@@ -795,6 +1023,17 @@ class AggregationEngine:
                 punctuation_mode=self.groups[0].mode if self.groups else "heap",
             )
             self.groups.append(target)
+            # Bootstrap the new group at the current stream time so its
+            # first fixed window anchors at the join time — without this,
+            # the group would bootstrap lazily at its next event and its
+            # window schedule could anchor at an arbitrary later (or, via
+            # ``advance``, the origin) timestamp instead.
+            stream_time = max(
+                (g.stream_time for g in self.groups if g.stream_time is not None),
+                default=None,
+            )
+            if stream_time is not None:
+                target.advance(stream_time)
             return
         group = target.group
         # Cut the open slice so new selections/operators apply cleanly from
@@ -805,7 +1044,7 @@ class AggregationEngine:
         new_ops = plan_operators_keeping(group, target.operators)
         group.operators = new_ops
         target.operators = new_ops
-        target.selections = list(group.selections)
+        target.refresh_selections()
         target.needed = {
             q.query_id: required_kinds(q, new_ops) for q in group.queries
         }

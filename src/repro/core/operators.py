@@ -66,6 +66,14 @@ class SumState:
     def insert(self, value: float) -> None:
         self.total += value
 
+    def insert_many(self, values: Sequence[float]) -> None:
+        # Sequential accumulation in a local: bit-identical to repeated
+        # insert() (float addition is order-sensitive), one write-back.
+        total = self.total
+        for value in values:
+            total += value
+        self.total = total
+
     def partial(self) -> float:
         return self.total
 
@@ -82,6 +90,9 @@ class CountState:
     def insert(self, value: float) -> None:
         self.count += 1
 
+    def insert_many(self, values: Sequence[float]) -> None:
+        self.count += len(values)
+
     def partial(self) -> int:
         return self.count
 
@@ -97,6 +108,12 @@ class MultiplicationState:
 
     def insert(self, value: float) -> None:
         self.product *= value
+
+    def insert_many(self, values: Sequence[float]) -> None:
+        product = self.product
+        for value in values:
+            product *= value
+        self.product = product
 
     def partial(self) -> float:
         return self.product
@@ -122,6 +139,22 @@ class DecomposableSortState:
         elif value > self.hi:  # type: ignore[operator]
             self.hi = value
 
+    def insert_many(self, values: Sequence[float]) -> None:
+        # The same comparison sequence as repeated insert() (min()/max()
+        # would treat NaNs differently), run on locals.
+        lo = self.lo
+        hi = self.hi
+        for value in values:
+            if lo is None:
+                lo = value
+                hi = value
+            elif value < lo:
+                lo = value
+            elif value > hi:
+                hi = value
+        self.lo = lo
+        self.hi = hi
+
     def partial(self) -> tuple[float, float] | None:
         if self.lo is None:
             return None
@@ -145,6 +178,12 @@ class SumOfSquaresState:
     def insert(self, value: float) -> None:
         self.total += value * value
 
+    def insert_many(self, values: Sequence[float]) -> None:
+        total = self.total
+        for value in values:
+            total += value * value
+        self.total = total
+
     def partial(self) -> float:
         return self.total
 
@@ -164,6 +203,9 @@ class NonDecomposableSortState:
 
     def insert(self, value: float) -> None:
         self.values.append(value)
+
+    def insert_many(self, values: Sequence[float]) -> None:
+        self.values.extend(values)
 
     def partial(self) -> list[float]:
         self.values.sort()
@@ -282,6 +324,17 @@ class OperatorSetState:
         self.inserts += 1
         for state in self.states:
             state.insert(value)
+
+    def insert_many(self, values: Sequence[float]) -> None:
+        """Apply a run of values to every operator.
+
+        Equivalent to repeated :meth:`insert` — including float rounding,
+        since every state accumulates in the same order — but each state
+        pays the Python dispatch once per run instead of once per event.
+        """
+        self.inserts += len(values)
+        for state in self.states:
+            state.insert_many(values)
 
     def partials(self) -> dict[OperatorKind, Any]:
         """Freeze this state set into per-operator partial results."""

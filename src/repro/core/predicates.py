@@ -25,7 +25,13 @@ from dataclasses import dataclass
 from repro.core.errors import QueryError
 from repro.core.event import Event
 
-__all__ = ["Selection", "SelectionRelation", "selection_relation", "compatible"]
+__all__ = [
+    "Selection",
+    "SelectionRelation",
+    "SelectionRouter",
+    "selection_relation",
+    "compatible",
+]
 
 
 class SelectionRelation(enum.Enum):
@@ -84,6 +90,65 @@ class Selection:
         if self.hi is not None:
             clauses.append(f"value < {self.hi:g}")
         return " AND ".join(clauses) if clauses else "TRUE"
+
+
+class SelectionRouter:
+    """Key-indexed routing over a group's selection contexts.
+
+    The per-event engine path scans every selection operator linearly (the
+    cost model behind Fig 7e).  The batched ingestion fast path instead
+    routes each event by its key: key-equality selections are bucketed
+    under their key, while selections with no key restriction form a
+    *pass-all fallback list* that every event must still consider.  An
+    event therefore only touches contexts that can possibly match it; the
+    remaining per-event work is the value-range check.
+
+    Candidate lists are ``(ctx_index, lo, hi)`` tuples sorted by context
+    index, so matches come out in the same order the linear scan produces
+    them.  The per-key merged lists are cached; the cache is bounded by
+    the number of distinct selection keys (unknown keys share the
+    fallback list and are never cached).
+    """
+
+    __slots__ = ("total", "_by_key", "_fallback", "_cache")
+
+    def __init__(self, selections: "list[Selection] | tuple[Selection, ...]") -> None:
+        #: number of selection operators a linear scan would execute per
+        #: event — used to keep ``selection_checks`` per-event-equivalent
+        self.total = len(selections)
+        by_key: dict[str, list[tuple[int, float | None, float | None]]] = {}
+        fallback: list[tuple[int, float | None, float | None]] = []
+        for index, selection in enumerate(selections):
+            entry = (index, selection.lo, selection.hi)
+            if selection.key is None:
+                fallback.append(entry)
+            else:
+                by_key.setdefault(selection.key, []).append(entry)
+        self._by_key = by_key
+        self._fallback = fallback
+        self._cache: dict[str, list[tuple[int, float | None, float | None]]] = {}
+
+    def candidates(self, key: str) -> list[tuple[int, float | None, float | None]]:
+        """Contexts that can match an event with ``key`` (sorted by ctx)."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        keyed = self._by_key.get(key)
+        if keyed is None:
+            return self._fallback
+        merged = sorted(keyed + self._fallback) if self._fallback else keyed
+        self._cache[key] = merged
+        return merged
+
+    def matches(self, event: Event) -> list[int]:
+        """Context indices matching ``event`` — identical to the linear
+        scan ``[i for i, s in enumerate(selections) if s.matches(event)]``."""
+        value = event.value
+        return [
+            index
+            for index, lo, hi in self.candidates(event.key)
+            if (lo is None or value >= lo) and (hi is None or value < hi)
+        ]
 
 
 def _bounds(selection: Selection) -> tuple[float, float]:

@@ -64,6 +64,20 @@ class Slice:
             self.contexts[ctx] = state
         state.insert(value)
 
+    def insert_run(
+        self, ctx: int, values: Sequence[float], kinds: Sequence[OperatorKind]
+    ) -> None:
+        """Apply a run of values to context ``ctx`` in one bulk update.
+
+        Produces exactly the state repeated :meth:`insert` calls would —
+        the batched ingestion fast path relies on that equivalence.
+        """
+        state = self.contexts.get(ctx)
+        if state is None:
+            state = OperatorSetState(kinds)
+            self.contexts[ctx] = state
+        state.insert_many(values)
+
     def close(self, end: int) -> None:
         """Freeze the slice: compute partial results for every context."""
         if self.closed:

@@ -96,9 +96,7 @@ class DesisSession:
         self._ensure_engine().process(event)
 
     def process_many(self, events: Iterable[Event]) -> None:
-        engine = self._ensure_engine()
-        for event in events:
-            engine.process(event)
+        self._ensure_engine().process_batch(list(events))
 
     def advance(self, time: int) -> None:
         self._ensure_engine().advance(time)

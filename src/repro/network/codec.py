@@ -46,6 +46,23 @@ _U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
 _F64 = struct.Struct(">d")
 
+#: bound on the float-array Struct memo: partial batches reuse a handful
+#: of run lengths, but raw value arrays can take any length — beyond the
+#: bound, odd sizes fall back to one-shot pack/unpack instead of growing
+#: the table forever.
+_FLOAT_STRUCT_CACHE_MAX = 256
+_float_structs: dict[int, struct.Struct] = {}
+
+
+def _float_struct(n: int) -> struct.Struct:
+    """A cached big-endian ``n``-float Struct (compiled format strings)."""
+    cached = _float_structs.get(n)
+    if cached is None:
+        cached = struct.Struct(f">{n}d")
+        if len(_float_structs) < _FLOAT_STRUCT_CACHE_MAX:
+            _float_structs[n] = cached
+    return cached
+
 
 class _Writer:
     __slots__ = ("parts",)
@@ -77,7 +94,7 @@ class _Writer:
 
     def floats(self, values) -> None:
         self.u32(len(values))
-        self.parts.append(struct.pack(f">{len(values)}d", *values))
+        self.parts.append(_float_struct(len(values)).pack(*values))
 
     def bytes(self) -> bytes:
         return b"".join(self.parts)
@@ -118,7 +135,7 @@ class _Reader:
 
     def floats(self) -> list[float]:
         n = self.u32()
-        values = list(struct.unpack_from(f">{n}d", self.data, self.pos))
+        values = list(_float_struct(n).unpack_from(self.data, self.pos))
         self.pos += 8 * n
         return values
 

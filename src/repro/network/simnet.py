@@ -36,6 +36,7 @@ _EVENT = 0
 _TICK = 1
 _MESSAGE = 2
 _FINISH = 3
+_EVENT_BATCH = 4
 
 
 class SimNode:
@@ -55,6 +56,14 @@ class SimNode:
 
     def on_event(self, event: Event, now: int, net: "SimNetwork") -> None:
         """A stream event arrived at this (local) node."""
+
+    def on_events(self, events: list[Event], now: int, net: "SimNetwork") -> None:
+        """A batch of in-order stream events arrived (see
+        :meth:`SimNetwork.inject_stream` with ``batch_ms``).  The default
+        keeps per-event semantics; nodes with a batched ingestion path
+        override this."""
+        for event in events:
+            self.on_event(event, now, net)
 
     def on_message(self, message: Message, now: int, net: "SimNetwork") -> None:
         """A message from another node was delivered."""
@@ -181,17 +190,47 @@ class SimNetwork:
         self._seq += 1
         heapq.heappush(self._queue, (at, self._seq, kind, payload))
 
-    def inject_stream(self, node_id: str, events: Iterable[Event]) -> int:
+    def inject_stream(
+        self, node_id: str, events: Iterable[Event], *, batch_ms: int | None = None
+    ) -> int:
         """Schedule a local node's events at their own timestamps.
+
+        With ``batch_ms`` set, consecutive events are grouped into
+        per-tick batches delivered through :meth:`SimNode.on_events` in a
+        single handler call: a batch starts at some event time ``t`` and
+        extends through events up to the next ``batch_ms`` grid point
+        ``>= t`` — the cadence watermark ticks fire on — so no tick (or
+        later-scheduled message) can fall between a batch's first and last
+        event.  The batch is scheduled at its first event's time, exactly
+        where per-event scheduling would deliver that event.
 
         Returns the last event time (or 0 for an empty stream).
         """
         if node_id not in self.nodes:
             raise TopologyError(f"unknown node: {node_id!r}")
         last = 0
+        if batch_ms is None:
+            for event in events:
+                self._push(float(event.time), _EVENT, (node_id, event))
+                last = event.time
+            return last
+        if batch_ms <= 0:
+            raise TopologyError(f"batch_ms must be positive, got {batch_ms}")
+        batch: list[Event] = []
+        boundary = 0
         for event in events:
-            self._push(float(event.time), _EVENT, (node_id, event))
+            if batch and event.time > boundary:
+                self._push(float(batch[0].time), _EVENT_BATCH, (node_id, batch))
+                batch = []
+            if not batch:
+                # Smallest grid point >= the batch's first event: events at
+                # exactly a tick time still precede that tick (they were
+                # scheduled first), matching per-event pop order.
+                boundary = ((event.time + batch_ms - 1) // batch_ms) * batch_ms
+            batch.append(event)
             last = event.time
+        if batch:
+            self._push(float(batch[0].time), _EVENT_BATCH, (node_id, batch))
         return last
 
     def schedule_ticks(self, node_id: str, start: int, end: int, interval: int) -> None:
@@ -232,6 +271,13 @@ class SimNetwork:
                 node.on_event(event, int(self.now), self)
                 node.cpu_time += _time.perf_counter() - started
                 node.events_handled += 1
+            elif kind == _EVENT_BATCH:
+                node_id, events = payload
+                node = self.nodes[node_id]
+                started = _time.perf_counter()
+                node.on_events(events, int(self.now), self)
+                node.cpu_time += _time.perf_counter() - started
+                node.events_handled += len(events)
             elif kind == _MESSAGE:
                 node_id, codec, data = payload
                 node = self.nodes[node_id]

@@ -1,0 +1,273 @@
+"""Batched ingestion parity: ``process_batch`` == per-event ``process``.
+
+The slice-run fast path must be *observationally invisible*: identical
+results (same values, same order, same ``emitted_at`` stamps) and an
+identical :class:`~repro.core.engine.EngineStats` — batched work is billed
+as if it had been applied per event, because those counters are what
+Figures 8–10 measure.  These tests sweep every window type, both
+punctuation modes, every sharing policy, ragged batch boundaries, and
+runtime query management mid-batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import AggregationEngine
+from repro.core.errors import OutOfOrderError
+from repro.core.event import Event
+from repro.core.predicates import Selection
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, SharingPolicy, WindowMeasure
+
+from tests.conftest import make_stream
+
+MODES = ("heap", "scan")
+POLICIES = tuple(SharingPolicy)
+
+
+def result_key(r):
+    return (r.query_id, r.start, r.end, r.value, r.event_count, r.emitted_at)
+
+
+def replay(queries, events, *, mode, policy=SharingPolicy.FULL, batch=None,
+           actions=()):
+    """Replay ``events``; return ``(results, stats)``.
+
+    ``batch=None`` uses the per-event reference path; otherwise events go
+    through ``process_batch`` in chunks of ``batch``.  ``actions`` is a
+    list of ``(event_index, callback)`` pairs applied when the replay
+    reaches that index (on the reference path, exactly between events; on
+    the batched path, at the nearest preceding chunk boundary — callers
+    align indices to chunk boundaries for strict parity).
+    """
+    engine = AggregationEngine(queries, policy=policy, punctuation_mode=mode)
+    pending = sorted(actions, key=lambda pair: pair[0])
+    i = 0
+    while i < len(events):
+        while pending and pending[0][0] <= i:
+            pending.pop(0)[1](engine)
+        if batch is None:
+            engine.process(events[i])
+            i += 1
+        else:
+            stop = min(i + batch, len(events))
+            if pending:
+                stop = min(stop, pending[0][0])
+            engine.process_batch(events[i:stop])
+            i = stop
+    for _, action in pending:
+        action(engine)
+    engine.close()
+    return [result_key(r) for r in engine.sink.results], engine.stats
+
+
+def assert_parity(queries, events, *, policy=SharingPolicy.FULL, batches=(1, 7, 64, 100_000), actions=()):
+    for mode in MODES:
+        expected = replay(
+            queries, events, mode=mode, policy=policy, actions=actions
+        )
+        for batch in batches:
+            got = replay(
+                queries, events, mode=mode, policy=policy, batch=batch,
+                actions=actions,
+            )
+            assert got[0] == expected[0], (mode, batch, "results diverged")
+            assert got[1] == expected[1], (mode, batch, "stats diverged")
+
+
+FIXED_QUERIES = [
+    Query.of("tum-avg", WindowSpec.tumbling(500), AggFunction.AVERAGE),
+    Query.of("tum-sum", WindowSpec.tumbling(700), AggFunction.SUM),
+    Query.of(
+        "sli-max",
+        WindowSpec.sliding(1_000, 250),
+        AggFunction.MAX,
+        selection=Selection(key="a"),
+    ),
+    Query.of(
+        "sli-med",
+        WindowSpec.sliding(600, 300),
+        AggFunction.MEDIAN,
+        selection=Selection(lo=10.0, hi=90.0),
+    ),
+]
+
+
+class TestFixedWindows:
+    def test_tumbling_and_sliding_all_policies(self):
+        events = make_stream(800)
+        for policy in POLICIES:
+            assert_parity(FIXED_QUERIES, events, policy=policy)
+
+    def test_keyed_and_range_selections_with_dedup(self):
+        events = make_stream(600, dt_choices=(0, 5, 10))  # duplicate times
+        queries = FIXED_QUERIES + [
+            Query.of(
+                "dedup",
+                WindowSpec.tumbling(400),
+                AggFunction.SUM,
+                selection=Selection(key="b", deduplicate=True),
+            ),
+        ]
+        assert_parity(queries, events)
+
+    def test_single_group_workload(self):
+        # One query-group: the batched path skips synchronized chunking.
+        events = make_stream(500)
+        queries = [
+            Query.of("t1", WindowSpec.tumbling(300), AggFunction.AVERAGE),
+            Query.of("t2", WindowSpec.tumbling(600), AggFunction.AVERAGE),
+        ]
+        assert_parity(queries, events)
+
+
+class TestDataDrivenWindows:
+    """Sessions, markers, and counts can cut mid-run: the fast path must
+    fall back per event and still agree exactly."""
+
+    def test_session_windows(self):
+        events = make_stream(500, gap_every=40, gap_dt=5_000)
+        queries = FIXED_QUERIES + [
+            Query.of("ses", WindowSpec.session(1_000), AggFunction.SUM),
+            Query.of(
+                "ses-a",
+                WindowSpec.session(2_000),
+                AggFunction.AVERAGE,
+                selection=Selection(key="a"),
+            ),
+        ]
+        assert_parity(queries, events)
+
+    def test_user_defined_windows(self):
+        events = make_stream(500, marker_every=35)
+        queries = FIXED_QUERIES + [
+            Query.of(
+                "trip",
+                WindowSpec.user_defined("trip_end"),
+                AggFunction.AVERAGE,
+            ),
+        ]
+        assert_parity(queries, events)
+
+    def test_count_windows(self):
+        events = make_stream(500)
+        queries = FIXED_QUERIES + [
+            Query.of(
+                "cnt",
+                WindowSpec.tumbling(100, measure=WindowMeasure.COUNT),
+                AggFunction.SUM,
+            ),
+            Query.of(
+                "cnt-slide",
+                WindowSpec.sliding(100, 40, measure=WindowMeasure.COUNT),
+                AggFunction.MAX,
+            ),
+        ]
+        assert_parity(queries, events)
+
+    def test_everything_at_once(self):
+        events = make_stream(600, gap_every=50, gap_dt=4_000, marker_every=45)
+        queries = FIXED_QUERIES + [
+            Query.of("ses", WindowSpec.session(1_500), AggFunction.SUM),
+            Query.of(
+                "trip", WindowSpec.user_defined("trip_end"), AggFunction.SUM
+            ),
+            Query.of(
+                "cnt",
+                WindowSpec.tumbling(80, measure=WindowMeasure.COUNT),
+                AggFunction.AVERAGE,
+            ),
+        ]
+        for policy in POLICIES:
+            assert_parity(queries, events, policy=policy, batches=(13, 100_000))
+
+
+class TestRuntimeManagement:
+    def test_add_query_mid_batch(self):
+        events = make_stream(600)
+        late = Query.of("late", WindowSpec.tumbling(400), AggFunction.SUM)
+        actions = [(300, lambda engine: engine.add_query(late))]
+        assert_parity(
+            FIXED_QUERIES, events, batches=(10, 25, 100), actions=actions
+        )
+
+    def test_add_query_new_group_mid_batch(self):
+        # MAX under SAME_FUNCTION sharing lands in a brand-new group,
+        # exercising the fresh-GroupRuntime bootstrap path.
+        events = make_stream(600)
+        late = Query.of("late-max", WindowSpec.tumbling(400), AggFunction.MAX)
+        actions = [(300, lambda engine: engine.add_query(late))]
+        assert_parity(
+            FIXED_QUERIES[:2],
+            events,
+            policy=SharingPolicy.SAME_FUNCTION,
+            batches=(10, 50),
+            actions=actions,
+        )
+
+    def test_remove_query_mid_batch(self):
+        events = make_stream(600)
+        for drain in (False, True):
+            actions = [
+                (
+                    250,
+                    lambda engine, drain=drain: engine.remove_query(
+                        "tum-sum", drain=drain
+                    ),
+                )
+            ]
+            assert_parity(
+                FIXED_QUERIES, events, batches=(10, 50, 125), actions=actions
+            )
+
+    def test_add_then_remove_mid_batch(self):
+        events = make_stream(600)
+        late = Query.of("late", WindowSpec.tumbling(300), AggFunction.AVERAGE)
+        actions = [
+            (200, lambda engine: engine.add_query(late)),
+            (400, lambda engine: engine.remove_query("late")),
+        ]
+        assert_parity(
+            FIXED_QUERIES, events, batches=(8, 40, 200), actions=actions
+        )
+
+
+class TestAddQueryBootstrap:
+    """Regression: a runtime-added query opening a *new* group must join
+    at the current stream time, not at the first post-add event."""
+
+    def test_new_group_joins_at_stream_time(self):
+        queries = [Query.of("sum", WindowSpec.tumbling(100), AggFunction.SUM)]
+        engine = AggregationEngine(queries, policy=SharingPolicy.SAME_FUNCTION)
+        engine.process(Event(time=950, key="a", value=1.0))
+        late = Query.of("max", WindowSpec.tumbling(100), AggFunction.MAX)
+        engine.add_query(late)
+        target = next(
+            g for g in engine.groups if "max" in {q.query_id for q in g.group.queries}
+        )
+        # The fresh runtime is anchored at the established stream time ...
+        assert target.stream_time == 950
+        # ... so feeding an *older* event is rejected like everywhere else.
+        with pytest.raises(OutOfOrderError):
+            engine.process(Event(time=900, key="a", value=1.0))
+
+    def test_new_group_windows_align_with_stream(self):
+        queries = [Query.of("sum", WindowSpec.tumbling(100), AggFunction.SUM)]
+        engine = AggregationEngine(queries, policy=SharingPolicy.SAME_FUNCTION)
+        engine.process(Event(time=955, key="a", value=1.0))
+        engine.add_query(
+            Query.of("max", WindowSpec.tumbling(100), AggFunction.MAX)
+        )
+        engine.process(Event(time=990, key="a", value=5.0))
+        engine.process(Event(time=1_070, key="a", value=9.0))
+        engine.close()
+        max_results = [r for r in engine.sink.results if r.query_id == "max"]
+        # Bootstrapping at the add-time stream time (955) anchors the new
+        # group's window schedule there — [955, 1055), [1055, 1155), ... —
+        # instead of at whatever event happens to arrive next (which would
+        # have opened [990, 1090) and shifted every later window).
+        assert [(r.start, r.end, r.value) for r in max_results] == [
+            (955, 1_055, 5.0),
+            (1_055, 1_155, 9.0),
+        ]

@@ -1,0 +1,43 @@
+"""Tiny-scale run of the hot-path micro-benchmark.
+
+Keeps CI honest about the batched ingestion fast path: the benchmark
+itself asserts result/stats parity between the per-event and batched
+replays, so breaking either path (or their equivalence) fails here long
+before anyone reads ``BENCH_hot_path.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_hot_path  # noqa: E402
+
+
+def test_bench_hot_path_tiny_scale():
+    report = bench_hot_path.run(2_000, repeats=1)
+    assert report["events"] == 2_000
+    workloads = report["workloads"]
+    assert set(workloads) == {"single_query", "100_queries"}
+    for row in workloads.values():
+        assert row["per_event_events_per_s"] > 0
+        assert row["batched_events_per_s"] > 0
+        # No speed assertion at this scale — parity is checked inside
+        # ``run`` and is what this smoke test is really for.
+
+
+def test_bench_hot_path_report_shape():
+    row_keys = {
+        "queries",
+        "per_event_s",
+        "batched_s",
+        "per_event_events_per_s",
+        "batched_events_per_s",
+        "speedup",
+    }
+    report = bench_hot_path.run(1_000, repeats=1)
+    for row in report["workloads"].values():
+        assert set(row) == row_keys
