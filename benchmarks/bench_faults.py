@@ -1,0 +1,137 @@
+"""Fault-injection overhead benchmark: throughput under lossy links.
+
+Replays the same per-node streams through a three-tier ``DesisCluster``
+under increasing link drop rates (0%, 1%, 5%) and reports cluster
+throughput plus the reliable-channel repair traffic (retransmissions,
+acks) each rate costs.  Results are asserted byte-identical to the
+fault-free run at every rate — the channel recovers everything, the only
+thing the faults are allowed to buy is wall-clock and wire bytes.
+
+Run standalone to (re)generate ``BENCH_faults.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+
+``tests/test_bench_smoke.py`` runs the same harness at tiny scale so CI
+catches parity or accounting drift under faults.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time as _time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # standalone execution
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster import ClusterConfig, DesisCluster  # noqa: E402
+from repro.core.query import Query, WindowSpec  # noqa: E402
+from repro.core.types import AggFunction  # noqa: E402
+from repro.datagen import DataGenerator, DataGeneratorConfig  # noqa: E402
+from repro.network.simnet import FaultPlan  # noqa: E402
+from repro.network.topology import three_tier  # noqa: E402
+
+DEFAULT_EVENTS = 30_000
+OUTPUT_NAME = "BENCH_faults.json"
+
+DROP_RATES = (0.0, 0.01, 0.05)
+N_LOCALS = 3
+TICK = 500
+
+
+def _queries():
+    return [
+        Query.of("tumbling", WindowSpec.tumbling(1_000), AggFunction.SUM),
+        Query.of("session", WindowSpec.session(gap=400), AggFunction.MAX),
+    ]
+
+
+def _streams(n_events: int) -> dict[str, list]:
+    """``n_events`` total, spread over the locals with per-node seeds."""
+    per_node = n_events // N_LOCALS
+    # Low rate on purpose: the span (and with it the number of per-tick
+    # slice shipments, the frames the fault plan can hit) scales with
+    # events/rate, and frames are what this benchmark is about.
+    config = DataGeneratorConfig(keys=("k0", "k1", "k2"), rate=200.0)
+    return {
+        f"local-{i}": list(DataGenerator(config, seed=10 + i).events(per_node))
+        for i in range(N_LOCALS)
+    }
+
+
+def _run_once(streams: dict[str, list], drop_rate: float):
+    plan = (
+        None
+        if drop_rate == 0.0
+        else FaultPlan(seed=42, drop_rate=drop_rate, jitter_ms=2.0)
+    )
+    config = ClusterConfig(
+        tick_interval=TICK, fault_plan=plan, node_timeout=10**9
+    )
+    cluster = DesisCluster(_queries(), three_tier(N_LOCALS, 1), config=config)
+    started = _time.perf_counter()
+    result = cluster.run({k: list(v) for k, v in streams.items()})
+    elapsed = _time.perf_counter() - started
+    return result, elapsed
+
+
+def run(n_events: int = DEFAULT_EVENTS) -> dict:
+    """Run every drop rate; return the report dict written to JSON."""
+    streams = _streams(n_events)
+    events = sum(len(s) for s in streams.values())
+    report: dict = {
+        "benchmark": "fault_injection_overhead",
+        "events": events,
+        "locals": N_LOCALS,
+        "rates": {},
+    }
+    baseline_rows = None
+    for drop_rate in DROP_RATES:
+        result, elapsed = _run_once(streams, drop_rate)
+        rows = [
+            (r.query_id, r.start, r.end, r.event_count, r.value)
+            for r in result.sink
+        ]
+        if baseline_rows is None:
+            baseline_rows = rows
+        elif rows != baseline_rows:
+            raise AssertionError(
+                f"drop_rate={drop_rate}: results diverged from the "
+                "fault-free run — the reliable channel failed to recover"
+            )
+        net = result.network
+        label = f"{drop_rate:.0%}"
+        report["rates"][label] = {
+            "drop_rate": drop_rate,
+            "wall_s": round(elapsed, 4),
+            "events_per_s": round(events / elapsed),
+            "results": len(rows),
+            "drops": net.drops,
+            "retransmits": net.retransmits,
+            "retransmit_bytes": net.retransmit_bytes,
+            "acks": net.acks,
+            "total_bytes": net.total_bytes,
+            "goodput_data_bytes": net.goodput_data_bytes,
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = argv if argv is not None else sys.argv[1:]
+    n_events = int(args[0]) if args else DEFAULT_EVENTS
+    report = run(n_events)
+    out = REPO_ROOT / OUTPUT_NAME
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for label, row in report["rates"].items():
+        print(
+            f"drop {label:>3}: {row['events_per_s']:>9,} ev/s"
+            f"  retx {row['retransmits']:>5}"
+            f"  wire {row['total_bytes']:>9,} B"
+        )
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

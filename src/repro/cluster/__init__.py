@@ -7,10 +7,12 @@ from repro.cluster.disco import DiscoCluster
 from repro.cluster.intermediate import IntermediateNode
 from repro.cluster.local import LocalNode
 from repro.cluster.merger import GroupMerger, group_has_sessions, merge_records
+from repro.cluster.reliability import ChildLiveness, resync_entries
 from repro.cluster.root import RootAssembler, RootNode
 
 __all__ = [
     "CentralizedCluster",
+    "ChildLiveness",
     "ClusterConfig",
     "ClusterRunResult",
     "DesisCluster",
@@ -22,4 +24,5 @@ __all__ = [
     "RootNode",
     "group_has_sessions",
     "merge_records",
+    "resync_entries",
 ]

@@ -135,6 +135,9 @@ class CentralizedCluster:
             default_codec=self.config.codec,
             default_latency_ms=self.config.latency_ms,
             default_bandwidth_bytes_per_ms=self.config.bandwidth_bytes_per_ms,
+            fault_plan=self.config.fault_plan,
+            retransmit_timeout_ms=self.config.retransmit_timeout,
+            max_retries=self.config.max_retries,
         )
         self.processor = processor_factory(self.queries)
         # Anchor fixed-window schedules at the shared origin, like every

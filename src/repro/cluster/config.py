@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.network.codec import BinaryCodec, Codec
+from repro.network.simnet import FaultPlan
 
 __all__ = ["ClusterConfig"]
 
@@ -26,7 +27,7 @@ class ClusterConfig:
             unlimited; ~131 bytes/ms models the Pi cluster's 1G Ethernet).
         codec: wire format for data traffic.
         heartbeat_interval: cadence of node heartbeats to the root (ms).
-        node_timeout: silence after which the root evicts a node (ms).
+        node_timeout: silence after which a parent evicts a node (ms).
         batch_ms: when set, inject each local stream in per-tick event
             batches of this granularity (see
             :meth:`~repro.network.simnet.SimNetwork.inject_stream`), so
@@ -34,6 +35,18 @@ class ClusterConfig:
             handler call.  ``None`` (the default) keeps per-event
             injection; deployments with runtime actions always use
             per-event injection regardless.
+        punctuation_mode: how local engine runtimes find the next window
+            punctuation: ``"heap"`` (default) or ``"scan"`` (see
+            :class:`~repro.core.engine.GroupRuntime`).
+        fault_plan: seeded description of link faults and node crashes
+            (see :class:`~repro.network.simnet.FaultPlan`).  ``None`` (the
+            default) keeps the lossless network byte-for-byte; any plan —
+            even an all-zero one — routes data traffic through the
+            reliable ack/retransmit channel.
+        retransmit_timeout: ms before an unacked reliable frame is
+            retransmitted (doubling on each retry).
+        max_retries: retransmissions before a frame is abandoned and the
+            link counts it as ``retransmit_exhausted``.
     """
 
     origin: int = 0
@@ -44,3 +57,7 @@ class ClusterConfig:
     heartbeat_interval: int = 5_000
     node_timeout: int = 15_000
     batch_ms: int | None = None
+    punctuation_mode: str = "heap"
+    fault_plan: FaultPlan | None = None
+    retransmit_timeout: float = 100.0
+    max_retries: int = 8

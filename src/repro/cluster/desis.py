@@ -101,6 +101,9 @@ class DesisCluster:
             default_codec=self.config.codec,
             default_latency_ms=self.config.latency_ms,
             default_bandwidth_bytes_per_ms=self.config.bandwidth_bytes_per_ms,
+            fault_plan=self.config.fault_plan,
+            retransmit_timeout_ms=self.config.retransmit_timeout,
+            max_retries=self.config.max_retries,
         )
         self._build_nodes()
 
@@ -176,6 +179,7 @@ class DesisCluster:
                 origin=origin,
                 tick_interval=self.config.tick_interval,
                 heartbeat_interval=self.config.heartbeat_interval,
+                punctuation_mode=self.config.punctuation_mode,
             )
             node.groups.append(handler_cls(node.node_id, group, shifted, node.stats))
         for node in self.intermediates.values():
@@ -183,6 +187,7 @@ class DesisCluster:
                 GroupMerger(group, self.topology.children(node.node_id), origin)
             )
             node.ship_seq.append(0)
+            node.forward_floor.append(origin)
         self.root.mergers.append(
             GroupMerger(group, self.topology.children(self.topology.root), origin)
         )
@@ -222,6 +227,10 @@ class DesisCluster:
             self.root if parent == self.topology.root else self.intermediates[parent]
         )
         parent_node.add_child(node_id)
+        if parent_node.liveness is not None:
+            # The node joins now, not at the origin: it must not be swept
+            # for silence it predates.
+            parent_node.liveness.add(node_id, int(self.net.now))
         last = self.net.inject_stream(node_id, stream)
         if last:
             end = self._align_up(last)
@@ -305,6 +314,15 @@ class DesisCluster:
         for node_id in self.intermediates:
             self.net.schedule_ticks(
                 node_id,
+                start=self.config.origin,
+                end=end,
+                interval=self.config.heartbeat_interval,
+            )
+        if self.config.fault_plan is not None:
+            # The root's heartbeat-silence sweep only matters when nodes
+            # can actually go silent.
+            self.net.schedule_ticks(
+                self.topology.root,
                 start=self.config.origin,
                 end=end,
                 interval=self.config.heartbeat_interval,

@@ -305,6 +305,9 @@ class DiscoCluster:
             codec=StringCodec(),
             heartbeat_interval=base.heartbeat_interval,
             node_timeout=base.node_timeout,
+            fault_plan=base.fault_plan,
+            retransmit_timeout=base.retransmit_timeout,
+            max_retries=base.max_retries,
         )
         self.topology = topology
         self.queries = list(queries)
@@ -313,6 +316,9 @@ class DiscoCluster:
             default_codec=self.config.codec,
             default_latency_ms=self.config.latency_ms,
             default_bandwidth_bytes_per_ms=self.config.bandwidth_bytes_per_ms,
+            fault_plan=self.config.fault_plan,
+            retransmit_timeout_ms=self.config.retransmit_timeout,
+            max_retries=self.config.max_retries,
         )
         origin = self.config.origin
         self.root = _DiscoRoot(

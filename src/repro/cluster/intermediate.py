@@ -15,7 +15,12 @@ from repro.core.analyzer import QueryPlan
 from repro.core.types import NodeRole
 from repro.cluster.config import ClusterConfig
 from repro.cluster.merger import GroupMerger
-from repro.network.messages import ControlMessage, PartialBatchMessage
+from repro.cluster.reliability import ChildLiveness, resync_entries
+from repro.network.messages import (
+    ControlMessage,
+    PartialBatchMessage,
+    ResyncMessage,
+)
 from repro.network.simnet import SimNetwork, SimNode
 
 __all__ = ["IntermediateNode"]
@@ -34,27 +39,70 @@ class IntermediateNode(SimNode):
             GroupMerger(group, children, config.origin) for group in plan.groups
         ]
         self.ship_seq = [0 for _ in plan.groups]
+        #: per-group coverage boundary below which records are not forwarded
+        #: (set by a parent resync: those windows closed degraded upstream)
+        self.forward_floor = [config.origin for _ in plan.groups]
         self.alive = True
         self._last_heartbeat = config.origin
+        self.liveness = (
+            ChildLiveness(children, config.origin, config.node_timeout)
+            if config.fault_plan is not None
+            else None
+        )
 
     def on_tick(self, now: int, net: SimNetwork) -> None:
-        if self.alive and now - self._last_heartbeat >= self.config.heartbeat_interval:
+        if not self.alive:
+            return
+        if now - self._last_heartbeat >= self.config.heartbeat_interval:
             self._last_heartbeat = now
             net.send(
                 self.node_id,
                 self.parent,
                 ControlMessage(sender=self.node_id, kind="heartbeat", payload=now),
             )
+        liveness = self.liveness
+        if liveness is not None:
+            for child in liveness.sweep(now):
+                for merger in self.mergers:
+                    merger.remove_child(child)
+
+    def _readmit(self, child: str, net: SimNetwork) -> None:
+        for merger in self.mergers:
+            merger.add_child(child)
+        epoch = net.expect_resync(child, self.node_id)
+        net.send(
+            self.node_id,
+            child,
+            ResyncMessage(
+                sender=self.node_id,
+                epoch=epoch,
+                entries=resync_entries(self.mergers),
+            ),
+        )
 
     def on_message(self, message, now: int, net: SimNetwork) -> None:
         if isinstance(message, ControlMessage):
             if not self.alive:
                 return
             if message.kind == "heartbeat":
+                liveness = self.liveness
+                if liveness is not None and liveness.tracks(message.sender):
+                    if liveness.beat(message.sender, now):
+                        self._readmit(message.sender, net)
                 net.send(self.node_id, self.parent, message)
             elif message.kind in ("queries", "topology"):
                 for child in self.children:
                     net.send(self.node_id, child, message)
+            return
+        if isinstance(message, ResyncMessage):
+            # Our parent soft-evicted and re-admitted us: restart the
+            # upward slice sequences and never re-ship records for
+            # coverage it already assembled without us.
+            for group_id, (next_seq, covered) in message.entries.items():
+                if group_id < len(self.ship_seq):
+                    self.ship_seq[group_id] = next_seq
+                    self.forward_floor[group_id] = covered
+            net.reset_channel(self.node_id, self.parent, message.epoch)
             return
         if not isinstance(message, PartialBatchMessage):
             return
@@ -64,6 +112,9 @@ class IntermediateNode(SimNode):
         if advanced is None or not self.alive:
             return
         covered, records = advanced
+        floor = self.forward_floor[message.group_id]
+        if floor > self.config.origin:
+            records = [record for record in records if record.end > floor]
         out = PartialBatchMessage(
             sender=self.node_id,
             group_id=message.group_id,
@@ -80,9 +131,13 @@ class IntermediateNode(SimNode):
         self.children.append(child)
         for merger in self.mergers:
             merger.add_child(child)
+        if self.liveness is not None:
+            self.liveness.add(child, self.config.origin)
 
     def remove_child(self, child: str) -> None:
         if child in self.children:
             self.children.remove(child)
         for merger in self.mergers:
             merger.remove_child(child)
+        if self.liveness is not None:
+            self.liveness.remove(child)

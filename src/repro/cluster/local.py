@@ -27,6 +27,7 @@ from repro.network.messages import (
     ContextPartial,
     ControlMessage,
     PartialBatchMessage,
+    ResyncMessage,
     SliceRecord,
 )
 from repro.network.simnet import SimNetwork, SimNode
@@ -45,7 +46,7 @@ class _SlicedLocalGroup:
             group,
             ResultSink(keep=False),
             stats,
-            punctuation_mode="heap",
+            punctuation_mode=config.punctuation_mode,
             assemble=False,
             slice_sink=self._on_cut,
             track_spans=group_has_sessions(group),
@@ -109,6 +110,16 @@ class _SlicedLocalGroup:
         self.ship_seq += len(self.pending)
         self.pending = []
         return message
+
+    def resync(self, next_seq: int, covered: int) -> None:
+        """Restart the upward slice sequence after a parent resync.
+
+        Pending records at or below ``covered`` belong to windows the
+        parent already closed (degraded) without this node — shipping
+        them again would corrupt session and user-defined assembly.
+        """
+        self.ship_seq = next_seq
+        self.pending = [r for r in self.pending if r.end > covered]
 
 
 class _RootEvalLocalGroup:
@@ -281,6 +292,10 @@ class _RootEvalLocalGroup:
         self.pending = []
         return message
 
+    def resync(self, next_seq: int, covered: int) -> None:
+        self.ship_seq = next_seq
+        self.pending = [r for r in self.pending if r.end > covered]
+
 
 class LocalNode(SimNode):
     """A Desis local node: one group handler per query-group."""
@@ -332,7 +347,14 @@ class LocalNode(SimNode):
             net.send(self.node_id, self.parent, group.flush(now))
 
     def on_message(self, message, now: int, net: SimNetwork) -> None:
-        # Locals only receive control traffic (queries, topology).
+        # Locals receive control traffic (queries, topology) and, after a
+        # soft-eviction outage, a state resync from their parent.
+        if isinstance(message, ResyncMessage):
+            for group_id, (next_seq, covered) in message.entries.items():
+                if group_id < len(self.groups):
+                    self.groups[group_id].resync(next_seq, covered)
+            net.reset_channel(self.node_id, self.parent, message.epoch)
+            return
         if isinstance(message, ControlMessage) and message.kind == "query_remove":
             query_id = message.payload
             for group in self.groups:

@@ -1,0 +1,85 @@
+"""Heartbeat-driven soft eviction and rejoin (the fault-tolerant half of
+Sec 3.2's membership protocol).
+
+The paper's management protocol evicts a silent node; with a
+:class:`~repro.network.simnet.FaultPlan` active a node may merely be
+partitioned, so parents (root and intermediates) *soft*-evict instead:
+the child is dropped from every :class:`~repro.cluster.merger.GroupMerger`
+— coverage resumes without it, results degrade gracefully — but the
+parent remembers it.  When the child's heartbeats come back, the parent
+re-attaches it and sends a :class:`~repro.network.messages.ResyncMessage`:
+a fresh reliable-channel epoch (stale in-flight frames die at the
+transport) plus, per query-group, the slice sequence to resume at and the
+coverage already assembled without it (the child prunes work for windows
+that closed degraded during the outage).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.merger import GroupMerger
+
+__all__ = ["ChildLiveness", "resync_entries"]
+
+
+class ChildLiveness:
+    """Tracks one parent's direct children by heartbeat recency."""
+
+    __slots__ = ("timeout", "last_seen", "evicted", "soft_evictions", "rejoins")
+
+    def __init__(self, children, origin: int, timeout: int) -> None:
+        self.timeout = timeout
+        self.last_seen: dict[str, int] = {child: origin for child in children}
+        self.evicted: set[str] = set()
+        self.soft_evictions = 0
+        self.rejoins = 0
+
+    def tracks(self, child: str) -> bool:
+        """Whether ``child`` is a direct child (live or soft-evicted) —
+        parents also see forwarded heartbeats of deeper descendants."""
+        return child in self.last_seen or child in self.evicted
+
+    def beat(self, child: str, now: int) -> bool:
+        """Record a heartbeat; returns True when ``child`` must rejoin."""
+        if child in self.evicted:
+            self.evicted.discard(child)
+            self.last_seen[child] = now
+            self.rejoins += 1
+            return True
+        if child in self.last_seen:
+            self.last_seen[child] = now
+        return False
+
+    def sweep(self, now: int) -> list[str]:
+        """Soft-evict (and return) children silent for over the timeout."""
+        dead = sorted(
+            child
+            for child, seen in self.last_seen.items()
+            if now - seen > self.timeout
+        )
+        for child in dead:
+            del self.last_seen[child]
+            self.evicted.add(child)
+            self.soft_evictions += 1
+        return dead
+
+    def add(self, child: str, now: int) -> None:
+        self.evicted.discard(child)
+        self.last_seen[child] = now
+
+    def remove(self, child: str) -> None:
+        """Hard removal (node left the cluster): forget it entirely."""
+        self.last_seen.pop(child, None)
+        self.evicted.discard(child)
+
+
+def resync_entries(mergers: list[GroupMerger]) -> dict[int, tuple[int, int]]:
+    """Per-group ``(next_slice_seq, covered_to)`` for a rejoining child.
+
+    A re-attached child starts a fresh slice sequence at zero, and must
+    not re-ship records for coverage the parent already assembled without
+    it — exactly the state :meth:`GroupMerger.add_child` initializes.
+    """
+    return {
+        group_id: (0, merger.forwarded_to)
+        for group_id, merger in enumerate(mergers)
+    }

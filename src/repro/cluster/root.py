@@ -40,7 +40,13 @@ from repro.core.results import ResultSink, WindowResult
 from repro.core.types import NodeRole, OperatorKind, WindowMeasure, WindowType
 from repro.cluster.config import ClusterConfig
 from repro.cluster.merger import GroupMerger
-from repro.network.messages import ControlMessage, PartialBatchMessage, SliceRecord
+from repro.cluster.reliability import ChildLiveness, resync_entries
+from repro.network.messages import (
+    ControlMessage,
+    PartialBatchMessage,
+    ResyncMessage,
+    SliceRecord,
+)
 from repro.network.simnet import SimNetwork, SimNode
 
 __all__ = ["RootNode", "RootAssembler"]
@@ -415,6 +421,13 @@ class RootNode(SimNode):
             for group in plan.groups
         ]
         self.last_seen: dict[str, int] = {}
+        # Soft-eviction state, only active under a fault plan: without one
+        # the network is lossless and partitions cannot happen.
+        self.liveness = (
+            ChildLiveness(children, config.origin, config.node_timeout)
+            if config.fault_plan is not None
+            else None
+        )
 
     def _emit(self, query: Query, start: int, end: int, ops, count: int,
               now: int) -> None:
@@ -433,6 +446,10 @@ class RootNode(SimNode):
         if isinstance(message, ControlMessage):
             if message.kind == "heartbeat":
                 self.last_seen[message.sender] = now
+                liveness = self.liveness
+                if liveness is not None and liveness.tracks(message.sender):
+                    if liveness.beat(message.sender, now):
+                        self._readmit(message.sender, net)
             return
         if not isinstance(message, PartialBatchMessage):
             return
@@ -448,6 +465,31 @@ class RootNode(SimNode):
                 derive_ops_from_timed(record, group.operators)
         self.assemblers[message.group_id].consume(covered, records, now)
 
+    def on_tick(self, now: int, net: SimNetwork) -> None:
+        # Ticks are only scheduled for the root under a fault plan: the
+        # heartbeat-silence sweep that soft-evicts partitioned children.
+        liveness = self.liveness
+        if liveness is None:
+            return
+        for child in liveness.sweep(now):
+            for merger in self.mergers:
+                merger.remove_child(child)
+
+    def _readmit(self, child: str, net: SimNetwork) -> None:
+        """Re-attach a soft-evicted child whose heartbeats came back."""
+        for merger in self.mergers:
+            merger.add_child(child)
+        epoch = net.expect_resync(child, self.node_id)
+        net.send(
+            self.node_id,
+            child,
+            ResyncMessage(
+                sender=self.node_id,
+                epoch=epoch,
+                entries=resync_entries(self.mergers),
+            ),
+        )
+
     def finish(self, now: int) -> None:
         for assembler in self.assemblers:
             assembler.finish(now)
@@ -457,10 +499,14 @@ class RootNode(SimNode):
     def add_child(self, child: str) -> None:
         for merger in self.mergers:
             merger.add_child(child)
+        if self.liveness is not None:
+            self.liveness.add(child, int(self.config.origin))
 
     def remove_child(self, child: str) -> None:
         for merger in self.mergers:
             merger.remove_child(child)
+        if self.liveness is not None:
+            self.liveness.remove(child)
 
     def timed_out_nodes(self, now: int) -> list[str]:
         """Children whose heartbeats stopped for longer than the timeout."""

@@ -12,12 +12,27 @@ __all__ = ["NetworkBreakdown", "breakdown", "fmt_bytes"]
 
 @dataclass(slots=True)
 class NetworkBreakdown:
-    """Bytes sent per node class, the unit Fig 11 plots."""
+    """Bytes sent per node class, the unit Fig 11 plots.
+
+    The reliability fields are all zero without a
+    :class:`~repro.network.simnet.FaultPlan`; under one they make the
+    degradation observable — how much of the wire traffic was repair
+    (retransmissions, network duplicates) rather than payload.
+    """
 
     local_bytes: int
     intermediate_bytes: int
     total_bytes: int
     control_bytes: int
+    drops: int = 0
+    duplicates: int = 0
+    retransmits: int = 0
+    retransmit_bytes: int = 0
+    retransmit_exhausted: int = 0
+    acks: int = 0
+    ack_bytes: int = 0
+    dedup_dropped: int = 0
+    goodput_data_bytes: int = 0
 
     @property
     def data_bytes(self) -> int:
@@ -31,6 +46,15 @@ def breakdown(stats: NetworkStats) -> NetworkBreakdown:
         intermediate_bytes=stats.data_bytes_from_role.get(NodeRole.INTERMEDIATE, 0),
         total_bytes=stats.total_bytes,
         control_bytes=stats.control_bytes,
+        drops=stats.drops,
+        duplicates=stats.duplicates,
+        retransmits=stats.retransmits,
+        retransmit_bytes=stats.retransmit_bytes,
+        retransmit_exhausted=stats.retransmit_exhausted,
+        acks=stats.acks,
+        ack_bytes=stats.ack_bytes,
+        dedup_dropped=stats.dedup_dropped,
+        goodput_data_bytes=stats.goodput_data_bytes,
     )
 
 

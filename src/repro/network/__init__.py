@@ -2,27 +2,44 @@
 
 from repro.network.codec import BinaryCodec, Codec, StringCodec
 from repro.network.messages import (
+    AckMessage,
     ContextPartial,
     ControlMessage,
     EventBatchMessage,
     Message,
     PartialBatchMessage,
+    ResyncMessage,
+    SequencedMessage,
     SliceRecord,
     WindowPartialMessage,
 )
-from repro.network.simnet import Link, NetworkStats, SimNetwork, SimNode
+from repro.network.simnet import (
+    CrashWindow,
+    FaultPlan,
+    Link,
+    LinkFaults,
+    NetworkStats,
+    SimNetwork,
+    SimNode,
+)
 from repro.network.topology import Topology, chain, star, three_tier
 
 __all__ = [
+    "AckMessage",
     "BinaryCodec",
     "Codec",
     "ContextPartial",
     "ControlMessage",
+    "CrashWindow",
     "EventBatchMessage",
+    "FaultPlan",
     "Link",
+    "LinkFaults",
     "Message",
     "NetworkStats",
     "PartialBatchMessage",
+    "ResyncMessage",
+    "SequencedMessage",
     "SimNetwork",
     "SimNode",
     "SliceRecord",

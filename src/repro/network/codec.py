@@ -21,21 +21,31 @@ from repro.core.errors import CodecError
 from repro.core.event import Event
 from repro.core.types import OperatorKind
 from repro.network.messages import (
+    AckMessage,
     ContextPartial,
     ControlMessage,
     EventBatchMessage,
     Message,
     PartialBatchMessage,
+    ResyncMessage,
+    SequencedMessage,
     SliceRecord,
     WindowPartialMessage,
 )
 
-__all__ = ["Codec", "BinaryCodec", "StringCodec"]
+__all__ = ["Codec", "BinaryCodec", "StringCodec", "FRAME_HEADER_BYTES"]
 
 _TAG_PARTIAL = 1
 _TAG_EVENTS = 2
 _TAG_WINDOW = 3
 _TAG_CONTROL = 4
+_TAG_SEQUENCED = 5
+_TAG_ACK = 6
+_TAG_RESYNC = 7
+
+#: wire overhead a :class:`SequencedMessage` envelope adds to its inner
+#: message in the binary codec: tag (u8) + epoch (u32) + seq (i64).
+FRAME_HEADER_BYTES = 13
 
 _OP_CODES = {kind: code for code, kind in enumerate(OperatorKind)}
 _OP_KINDS = {code: kind for kind, code in _OP_CODES.items()}
@@ -161,16 +171,10 @@ class BinaryCodec(Codec):
 
     def encode(self, message: Message) -> bytes:
         w = _Writer()
-        if isinstance(message, PartialBatchMessage):
-            self._encode_partial(w, message)
-        elif isinstance(message, EventBatchMessage):
-            self._encode_events(w, message)
-        elif isinstance(message, WindowPartialMessage):
-            self._encode_window(w, message)
-        elif isinstance(message, ControlMessage):
-            self._encode_control(w, message)
+        if isinstance(message, SequencedMessage):
+            self._encode_sequenced(w, message)
         else:
-            raise CodecError(f"cannot encode message type {type(message).__name__}")
+            self._encode_any(w, message)
         return w.bytes()
 
     def _encode_ops(self, w: _Writer, ops: dict[OperatorKind, Any]) -> None:
@@ -365,23 +369,101 @@ class BinaryCodec(Codec):
             sender=sender, kind=kind, payload=json.loads(raw.decode("utf-8"))
         )
 
+    def _encode_sequenced(self, w: _Writer, msg: SequencedMessage) -> None:
+        if isinstance(msg.inner, SequencedMessage):
+            raise CodecError("sequenced frames do not nest")
+        w.u8(_TAG_SEQUENCED)
+        w.u32(msg.epoch)
+        w.i64(msg.seq)
+        self._encode_any(w, msg.inner)
+
+    def _decode_sequenced(self, r: _Reader) -> SequencedMessage:
+        epoch = r.u32()
+        seq = r.i64()
+        inner = self._decode_any(r)
+        if isinstance(inner, SequencedMessage):
+            raise CodecError("sequenced frames do not nest")
+        return SequencedMessage(epoch=epoch, seq=seq, inner=inner)
+
+    def _encode_ack(self, w: _Writer, msg: AckMessage) -> None:
+        w.u8(_TAG_ACK)
+        w.text(msg.sender)
+        w.u32(msg.epoch)
+        w.i64(msg.cumulative)
+        w.u16(len(msg.selective))
+        for seq in msg.selective:
+            w.i64(seq)
+
+    def _decode_ack(self, r: _Reader) -> AckMessage:
+        sender = r.text()
+        epoch = r.u32()
+        cumulative = r.i64()
+        selective = [r.i64() for _ in range(r.u16())]
+        return AckMessage(
+            sender=sender, epoch=epoch, cumulative=cumulative, selective=selective
+        )
+
+    def _encode_resync(self, w: _Writer, msg: ResyncMessage) -> None:
+        w.u8(_TAG_RESYNC)
+        w.text(msg.sender)
+        w.u32(msg.epoch)
+        w.u16(len(msg.entries))
+        for group_id, (next_seq, covered_to) in msg.entries.items():
+            w.u16(group_id)
+            w.i64(next_seq)
+            w.i64(covered_to)
+
+    def _decode_resync(self, r: _Reader) -> ResyncMessage:
+        sender = r.text()
+        epoch = r.u32()
+        entries = {}
+        for _ in range(r.u16()):
+            group_id = r.u16()
+            entries[group_id] = (r.i64(), r.i64())
+        return ResyncMessage(sender=sender, epoch=epoch, entries=entries)
+
     # -- decoding ----------------------------------------------------------------
+
+    def _encode_any(self, w: _Writer, message: Message) -> None:
+        if isinstance(message, PartialBatchMessage):
+            self._encode_partial(w, message)
+        elif isinstance(message, EventBatchMessage):
+            self._encode_events(w, message)
+        elif isinstance(message, WindowPartialMessage):
+            self._encode_window(w, message)
+        elif isinstance(message, ControlMessage):
+            self._encode_control(w, message)
+        elif isinstance(message, AckMessage):
+            self._encode_ack(w, message)
+        elif isinstance(message, ResyncMessage):
+            self._encode_resync(w, message)
+        else:
+            raise CodecError(f"cannot encode message type {type(message).__name__}")
+
+    def _decode_any(self, r: _Reader) -> Message:
+        tag = r.u8()
+        if tag == _TAG_PARTIAL:
+            return self._decode_partial(r)
+        if tag == _TAG_EVENTS:
+            return self._decode_events(r)
+        if tag == _TAG_WINDOW:
+            return self._decode_window(r)
+        if tag == _TAG_CONTROL:
+            return self._decode_control(r)
+        if tag == _TAG_SEQUENCED:
+            return self._decode_sequenced(r)
+        if tag == _TAG_ACK:
+            return self._decode_ack(r)
+        if tag == _TAG_RESYNC:
+            return self._decode_resync(r)
+        raise CodecError(f"unknown message tag: {tag}")
 
     def decode(self, data: bytes) -> Message:
         r = _Reader(data)
         try:
-            tag = r.u8()
-            if tag == _TAG_PARTIAL:
-                return self._decode_partial(r)
-            if tag == _TAG_EVENTS:
-                return self._decode_events(r)
-            if tag == _TAG_WINDOW:
-                return self._decode_window(r)
-            if tag == _TAG_CONTROL:
-                return self._decode_control(r)
+            return self._decode_any(r)
         except (struct.error, IndexError, UnicodeDecodeError) as exc:
             raise CodecError(f"truncated or corrupt message: {exc}") from exc
-        raise CodecError(f"unknown message tag: {tag}")
 
 
 class StringCodec(Codec):
@@ -469,6 +551,33 @@ def _to_jsonable(message: Message) -> dict[str, Any]:
             "kind": message.kind,
             "payload": message.payload,
         }
+    if isinstance(message, SequencedMessage):
+        if isinstance(message.inner, SequencedMessage):
+            raise CodecError("sequenced frames do not nest")
+        return {
+            "type": "sequenced",
+            "epoch": message.epoch,
+            "seq": message.seq,
+            "inner": _to_jsonable(message.inner),
+        }
+    if isinstance(message, AckMessage):
+        return {
+            "type": "ack",
+            "sender": message.sender,
+            "epoch": message.epoch,
+            "cumulative": message.cumulative,
+            "selective": message.selective,
+        }
+    if isinstance(message, ResyncMessage):
+        return {
+            "type": "resync",
+            "sender": message.sender,
+            "epoch": message.epoch,
+            "entries": {
+                str(group_id): list(entry)
+                for group_id, entry in message.entries.items()
+            },
+        }
     raise CodecError(f"cannot encode message type {type(message).__name__}")
 
 
@@ -520,5 +629,26 @@ def _from_jsonable(data: dict[str, Any]) -> Message:
     if kind == "control":
         return ControlMessage(
             sender=data["sender"], kind=data["kind"], payload=data["payload"]
+        )
+    if kind == "sequenced":
+        inner = _from_jsonable(data["inner"])
+        if isinstance(inner, SequencedMessage):
+            raise CodecError("sequenced frames do not nest")
+        return SequencedMessage(epoch=data["epoch"], seq=data["seq"], inner=inner)
+    if kind == "ack":
+        return AckMessage(
+            sender=data["sender"],
+            epoch=data["epoch"],
+            cumulative=data["cumulative"],
+            selective=list(data["selective"]),
+        )
+    if kind == "resync":
+        return ResyncMessage(
+            sender=data["sender"],
+            epoch=data["epoch"],
+            entries={
+                int(group_id): tuple(entry)
+                for group_id, entry in data["entries"].items()
+            },
         )
     raise CodecError(f"unknown string message type: {kind!r}")

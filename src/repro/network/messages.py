@@ -14,6 +14,19 @@ Four payload families cover every deployment in the evaluation:
   the number of concurrent windows (Fig 11d) while Desis' does not.
 * :class:`ControlMessage` — query distribution, topology updates, and
   heartbeats (Sec 3.2).
+
+When a :class:`~repro.network.simnet.FaultPlan` is active, three transport
+types join them (the paper assumes lossless links, Sec 5; we do not):
+
+* :class:`SequencedMessage` — the reliable-channel frame wrapping a data
+  message with a per-link ``(epoch, seq)`` so the receiver can dedup and
+  re-order deliveries.
+* :class:`AckMessage` — receiver feedback: cumulative + selective acks
+  that release the sender's retransmit buffer.
+* :class:`ResyncMessage` — parent-to-child state resync after a
+  soft-evicted node rejoins via the heartbeat path: per query-group the
+  slice sequence to resume at and the coverage already assembled without
+  the child.
 """
 
 from __future__ import annotations
@@ -31,6 +44,9 @@ __all__ = [
     "EventBatchMessage",
     "WindowPartialMessage",
     "ControlMessage",
+    "SequencedMessage",
+    "AckMessage",
+    "ResyncMessage",
     "Message",
 ]
 
@@ -122,9 +138,63 @@ class ControlMessage:
     payload: Any = None
 
 
+@dataclass(slots=True)
+class AckMessage:
+    """Receive-side acknowledgement for one reliable channel.
+
+    ``sender`` is the acking (receiving) node; ``cumulative`` means every
+    frame with ``seq < cumulative`` of ``epoch`` was delivered in order,
+    and ``selective`` lists out-of-order frames buffered beyond it, so the
+    sender retransmits only the real gaps.
+    """
+
+    sender: str
+    epoch: int
+    cumulative: int
+    selective: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class ResyncMessage:
+    """Parent-to-child state resync after a heartbeat-path rejoin.
+
+    ``epoch`` is the new reliable-channel epoch the parent chose when it
+    re-admitted the child (see
+    :meth:`~repro.network.simnet.SimNetwork.expect_resync`); the child
+    restarts its send channel at it, so frames it was still retrying from
+    before the outage are rejected as stale.  ``entries`` maps
+    ``group_id`` to ``(next_slice_seq, covered_to)``: the slice sequence
+    the parent's merger expects next from this child, and the coverage
+    boundary the parent has already assembled without it (the child prunes
+    pending slice records at or before it — those windows closed degraded
+    during the outage and must not be re-shipped).
+    """
+
+    sender: str
+    epoch: int = 0
+    entries: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class SequencedMessage:
+    """A reliable-channel frame: one data message with per-link ordering.
+
+    ``epoch`` guards channel resets (a resync bumps it; stale-epoch frames
+    and acks are discarded), ``seq`` is the per-``(link, epoch)``
+    auto-incrementing frame number the receiver dedups and re-orders on.
+    """
+
+    epoch: int
+    seq: int
+    inner: "Message"
+
+
 Message = (
     PartialBatchMessage
     | EventBatchMessage
     | WindowPartialMessage
     | ControlMessage
+    | SequencedMessage
+    | AckMessage
+    | ResyncMessage
 )

@@ -14,11 +14,24 @@ here every node is a Python object and the network is simulated:
 * per-node wall-clock processing time is sampled around every handler
   call, giving the per-node-class latency/throughput breakdowns of
   Figures 7 and 12.
+
+The paper assumes lossless links (Sec 5): partials arrive exactly once and
+in order.  A seeded :class:`FaultPlan` drops that assumption — per-link
+drop/duplicate/reorder probability, latency jitter, and node
+crash/restart windows — and activates a reliable-delivery layer on every
+link: data messages travel in :class:`~repro.network.messages.SequencedMessage`
+frames with per-link ``(epoch, seq)`` numbers, receivers dedup and deliver
+in order, and senders buffer unacked frames and retransmit on timeout with
+exponential backoff.  Because per-link delivery order is then exactly the
+lossless order, a cluster under any recoverable fault plan produces
+byte-identical results (only ``emitted_at`` moves).  With no fault plan,
+the wire format and accounting are unchanged — zero overhead.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 import time as _time
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -28,15 +41,173 @@ from repro.core.errors import TopologyError
 from repro.core.event import Event
 from repro.core.types import NodeRole
 from repro.network.codec import BinaryCodec, Codec
-from repro.network.messages import ControlMessage, Message
+from repro.network.messages import (
+    AckMessage,
+    ControlMessage,
+    Message,
+    ResyncMessage,
+    SequencedMessage,
+)
 
-__all__ = ["SimNode", "Link", "SimNetwork", "NetworkStats"]
+__all__ = [
+    "SimNode",
+    "Link",
+    "SimNetwork",
+    "NetworkStats",
+    "FaultPlan",
+    "LinkFaults",
+    "CrashWindow",
+]
 
 _EVENT = 0
 _TICK = 1
 _MESSAGE = 2
 _FINISH = 3
 _EVENT_BATCH = 4
+_RETRY = 5
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaults:
+    """Fault probabilities for one directed link.
+
+    Attributes:
+        drop_rate: probability an in-flight copy is lost.
+        duplicate_rate: probability the network injects a second copy.
+        reorder_rate: probability a copy is held back by an extra delay of
+            up to ``reorder_delay_ms`` (the explicit reordering knob;
+            ``jitter_ms`` alone also reorders once it exceeds the
+            inter-send spacing).
+        reorder_delay_ms: maximum hold-back applied to reordered copies.
+        jitter_ms: uniform extra latency applied to every delivered copy.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_delay_ms: float = 20.0
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+@dataclass(frozen=True, slots=True)
+class CrashWindow:
+    """Node ``node`` is down during ``[start, end)`` (simulated ms).
+
+    Crash semantics are a network partition of an edge device that keeps
+    buffering locally: the node's handlers still run (its sensor data is
+    not invented away), but nothing it sends leaves the machine and
+    everything addressed to it is dropped at the dead interface.  Reliable
+    frames it sent stay buffered and are re-shipped after restart, so a
+    crash shorter than the heartbeat eviction threshold is fully
+    recoverable; a longer one triggers soft eviction and the heartbeat
+    rejoin/resync path.
+    """
+
+    node: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"crash window must have end > start, got [{self.start}, {self.end})"
+            )
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """A deterministic, seeded description of everything that goes wrong.
+
+    Fault rolls use one :class:`random.Random` per directed link, seeded
+    from ``(seed, src, dst)``, so a plan replays identically and links do
+    not perturb each other's streams.  Setting a plan on a network (even
+    an all-zero one) switches data traffic to the reliable channel;
+    ``None`` keeps the lossless wire format byte-for-byte.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_delay_ms: float = 20.0
+    jitter_ms: float = 0.0
+    crashes: tuple[CrashWindow, ...] = ()
+    #: per-link overrides; unlisted links use the plan-wide rates
+    link_overrides: dict[tuple[str, str], LinkFaults] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.crashes = tuple(self.crashes)
+        # Validate the plan-wide rates by building the default LinkFaults.
+        self._default()
+
+    def _default(self) -> LinkFaults:
+        return LinkFaults(
+            drop_rate=self.drop_rate,
+            duplicate_rate=self.duplicate_rate,
+            reorder_rate=self.reorder_rate,
+            reorder_delay_ms=self.reorder_delay_ms,
+            jitter_ms=self.jitter_ms,
+        )
+
+    def for_link(self, src: str, dst: str) -> LinkFaults:
+        override = self.link_overrides.get((src, dst))
+        return override if override is not None else self._default()
+
+    def rng_for_link(self, src: str, dst: str) -> random.Random:
+        return random.Random(f"{self.seed}|{src}->{dst}")
+
+    def crashed(self, node: str, at: float) -> bool:
+        return any(
+            w.node == node and w.start <= at < w.end for w in self.crashes
+        )
+
+    def crash_end(self, node: str, at: float) -> float:
+        """End of the crash window covering ``at`` (``at`` if none does)."""
+        for w in self.crashes:
+            if w.node == node and w.start <= at < w.end:
+                return float(w.end)
+        return at
+
+
+class _SendChannel:
+    """Sender half of one directed reliable channel."""
+
+    __slots__ = ("epoch", "next_seq", "unacked", "retries")
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.next_seq = 0
+        #: seq -> (encoded frame, billed-as-control)
+        self.unacked: dict[int, tuple[bytes, bool]] = {}
+        self.retries: dict[int, int] = {}
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.next_seq = 0
+        self.unacked.clear()
+        self.retries.clear()
+
+
+class _RecvChannel:
+    """Receiver half: in-order delivery with dedup."""
+
+    __slots__ = ("epoch", "next_deliver", "buffer")
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.next_deliver = 0
+        self.buffer: dict[int, Message] = {}
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.next_deliver = 0
+        self.buffer.clear()
 
 
 class SimNode:
@@ -89,6 +260,22 @@ class Link:
     control_bytes: int = 0
     messages_sent: int = 0
     busy_until: float = 0.0
+    # -- fault-injection / reliability counters (all zero without a plan) --
+    #: in-flight copies lost (fault drop, or a crashed endpoint)
+    drops: int = 0
+    #: extra copies injected by the network
+    duplicates: int = 0
+    #: bytes of duplicated *data* copies (control duplicates bill control)
+    duplicate_data_bytes: int = 0
+    #: timeout-triggered re-sends of unacked frames
+    retransmits: int = 0
+    retransmit_bytes: int = 0
+    #: frames abandoned after ``max_retries`` (the link gave up)
+    retransmit_exhausted: int = 0
+    acks: int = 0
+    ack_bytes: int = 0
+    #: frames discarded by receive-side dedup (duplicate or stale epoch)
+    dedup_dropped: int = 0
 
     def transfer(self, size: int, now: float, *, control: bool = False) -> float:
         """Account for ``size`` bytes leaving at ``now``; return arrival time."""
@@ -116,6 +303,17 @@ class NetworkStats:
     #: like ``bytes_from_role`` but excluding control traffic
     data_bytes_from_role: dict[NodeRole, int] = field(default_factory=dict)
     control_bytes: int = 0
+    # -- reliability counters, rolled up over all links (zero without a
+    #    fault plan: the default deployment pays nothing) --
+    drops: int = 0
+    duplicates: int = 0
+    duplicate_data_bytes: int = 0
+    retransmits: int = 0
+    retransmit_bytes: int = 0
+    retransmit_exhausted: int = 0
+    acks: int = 0
+    ack_bytes: int = 0
+    dedup_dropped: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -125,8 +323,17 @@ class NetworkStats:
     @property
     def data_bytes(self) -> int:
         """Bytes excluding control messages (queries, topology, heartbeats,
-        progress) — the steady-state traffic Figure 11 reports."""
+        progress, acks, resyncs) — the steady-state traffic Figure 11
+        reports.  Under faults this still includes retransmitted and
+        duplicated data copies: they crossed the wire; see
+        :attr:`goodput_data_bytes` for the once-only payload."""
         return self.total_bytes - self.control_bytes
+
+    @property
+    def goodput_data_bytes(self) -> int:
+        """Data bytes minus retransmitted and network-duplicated copies —
+        what a lossless network would have carried."""
+        return self.data_bytes - self.retransmit_bytes - self.duplicate_data_bytes
 
     @property
     def total_messages(self) -> int:
@@ -138,12 +345,21 @@ class SimNetwork:
 
     def __init__(self, *, default_codec: Codec | None = None,
                  default_latency_ms: float = 1.0,
-                 default_bandwidth_bytes_per_ms: float | None = None) -> None:
+                 default_bandwidth_bytes_per_ms: float | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 retransmit_timeout_ms: float = 100.0,
+                 max_retries: int = 8) -> None:
         self.nodes: dict[str, SimNode] = {}
         self.links: dict[tuple[str, str], Link] = {}
         self.default_codec = default_codec if default_codec is not None else BinaryCodec()
         self.default_latency_ms = default_latency_ms
         self.default_bandwidth = default_bandwidth_bytes_per_ms
+        self.fault_plan = fault_plan
+        self.retransmit_timeout = retransmit_timeout_ms
+        self.max_retries = max_retries
+        self._send_channels: dict[tuple[str, str], _SendChannel] = {}
+        self._recv_channels: dict[tuple[str, str], _RecvChannel] = {}
+        self._rngs: dict[tuple[str, str], random.Random] = {}
         self._queue: list[tuple[float, int, int, object]] = []
         self._seq = 0
         self.now: float = 0.0
@@ -244,15 +460,192 @@ class SimNetwork:
         self._push(at, _FINISH, node_id)
 
     def send(self, src: str, dst: str, message: Message) -> None:
-        """Serialize, account, and schedule delivery of ``message``."""
+        """Serialize, account, and schedule delivery of ``message``.
+
+        Without a fault plan this is the lossless wire, byte-for-byte as
+        before.  With one, unsequenced traffic (control, acks) is encoded
+        and transmitted through the fault rolls fire-and-forget, while
+        everything else rides the reliable channel: wrapped in a
+        :class:`SequencedMessage`, buffered until acked, and retransmitted
+        on timeout.  Resync messages count as control bytes but are
+        sequenced — a lost resync must still arrive.
+        """
         link = self.links.get((src, dst))
         if link is None:
             raise TopologyError(f"no link {src!r} -> {dst!r}")
-        data = link.codec.encode(message)
-        arrival = link.transfer(
-            len(data), self.now, control=isinstance(message, ControlMessage)
+        plan = self.fault_plan
+        if plan is None:
+            data = link.codec.encode(message)
+            arrival = link.transfer(
+                len(data), self.now, control=isinstance(message, ControlMessage)
+            )
+            self._push(arrival, _MESSAGE, (dst, link.codec, data, link))
+            return
+        control = isinstance(message, (ControlMessage, AckMessage, ResyncMessage))
+        if isinstance(message, (ControlMessage, AckMessage)):
+            if plan.crashed(src, self.now):
+                link.drops += 1
+                return
+            self._transmit(link, link.codec.encode(message), control=control)
+            return
+        channel = self._send_channel(src, dst)
+        seq = channel.next_seq
+        channel.next_seq += 1
+        data = link.codec.encode(
+            SequencedMessage(epoch=channel.epoch, seq=seq, inner=message)
         )
-        self._push(arrival, _MESSAGE, (dst, link.codec, data))
+        channel.unacked[seq] = (data, control)
+        if not plan.crashed(src, self.now):
+            self._transmit(link, data, control=control)
+        self._push(
+            self.now + self.retransmit_timeout,
+            _RETRY,
+            (src, dst, channel.epoch, seq),
+        )
+
+    # -- reliable channel plumbing --------------------------------------------------
+
+    def _send_channel(self, src: str, dst: str) -> _SendChannel:
+        channel = self._send_channels.get((src, dst))
+        if channel is None:
+            channel = self._send_channels[(src, dst)] = _SendChannel()
+        return channel
+
+    def _recv_channel(self, src: str, dst: str) -> _RecvChannel:
+        channel = self._recv_channels.get((src, dst))
+        if channel is None:
+            channel = self._recv_channels[(src, dst)] = _RecvChannel()
+        return channel
+
+    def _rng(self, src: str, dst: str) -> random.Random:
+        rng = self._rngs.get((src, dst))
+        if rng is None:
+            rng = self._rngs[(src, dst)] = self.fault_plan.rng_for_link(src, dst)
+        return rng
+
+    def reset_channel(self, src: str, dst: str, epoch: int) -> None:
+        """Restart the ``src -> dst`` reliable channel at ``epoch``.
+
+        Called on resync: the sender abandons its unacked backlog (those
+        slices belong to windows the parent already closed without it) and
+        renumbers from zero; stale-epoch frames still in flight are
+        discarded by the receiver.
+        """
+        self._send_channel(src, dst).reset(epoch)
+
+    def expect_resync(self, src: str, dst: str) -> int:
+        """Receiver-side half of a channel restart; returns the new epoch.
+
+        The parent calls this when it re-admits an evicted child, so that
+        pre-eviction frames the child is still retrying are rejected as
+        stale instead of resurrecting the old slice sequence.
+        """
+        channel = self._recv_channel(src, dst)
+        channel.reset(channel.epoch + 1)
+        return channel.epoch
+
+    def _transmit(self, link: Link, data: bytes, *, control: bool) -> None:
+        """Put one message's copies on a link through the fault rolls."""
+        plan = self.fault_plan
+        faults = plan.for_link(link.src, link.dst)
+        rng = self._rng(link.src, link.dst)
+        copies = 1
+        if faults.duplicate_rate and rng.random() < faults.duplicate_rate:
+            copies = 2
+        for copy in range(copies):
+            arrival = link.transfer(len(data), self.now, control=control)
+            if copy:
+                link.duplicates += 1
+                if not control:
+                    link.duplicate_data_bytes += len(data)
+            if faults.drop_rate and rng.random() < faults.drop_rate:
+                link.drops += 1
+                continue
+            delay = 0.0
+            if faults.jitter_ms:
+                delay += rng.uniform(0.0, faults.jitter_ms)
+            if faults.reorder_rate and rng.random() < faults.reorder_rate:
+                delay += rng.uniform(0.0, faults.reorder_delay_ms)
+            self._push(arrival + delay, _MESSAGE, (link.dst, link.codec, data, link))
+
+    def _handle_retry(self, at: float, payload: tuple[str, str, int, int]) -> None:
+        src, dst, epoch, seq = payload
+        channel = self._send_channels.get((src, dst))
+        if channel is None or channel.epoch != epoch or seq not in channel.unacked:
+            return  # acked (or resynced away) meanwhile: no clock trace
+        self.now = max(self.now, at)
+        plan = self.fault_plan
+        link = self.links[(src, dst)]
+        data, control = channel.unacked[seq]
+        if plan.crashed(src, self.now):
+            # The interface is down; retry after restart without spending
+            # the retry budget on a frame that never reached the wire.
+            retry_at = max(plan.crash_end(src, self.now), at + self.retransmit_timeout)
+            self._push(retry_at, _RETRY, (src, dst, epoch, seq))
+            return
+        attempt = channel.retries.get(seq, 0) + 1
+        if attempt > self.max_retries:
+            del channel.unacked[seq]
+            channel.retries.pop(seq, None)
+            link.retransmit_exhausted += 1
+            return
+        channel.retries[seq] = attempt
+        link.retransmits += 1
+        if not control:
+            link.retransmit_bytes += len(data)
+        self._transmit(link, data, control=control)
+        self._push(
+            at + self.retransmit_timeout * (2 ** attempt),
+            _RETRY,
+            (src, dst, epoch, seq),
+        )
+
+    def _handle_ack(self, receiver: str, ack: AckMessage) -> None:
+        """Transport-level ack processing at the original sender."""
+        channel = self._send_channels.get((receiver, ack.sender))
+        if channel is None or channel.epoch != ack.epoch:
+            return
+        for seq in [s for s in channel.unacked if s < ack.cumulative]:
+            del channel.unacked[seq]
+            channel.retries.pop(seq, None)
+        for seq in ack.selective:
+            if seq in channel.unacked:
+                del channel.unacked[seq]
+                channel.retries.pop(seq, None)
+
+    def _deliver_frame(
+        self, node: "SimNode", link: Link, frame: SequencedMessage
+    ) -> None:
+        """Dedup, re-order, deliver in sequence, and ack one data frame."""
+        channel = self._recv_channel(link.src, link.dst)
+        if frame.epoch > channel.epoch:
+            channel.reset(frame.epoch)
+        if frame.epoch < channel.epoch:
+            link.dedup_dropped += 1
+        elif frame.seq < channel.next_deliver or frame.seq in channel.buffer:
+            link.dedup_dropped += 1
+        else:
+            channel.buffer[frame.seq] = frame.inner
+        now = int(self.now)
+        while channel.next_deliver in channel.buffer:
+            inner = channel.buffer.pop(channel.next_deliver)
+            channel.next_deliver += 1
+            node.on_message(inner, now, self)
+            node.messages_handled += 1
+            self.delivered += 1
+        reverse = self.links.get((link.dst, link.src))
+        if reverse is None:
+            return  # no ack path: the sender will retry until exhausted
+        ack = AckMessage(
+            sender=link.dst,
+            epoch=channel.epoch,
+            cumulative=channel.next_deliver,
+            selective=sorted(channel.buffer),
+        )
+        data = reverse.codec.encode(ack)
+        reverse.acks += 1
+        reverse.ack_bytes += len(data)
+        self._transmit(reverse, data, control=True)
 
     # -- running ---------------------------------------------------------------------
 
@@ -263,6 +656,11 @@ class SimNetwork:
             if until is not None and queue[0][0] > until:
                 return
             at, _, kind, payload = heapq.heappop(queue)
+            if kind == _RETRY:
+                # _handle_retry advances the clock only when it acts, so
+                # timers for long-acked frames leave no trace.
+                self._handle_retry(at, payload)
+                continue
             self.now = max(self.now, at)
             if kind == _EVENT:
                 node_id, event = payload
@@ -279,14 +677,27 @@ class SimNetwork:
                 node.cpu_time += _time.perf_counter() - started
                 node.events_handled += len(events)
             elif kind == _MESSAGE:
-                node_id, codec, data = payload
+                node_id, codec, data, link = payload
+                if self.fault_plan is not None and self.fault_plan.crashed(
+                    node_id, self.now
+                ):
+                    link.drops += 1  # dead interface: nothing gets in
+                    continue
                 node = self.nodes[node_id]
                 started = _time.perf_counter()
                 message = codec.decode(data)
-                node.on_message(message, int(self.now), self)
-                node.cpu_time += _time.perf_counter() - started
-                node.messages_handled += 1
-                self.delivered += 1
+                if isinstance(message, AckMessage):
+                    # Transport housekeeping at the sender; no node handler
+                    # runs and no cpu time is billed to the node.
+                    self._handle_ack(node_id, message)
+                elif isinstance(message, SequencedMessage):
+                    self._deliver_frame(node, link, message)
+                    node.cpu_time += _time.perf_counter() - started
+                else:
+                    node.on_message(message, int(self.now), self)
+                    node.cpu_time += _time.perf_counter() - started
+                    node.messages_handled += 1
+                    self.delivered += 1
             elif kind == _TICK:
                 node_id, tick_time = payload
                 node = self.nodes[node_id]
@@ -304,6 +715,17 @@ class SimNetwork:
     def stats(self) -> NetworkStats:
         stats = NetworkStats()
         for (src, dst), link in self.links.items():
+            # Reliability counters aggregate before the idle-link skip: a
+            # crashed sender's dropped control messages bill no bytes.
+            stats.drops += link.drops
+            stats.duplicates += link.duplicates
+            stats.duplicate_data_bytes += link.duplicate_data_bytes
+            stats.retransmits += link.retransmits
+            stats.retransmit_bytes += link.retransmit_bytes
+            stats.retransmit_exhausted += link.retransmit_exhausted
+            stats.acks += link.acks
+            stats.ack_bytes += link.ack_bytes
+            stats.dedup_dropped += link.dedup_dropped
             if link.messages_sent == 0:
                 continue
             stats.bytes_by_link[(src, dst)] = link.bytes_sent

@@ -11,10 +11,13 @@ from repro.core.event import Event
 from repro.core.types import OperatorKind
 from repro.network.codec import BinaryCodec, StringCodec
 from repro.network.messages import (
+    AckMessage,
     ContextPartial,
     ControlMessage,
     EventBatchMessage,
     PartialBatchMessage,
+    ResyncMessage,
+    SequencedMessage,
     SliceRecord,
     WindowPartialMessage,
 )
@@ -96,6 +99,36 @@ window_msg_strategy = st.builds(
 )
 
 
+seqs = st.integers(-(2**40), 2**40)
+epochs = st.integers(0, 2**32 - 1)  # u32 on the binary wire
+
+ack_msg_strategy = st.builds(
+    AckMessage,
+    sender=st.text(min_size=1, max_size=12),
+    epoch=epochs,
+    cumulative=seqs,
+    selective=st.lists(seqs, max_size=8),
+)
+
+resync_msg_strategy = st.builds(
+    ResyncMessage,
+    sender=st.text(min_size=1, max_size=12),
+    epoch=epochs,
+    entries=st.dictionaries(
+        st.integers(0, 2**16 - 1),  # group ids are u16 on the binary wire
+        st.tuples(seqs, times),
+        max_size=6,
+    ),
+)
+
+sequenced_msg_strategy = st.builds(
+    SequencedMessage,
+    epoch=epochs,
+    seq=seqs,
+    inner=st.one_of(partial_msg_strategy, event_msg_strategy, window_msg_strategy),
+)
+
+
 @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
 class TestRoundtrip:
     @given(message=partial_msg_strategy)
@@ -115,6 +148,27 @@ class TestRoundtrip:
             sender="root", kind="topology", payload={"a": [1, 2], "b": "x"}
         )
         assert codec.decode(codec.encode(message)) == message
+
+    @given(message=ack_msg_strategy)
+    def test_ack(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    @given(message=resync_msg_strategy)
+    def test_resync(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    @given(message=sequenced_msg_strategy)
+    def test_sequenced(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_sequenced_frames_do_not_nest(self, codec):
+        inner = SequencedMessage(
+            epoch=0,
+            seq=1,
+            inner=ControlMessage(sender="a", kind="hb", payload={}),
+        )
+        with pytest.raises(CodecError):
+            codec.encode(SequencedMessage(epoch=0, seq=2, inner=inner))
 
 
 class TestSizes:

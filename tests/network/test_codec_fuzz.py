@@ -63,3 +63,40 @@ def test_truncations_of_valid_messages_fail_cleanly(data):
     # A short prefix can only decode "successfully" if every trailing
     # field it lost was optional-with-zero-count; never a different type.
     assert type(decoded) is EventBatchMessage
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=1, max_size=300))
+def test_truncated_reliability_frames_fail_cleanly(data):
+    """The reliable-channel frames get the same truncation guarantee:
+    a cut sequenced envelope or ack must raise, never half-deliver."""
+    from repro.core.event import Event
+    from repro.network.messages import (
+        AckMessage,
+        EventBatchMessage,
+        SequencedMessage,
+    )
+
+    codec = BinaryCodec()
+    frames = [
+        SequencedMessage(
+            epoch=3,
+            seq=17,
+            inner=EventBatchMessage(
+                sender="local-0",
+                covered_to=1_000,
+                events=[Event(t, "k", float(t)) for t in range(5)],
+            ),
+        ),
+        AckMessage(sender="mid-0", epoch=3, cumulative=16, selective=[18, 21]),
+    ]
+    for message in frames:
+        encoded = codec.encode(message)
+        cut = len(data) % len(encoded)
+        if cut == 0:
+            continue
+        try:
+            decoded = codec.decode(encoded[:cut])
+        except CodecError:
+            continue
+        assert type(decoded) is type(message)

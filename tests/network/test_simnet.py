@@ -9,7 +9,13 @@ from repro.core.event import Event
 from repro.core.types import NodeRole
 from repro.network.codec import BinaryCodec, StringCodec
 from repro.network.messages import ControlMessage, EventBatchMessage
-from repro.network.simnet import SimNetwork, SimNode
+from repro.network.simnet import (
+    CrashWindow,
+    FaultPlan,
+    LinkFaults,
+    SimNetwork,
+    SimNode,
+)
 
 
 class Recorder(SimNode):
@@ -148,3 +154,146 @@ class TestAccounting:
         net, root, local = build()
         with pytest.raises(TopologyError):
             net.inject_stream("ghost", [Event(0, "a", 1.0)])
+
+
+def build_reliable(plan, *, latency=2.0, timeout=50.0, retries=8):
+    net = SimNetwork(
+        default_latency_ms=latency,
+        default_codec=BinaryCodec(),
+        fault_plan=plan,
+        retransmit_timeout_ms=timeout,
+        max_retries=retries,
+    )
+    root = Recorder("root")
+    local = Forwarder("local", "root")
+    net.add_node(root)
+    net.add_node(local)
+    net.connect("local", "root")
+    return net, root, local
+
+
+STREAM = [Event(100 * (i + 1), "a", float(i)) for i in range(8)]
+
+
+def batch_times(root):
+    """covered_to of each delivered batch — the in-order witness."""
+    return [m.covered_to for _, m in root.messages]
+
+
+class TestReliableChannel:
+    def test_zero_rate_plan_delivers_in_order_with_acks(self):
+        net, root, local = build_reliable(FaultPlan(seed=0))
+        net.inject_stream("local", list(STREAM))
+        net.run()
+        assert batch_times(root) == [e.time for e in STREAM]
+        stats = net.stats()
+        assert stats.acks == len(STREAM)
+        assert stats.drops == 0
+        assert stats.retransmits == 0
+        assert stats.dedup_dropped == 0
+
+    def test_drops_are_retransmitted_exactly_once_in_order(self):
+        net, root, local = build_reliable(FaultPlan(seed=1, drop_rate=0.3))
+        net.inject_stream("local", list(STREAM))
+        net.run()
+        assert batch_times(root) == [e.time for e in STREAM]
+        stats = net.stats()
+        assert stats.drops > 0
+        assert stats.retransmits > 0
+        assert stats.retransmit_exhausted == 0
+
+    def test_duplicates_are_deduplicated(self):
+        net, root, local = build_reliable(FaultPlan(seed=2, duplicate_rate=1.0))
+        net.inject_stream("local", list(STREAM))
+        net.run()
+        assert batch_times(root) == [e.time for e in STREAM]
+        stats = net.stats()
+        assert stats.duplicates >= len(STREAM)
+        assert stats.dedup_dropped >= len(STREAM)
+
+    def test_reorder_and_jitter_still_deliver_in_order(self):
+        plan = FaultPlan(seed=3, reorder_rate=1.0, reorder_delay_ms=40.0, jitter_ms=9.0)
+        net, root, local = build_reliable(plan)
+        net.inject_stream("local", list(STREAM))
+        net.run()
+        assert batch_times(root) == [e.time for e in STREAM]
+
+    def test_sender_crash_buffers_and_reships_after_restart(self):
+        plan = FaultPlan(seed=0, crashes=(CrashWindow("local", 250, 650),))
+        net, root, local = build_reliable(plan)
+        net.inject_stream("local", list(STREAM))
+        net.run()
+        # Crash is a partition: the local still sees its own events...
+        assert [e.time for _, e in local.events] == [e.time for e in STREAM]
+        # ...and everything buffered during the outage arrives, in order,
+        # only after the restart.
+        assert batch_times(root) == [e.time for e in STREAM]
+        crashed = [t for t, m in root.messages if 250 <= m.covered_to < 650]
+        assert crashed and min(crashed) >= 650
+
+    def test_receiver_crash_drops_inbound_until_restart(self):
+        plan = FaultPlan(seed=0, crashes=(CrashWindow("root", 250, 650),))
+        net, root, local = build_reliable(plan)
+        net.inject_stream("local", list(STREAM))
+        net.run()
+        assert batch_times(root) == [e.time for e in STREAM]
+        stats = net.stats()
+        assert stats.drops > 0  # dead interface while crashed
+        assert stats.retransmits > 0
+
+    def test_exhausted_retries_give_up_and_terminate(self):
+        net, root, local = build_reliable(
+            FaultPlan(seed=0, drop_rate=1.0), timeout=20.0, retries=1
+        )
+        net.inject_stream("local", list(STREAM))
+        net.run()  # must not spin forever
+        assert root.messages == []
+        assert net.stats().retransmit_exhausted == len(STREAM)
+
+    def test_same_seed_replays_identically(self):
+        def run_once():
+            plan = FaultPlan(seed=7, drop_rate=0.25, duplicate_rate=0.2, jitter_ms=4.0)
+            net, root, local = build_reliable(plan)
+            net.inject_stream("local", list(STREAM))
+            net.run()
+            s = net.stats()
+            return (
+                [(t, m.covered_to) for t, m in root.messages],
+                s.drops, s.duplicates, s.retransmits, s.dedup_dropped, s.total_bytes,
+            )
+
+        assert run_once() == run_once()
+
+    def test_fault_plan_validation(self):
+        with pytest.raises(ValueError):
+            LinkFaults(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_rate=-0.1)
+        with pytest.raises(ValueError):
+            CrashWindow("x", 100, 100)
+
+
+class TestReliableAccounting:
+    def _stats(self, plan, **kw):
+        net, root, local = build_reliable(plan, **kw)
+        net.inject_stream("local", list(STREAM))
+        net.run()
+        return net.stats()
+
+    def test_retransmits_bill_the_data_bucket(self):
+        zero = self._stats(FaultPlan(seed=0))
+        drop = self._stats(FaultPlan(seed=4, drop_rate=0.3))
+        assert drop.retransmit_bytes > 0
+        assert drop.data_bytes == zero.data_bytes + drop.retransmit_bytes
+        assert drop.goodput_data_bytes == zero.data_bytes
+
+    def test_acks_bill_the_control_bucket(self):
+        none = SimNetwork(default_latency_ms=2.0, default_codec=BinaryCodec())
+        none.add_node(Recorder("root"))
+        none.add_node(Forwarder("local", "root"))
+        none.connect("local", "root")
+        none.inject_stream("local", list(STREAM))
+        none.run()
+        zero = self._stats(FaultPlan(seed=0))
+        assert zero.ack_bytes > 0
+        assert zero.control_bytes == none.stats().control_bytes + zero.ack_bytes

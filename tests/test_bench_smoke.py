@@ -14,6 +14,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+import bench_faults  # noqa: E402
 import bench_hot_path  # noqa: E402
 
 
@@ -41,3 +42,17 @@ def test_bench_hot_path_report_shape():
     report = bench_hot_path.run(1_000, repeats=1)
     for row in report["workloads"].values():
         assert set(row) == row_keys
+
+
+def test_bench_faults_tiny_scale():
+    # Parity against the fault-free run is asserted inside ``run`` for
+    # every drop rate; this exercises it plus the report shape.
+    report = bench_faults.run(3_000)
+    assert set(report["rates"]) == {"0%", "1%", "5%"}
+    zero = report["rates"]["0%"]
+    assert zero["retransmits"] == 0
+    assert zero["drops"] == 0
+    for row in report["rates"].values():
+        assert row["events_per_s"] > 0
+        assert row["results"] == zero["results"]
+        assert row["total_bytes"] >= zero["total_bytes"]
