@@ -119,9 +119,16 @@ def run(n_events: int = DEFAULT_EVENTS) -> dict:
 
 
 def main(argv: list[str] | None = None) -> None:
-    args = argv if argv is not None else sys.argv[1:]
-    n_events = int(args[0]) if args else DEFAULT_EVENTS
-    report = run(n_events)
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("events", nargs="?", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--metrics-out", default=None, dest="metrics_out",
+                        metavar="PATH",
+                        help="also write the rates as registry metrics "
+                             "(.json, or .prom/.txt for Prometheus text)")
+    args = parser.parse_args(argv)
+    report = run(args.events)
     out = REPO_ROOT / OUTPUT_NAME
     out.write_text(json.dumps(report, indent=2) + "\n")
     for label, row in report["rates"].items():
@@ -131,6 +138,20 @@ def main(argv: list[str] | None = None) -> None:
             f"  wire {row['total_bytes']:>9,} B"
         )
     print(f"wrote {out}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, write_metrics
+
+        registry = MetricsRegistry()
+        for label, row in report["rates"].items():
+            registry.gauge("bench.faults.events_per_s",
+                           rate=label).set(row["events_per_s"])
+            for key in ("drops", "retransmits", "retransmit_bytes", "acks",
+                        "total_bytes", "goodput_data_bytes"):
+                registry.counter(f"bench.faults.{key}",
+                                 rate=label).inc(row[key])
+        write_metrics(registry, args.metrics_out, benchmark=report["benchmark"],
+                      events=report["events"])
+        print(f"metrics -> {args.metrics_out}")
 
 
 if __name__ == "__main__":

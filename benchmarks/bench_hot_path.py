@@ -106,9 +106,16 @@ def run(n_events: int = DEFAULT_EVENTS, *, repeats: int = DEFAULT_REPEATS) -> di
 
 
 def main(argv: list[str] | None = None) -> None:
-    args = argv if argv is not None else sys.argv[1:]
-    n_events = int(args[0]) if args else DEFAULT_EVENTS
-    report = run(n_events)
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("events", nargs="?", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--metrics-out", default=None, dest="metrics_out",
+                        metavar="PATH",
+                        help="also write the rates as registry metrics "
+                             "(.json, or .prom/.txt for Prometheus text)")
+    args = parser.parse_args(argv)
+    report = run(args.events)
     out = REPO_ROOT / OUTPUT_NAME
     out.write_text(json.dumps(report, indent=2) + "\n")
     for label, row in report["workloads"].items():
@@ -118,6 +125,20 @@ def main(argv: list[str] | None = None) -> None:
             f"  ({row['speedup']}x)"
         )
     print(f"wrote {out}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, write_metrics
+
+        registry = MetricsRegistry()
+        for label, row in report["workloads"].items():
+            registry.gauge("bench.hot_path.per_event_events_per_s",
+                           workload=label).set(row["per_event_events_per_s"])
+            registry.gauge("bench.hot_path.batched_events_per_s",
+                           workload=label).set(row["batched_events_per_s"])
+            registry.gauge("bench.hot_path.speedup",
+                           workload=label).set(row["speedup"])
+        write_metrics(registry, args.metrics_out, benchmark=report["benchmark"],
+                      events=report["events"])
+        print(f"metrics -> {args.metrics_out}")
 
 
 if __name__ == "__main__":

@@ -12,9 +12,46 @@ gap is an order of magnitude, and otherwise just reported.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.datagen import DataGenerator, DataGeneratorConfig
+from repro.harness.reporting import add_table_collector, remove_table_collector
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out",
+        default=None,
+        dest="metrics_out",
+        metavar="PATH",
+        help="capture every benchmark table and write them as JSON here",
+    )
+
+
+def pytest_configure(config):
+    path = config.getoption("metrics_out", default=None)
+    if not path:
+        return
+    tables: list[dict] = []
+
+    def collect(title, headers, rows):
+        tables.append({"title": title, "headers": headers, "rows": rows})
+
+    add_table_collector(collect)
+    config._metrics_collector = (path, tables, collect)
+
+
+def pytest_unconfigure(config):
+    captured = getattr(config, "_metrics_collector", None)
+    if captured is None:
+        return
+    path, tables, collect = captured
+    remove_table_collector(collect)
+    with open(path, "w") as fh:
+        json.dump({"tables": tables}, fh, indent=2)
+        fh.write("\n")
+
 
 #: events per centralized replay (large enough for stable rates, small
 #: enough that the whole suite finishes in a few minutes)

@@ -7,7 +7,10 @@ Examples::
 
     python -m repro compare --queries 100 --events 100000
 
-    python -m repro cluster --locals 4 --events 20000 --function median
+    python -m repro cluster --locals 4 --events 20000 --function median \
+        --trace --trace-out trace.jsonl --metrics-out metrics.json
+
+    python -m repro report --locals 4 --events 20000 --drop-rate 0.01
 """
 
 from __future__ import annotations
@@ -29,7 +32,18 @@ from repro.harness import (
 )
 from repro.interface import DesisSession
 from repro.metrics import breakdown, fmt_bytes
+from repro.network.simnet import FaultPlan
 from repro.network.topology import three_tier
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    configure_logging,
+    publish_cluster_result,
+    publish_engine_stats,
+    render_report,
+    write_metrics,
+    write_trace_jsonl,
+)
 
 
 def _events(args, n_keys: int = 4):
@@ -43,7 +57,8 @@ def _events(args, n_keys: int = 4):
 
 
 def cmd_run(args) -> int:
-    session = DesisSession()
+    recorder = TraceRecorder() if (args.trace or args.trace_out) else None
+    session = DesisSession(recorder=recorder)
     for text in args.query:
         session.submit(text)
     session.process_many(_events(args).events(args.events))
@@ -63,6 +78,16 @@ def cmd_run(args) -> int:
             if remaining:
                 print(f"  ... {remaining} more")
             break
+    if recorder is not None:
+        print(f"trace: {len(recorder)} events recorded")
+        if args.trace_out:
+            written = write_trace_jsonl(recorder, args.trace_out)
+            print(f"trace: {written} events -> {args.trace_out}")
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        publish_engine_stats(registry, session.stats)
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
     return 0
 
 
@@ -94,7 +119,8 @@ def cmd_cluster(args) -> int:
     queries = [Query.of("q", WindowSpec.tumbling(args.window_ms), fn)]
     topology = three_tier(args.locals, 1)
     streams = _events(args).streams(args.locals, args.events)
-    config = ClusterConfig(tick_interval=1_000)
+    trace = bool(args.trace or args.trace_out)
+    config = ClusterConfig(tick_interval=1_000, trace=trace)
     desis = DesisCluster(queries, topology, config=config).run(
         {k: list(v) for k, v in streams.items()}
     )
@@ -121,6 +147,62 @@ def cmd_cluster(args) -> int:
             ],
         ],
     )
+    if trace:
+        print(f"trace: {len(desis.recorder)} events recorded")
+        if args.trace_out:
+            written = write_trace_jsonl(desis.recorder, args.trace_out)
+            print(f"trace: {written} events -> {args.trace_out}")
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        publish_cluster_result(registry, desis)
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run a Desis deployment and render its full observability report."""
+    fn = AggFunction(args.function)
+    queries = [Query.of("q", WindowSpec.tumbling(args.window_ms), fn)]
+    topology = three_tier(args.locals, 1)
+    streams = _events(args).streams(args.locals, args.events)
+    fault_plan = (
+        FaultPlan(seed=args.seed, drop_rate=args.drop_rate)
+        if args.drop_rate
+        else None
+    )
+    config = ClusterConfig(
+        tick_interval=1_000, trace=True, fault_plan=fault_plan
+    )
+    result = DesisCluster(queries, topology, config=config).run(
+        {k: list(v) for k, v in streams.items()}
+    )
+    registry = MetricsRegistry()
+    publish_cluster_result(registry, result)
+    print(render_report(
+        registry,
+        f"Desis run report: {args.locals} locals, {args.events} events/local",
+    ))
+    print(f"\ntrace: {len(result.recorder)} events recorded")
+    if args.explain and len(result.sink):
+        provenance = result.recorder.explain_window(result.sink.results[-1])
+        print("last window provenance:")
+        print(
+            f"  {provenance.query_id}[{provenance.start}.."
+            f"{provenance.end}) emitted_at={provenance.emitted_at} "
+            f"events={provenance.event_count}"
+        )
+        print(f"  sources: {', '.join(provenance.sources) or '-'}")
+        print(f"  slices: {len(provenance.slices)}  hops: {len(provenance.hops)}")
+        for hop in provenance.hops:
+            print(f"    t={hop.at} {hop.kind} @ {hop.node}")
+        print(f"  retransmits before emit: {provenance.total_retransmits}")
+    if args.trace_out:
+        written = write_trace_jsonl(result.recorder, args.trace_out)
+        print(f"trace: {written} events -> {args.trace_out}")
+    if args.metrics_out:
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
     return 0
 
 
@@ -129,7 +211,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Desis reproduction: multi-query window aggregation",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning"),
+        default=None,
+        help="enable structured logging at this level",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_flags(cmd) -> None:
+        cmd.add_argument("--trace", action="store_true",
+                         help="record slice-lifecycle traces")
+        cmd.add_argument("--trace-out", default=None, dest="trace_out",
+                         metavar="PATH", help="write the trace as JSON-lines")
+        cmd.add_argument("--metrics-out", default=None, dest="metrics_out",
+                         metavar="PATH",
+                         help="write run metrics (.json, or .prom/.txt for "
+                              "Prometheus text)")
 
     run_cmd = sub.add_parser("run", help="execute textual queries")
     run_cmd.add_argument("query", nargs="+", help="query strings")
@@ -140,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max results to print")
     run_cmd.add_argument("--gap-every", type=int, default=None, dest="gap_every")
     run_cmd.add_argument("--marker", default=None)
+    add_obs_flags(run_cmd)
     run_cmd.set_defaults(handler=cmd_run)
 
     compare = sub.add_parser("compare", help="compare all systems")
@@ -162,12 +261,39 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=[fn.value for fn in AggFunction
                                   if fn is not AggFunction.QUANTILE])
     cluster.add_argument("--window-ms", type=int, default=1_000)
+    add_obs_flags(cluster)
     cluster.set_defaults(handler=cmd_cluster)
+
+    report = sub.add_parser(
+        "report", help="run Desis and print the observability report"
+    )
+    report.add_argument("--locals", type=int, default=4)
+    report.add_argument("--events", type=int, default=20_000,
+                        help="events per local node")
+    report.add_argument("--rate", type=float, default=10_000.0)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--function", default="average",
+                        choices=[fn.value for fn in AggFunction
+                                 if fn is not AggFunction.QUANTILE])
+    report.add_argument("--window-ms", type=int, default=1_000)
+    report.add_argument("--drop-rate", type=float, default=0.0,
+                        dest="drop_rate",
+                        help="run under a seeded fault plan with this "
+                             "per-link drop probability")
+    report.add_argument("--explain", action="store_true",
+                        help="print the last window's slice provenance")
+    report.add_argument("--trace-out", default=None, dest="trace_out",
+                        metavar="PATH")
+    report.add_argument("--metrics-out", default=None, dest="metrics_out",
+                        metavar="PATH")
+    report.set_defaults(handler=cmd_report)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        configure_logging(args.log_level.upper())
     return args.handler(args)
 
 

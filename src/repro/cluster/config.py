@@ -47,6 +47,11 @@ class ClusterConfig:
             retransmitted (doubling on each retry).
         max_retries: retransmissions before a frame is abandoned and the
             link counts it as ``retransmit_exhausted``.
+        trace: opt into slice-lifecycle tracing: the deployment builds a
+            :class:`~repro.obs.tracing.TraceRecorder`, threads it through
+            every node and the network, and returns it on the run result.
+            Off (the default) keeps all instrumented paths on the shared
+            no-op recorder — byte-identical outputs, within-noise cost.
     """
 
     origin: int = 0
@@ -61,3 +66,4 @@ class ClusterConfig:
     fault_plan: FaultPlan | None = None
     retransmit_timeout: float = 100.0
     max_retries: int = 8
+    trace: bool = False

@@ -32,6 +32,10 @@ from repro.cluster.root import RootAssembler, RootNode
 from repro.network.messages import ControlMessage
 from repro.network.simnet import NetworkStats, SimNetwork
 from repro.network.topology import Topology
+from repro.obs.log import get_logger, kv
+from repro.obs.tracing import NULL_RECORDER, TraceRecorder
+
+_log = get_logger(__name__)
 
 __all__ = ["DesisCluster", "ClusterRunResult"]
 
@@ -47,6 +51,9 @@ class ClusterRunResult:
     events: int
     local_stats: dict[str, EngineStats] = field(default_factory=dict)
     node_cpu: dict[str, float] = field(default_factory=dict)
+    #: the run's trace recorder (the shared no-op unless ``config.trace``);
+    #: feed emitted results to ``recorder.explain_window`` for provenance
+    recorder: TraceRecorder = field(default_factory=lambda: NULL_RECORDER)
 
     @property
     def throughput(self) -> float:
@@ -97,6 +104,7 @@ class DesisCluster:
         self.plan: QueryPlan = analyze(
             queries, policy=policy, decentralized=True
         )
+        self.recorder = TraceRecorder() if self.config.trace else NULL_RECORDER
         self.net = SimNetwork(
             default_codec=self.config.codec,
             default_latency_ms=self.config.latency_ms,
@@ -104,6 +112,7 @@ class DesisCluster:
             fault_plan=self.config.fault_plan,
             retransmit_timeout_ms=self.config.retransmit_timeout,
             max_retries=self.config.max_retries,
+            recorder=self.recorder,
         )
         self._build_nodes()
 
@@ -112,7 +121,8 @@ class DesisCluster:
     def _build_nodes(self) -> None:
         topo = self.topology
         self.root = RootNode(
-            topo.root, topo.children(topo.root), self.plan, self.config
+            topo.root, topo.children(topo.root), self.plan, self.config,
+            recorder=self.recorder,
         )
         self.net.add_node(self.root)
         self.locals: dict[str, LocalNode] = {}
@@ -121,7 +131,8 @@ class DesisCluster:
             role = topo.role(node_id)
             if role is NodeRole.LOCAL:
                 node = LocalNode(
-                    node_id, topo.parent(node_id), self.plan, self.config
+                    node_id, topo.parent(node_id), self.plan, self.config,
+                    recorder=self.recorder,
                 )
                 self.locals[node_id] = node
                 self.net.add_node(node)
@@ -132,6 +143,7 @@ class DesisCluster:
                     topo.children(node_id),
                     self.plan,
                     self.config,
+                    recorder=self.recorder,
                 )
                 self.intermediates[node_id] = node
                 self.net.add_node(node)
@@ -181,7 +193,9 @@ class DesisCluster:
                 heartbeat_interval=self.config.heartbeat_interval,
                 punctuation_mode=self.config.punctuation_mode,
             )
-            node.groups.append(handler_cls(node.node_id, group, shifted, node.stats))
+            node.groups.append(
+                handler_cls(node.node_id, group, shifted, node.stats, node.recorder)
+            )
         for node in self.intermediates.values():
             node.mergers.append(
                 GroupMerger(group, self.topology.children(node.node_id), origin)
@@ -219,7 +233,9 @@ class DesisCluster:
                        stream: Iterable[Event] = ()) -> None:
         """Attach a new local node at runtime and announce the topology."""
         self.topology.add_node(node_id, parent, NodeRole.LOCAL)
-        node = LocalNode(node_id, parent, self.plan, self.config)
+        node = LocalNode(
+            node_id, parent, self.plan, self.config, recorder=self.recorder
+        )
         self.locals[node_id] = node
         self.net.add_node(node)
         self.net.connect(node_id, parent)
@@ -338,6 +354,15 @@ class DesisCluster:
         self.net.run()
         self.root.finish(int(self.net.now))
         wall = _time.perf_counter() - started
+        _log.info(
+            "run finished %s",
+            kv(
+                events=events,
+                results=len(self.root.sink),
+                wall_s=round(wall, 3),
+                traced=len(self.recorder) if self.recorder.enabled else 0,
+            ),
+        )
         return ClusterRunResult(
             sink=self.root.sink,
             network=self.net.stats(),
@@ -351,4 +376,5 @@ class DesisCluster:
                 node_id: node.cpu_time
                 for node_id, node in self.net.nodes.items()
             },
+            recorder=self.recorder,
         )

@@ -22,6 +22,7 @@ from repro.network.messages import (
     ResyncMessage,
 )
 from repro.network.simnet import SimNetwork, SimNode
+from repro.obs.tracing import NULL_RECORDER
 
 __all__ = ["IntermediateNode"]
 
@@ -30,11 +31,12 @@ class IntermediateNode(SimNode):
     """A Desis intermediate node for one parent and a set of children."""
 
     def __init__(self, node_id: str, parent: str, children: list[str],
-                 plan: QueryPlan, config: ClusterConfig) -> None:
+                 plan: QueryPlan, config: ClusterConfig, recorder=None) -> None:
         super().__init__(node_id, NodeRole.INTERMEDIATE)
         self.parent = parent
         self.children = list(children)
         self.config = config
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.mergers = [
             GroupMerger(group, children, config.origin) for group in plan.groups
         ]
@@ -122,6 +124,17 @@ class IntermediateNode(SimNode):
             covered_to=covered,
             records=records,
         )
+        if self.recorder.enabled and records:
+            self.recorder.record(
+                "merge.release",
+                now,
+                node=self.node_id,
+                group=message.group_id,
+                records=len(records),
+                start=records[0].start,
+                end=records[-1].end,
+                covered_to=covered,
+            )
         self.ship_seq[message.group_id] += len(records)
         net.send(self.node_id, self.parent, out)
 

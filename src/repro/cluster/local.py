@@ -31,6 +31,7 @@ from repro.network.messages import (
     SliceRecord,
 )
 from repro.network.simnet import SimNetwork, SimNode
+from repro.obs.tracing import NULL_RECORDER
 
 __all__ = ["LocalNode"]
 
@@ -39,9 +40,10 @@ class _SlicedLocalGroup:
     """Slicing-only engine runtime for one pushed-down query-group."""
 
     def __init__(self, node_id: str, group: QueryGroup, config: ClusterConfig,
-                 stats: EngineStats) -> None:
+                 stats: EngineStats, recorder=None) -> None:
         self.node_id = node_id
         self.group = group
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.runtime = GroupRuntime(
             group,
             ResultSink(keep=False),
@@ -50,6 +52,8 @@ class _SlicedLocalGroup:
             assemble=False,
             slice_sink=self._on_cut,
             track_spans=group_has_sessions(group),
+            recorder=self.recorder,
+            node_id=node_id,
         )
         # Anchor fixed-window schedules at the shared origin so slice
         # boundaries align across all local nodes (Sec 5.1.1).
@@ -107,6 +111,18 @@ class _SlicedLocalGroup:
             covered_to=now,
             records=self.pending,
         )
+        if self.recorder.enabled and self.pending:
+            self.recorder.record(
+                "partial.ship",
+                now,
+                node=self.node_id,
+                group=self.group.group_id,
+                first_seq=self.ship_seq,
+                records=len(self.pending),
+                start=self.pending[0].start,
+                end=self.pending[-1].end,
+                covered_to=now,
+            )
         self.ship_seq += len(self.pending)
         self.pending = []
         return message
@@ -133,10 +149,11 @@ class _RootEvalLocalGroup:
     """
 
     def __init__(self, node_id: str, group: QueryGroup, config: ClusterConfig,
-                 stats: EngineStats) -> None:
+                 stats: EngineStats, recorder=None) -> None:
         self.node_id = node_id
         self.group = group
         self.stats = stats
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.origin = config.origin
         self.selections = list(group.selections)
         self.needs_timestamps = group.needs_timestamps
@@ -224,6 +241,16 @@ class _RootEvalLocalGroup:
             )
             self.stats.slices_closed += 1
             self.pending_eps = []
+            if self.recorder.enabled:
+                self.recorder.record(
+                    "slice.close",
+                    at,
+                    node=self.node_id,
+                    group=self.group.group_id,
+                    index=self.ship_seq + len(self.pending) - 1,
+                    start=self.window_start,
+                    end=at,
+                )
         self.window_start = at
 
     def on_event(self, event: Event) -> None:
@@ -288,6 +315,18 @@ class _RootEvalLocalGroup:
             covered_to=now,
             records=self.pending,
         )
+        if self.recorder.enabled and self.pending:
+            self.recorder.record(
+                "partial.ship",
+                now,
+                node=self.node_id,
+                group=self.group.group_id,
+                first_seq=self.ship_seq,
+                records=len(self.pending),
+                start=self.pending[0].start,
+                end=self.pending[-1].end,
+                covered_to=now,
+            )
         self.ship_seq += len(self.pending)
         self.pending = []
         return message
@@ -301,16 +340,21 @@ class LocalNode(SimNode):
     """A Desis local node: one group handler per query-group."""
 
     def __init__(self, node_id: str, parent: str, plan: QueryPlan,
-                 config: ClusterConfig) -> None:
+                 config: ClusterConfig, recorder=None) -> None:
         super().__init__(node_id, NodeRole.LOCAL)
         self.parent = parent
         self.config = config
         self.stats = EngineStats()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.groups: list[_SlicedLocalGroup | _RootEvalLocalGroup] = [
             (
-                _RootEvalLocalGroup(node_id, group, config, self.stats)
+                _RootEvalLocalGroup(
+                    node_id, group, config, self.stats, self.recorder
+                )
                 if group.root_evaluated
-                else _SlicedLocalGroup(node_id, group, config, self.stats)
+                else _SlicedLocalGroup(
+                    node_id, group, config, self.stats, self.recorder
+                )
             )
             for group in plan.groups
         ]

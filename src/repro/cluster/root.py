@@ -48,6 +48,7 @@ from repro.network.messages import (
     SliceRecord,
 )
 from repro.network.simnet import SimNetwork, SimNode
+from repro.obs.tracing import NULL_RECORDER
 
 __all__ = ["RootNode", "RootAssembler"]
 
@@ -408,10 +409,12 @@ class RootNode(SimNode):
     """The Desis root: merges children, assembles windows, emits results."""
 
     def __init__(self, node_id: str, children: list[str], plan: QueryPlan,
-                 config: ClusterConfig, sink: ResultSink | None = None) -> None:
+                 config: ClusterConfig, sink: ResultSink | None = None,
+                 recorder=None) -> None:
         super().__init__(node_id, NodeRole.ROOT)
         self.plan = plan
         self.config = config
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.sink = sink if sink is not None else ResultSink()
         self.mergers = [
             GroupMerger(group, children, config.origin) for group in plan.groups
@@ -431,6 +434,17 @@ class RootNode(SimNode):
 
     def _emit(self, query: Query, start: int, end: int, ops, count: int,
               now: int) -> None:
+        if self.recorder.enabled:
+            self.recorder.record(
+                "window.emit",
+                now,
+                node=self.node_id,
+                group=self.plan.group_of(query.query_id).group_id,
+                query_id=query.query_id,
+                start=start,
+                end=end,
+                event_count=count,
+            )
         self.sink.emit(
             WindowResult(
                 query_id=query.query_id,
@@ -463,6 +477,17 @@ class RootNode(SimNode):
         if group.needs_timestamps:
             for record in records:
                 derive_ops_from_timed(record, group.operators)
+        if self.recorder.enabled and records:
+            self.recorder.record(
+                "root.consume",
+                now,
+                node=self.node_id,
+                group=message.group_id,
+                records=len(records),
+                start=records[0].start,
+                end=records[-1].end,
+                covered_to=covered,
+            )
         self.assemblers[message.group_id].consume(covered, records, now)
 
     def on_tick(self, now: int, net: SimNetwork) -> None:

@@ -34,6 +34,7 @@ from repro.core.operators import merge_many_partials
 from repro.core.query import Query
 from repro.core.results import ResultSink, WindowResult
 from repro.core.slices import Slice, SliceStore
+from repro.obs.tracing import NULL_RECORDER
 from repro.core.types import (
     OperatorKind,
     SharingPolicy,
@@ -136,12 +137,18 @@ class GroupRuntime:
         slice_sink=None,
         window_sink=None,
         track_spans: bool = False,
+        recorder=None,
+        node_id: str = "",
     ) -> None:
         if punctuation_mode not in ("heap", "scan"):
             raise EngineError(f"unknown punctuation mode: {punctuation_mode!r}")
         self.group = group
         self.sink = sink
         self.stats = stats
+        #: slice-lifecycle trace recorder; the shared no-op unless tracing
+        #: was opted into (see repro.obs.tracing)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.node_id = node_id
         self.mode = punctuation_mode
         self.emit_empty = emit_empty
         self.assemble = assemble
@@ -372,6 +379,17 @@ class GroupRuntime:
         for query in window.queries:
             value = finalize(query.function, merged)
             self.stats.results += 1
+            if self.recorder.enabled:
+                self.recorder.record(
+                    "window.emit",
+                    emitted_at,
+                    node=self.node_id,
+                    group=self.group.group_id,
+                    query_id=query.query_id,
+                    start=window.start,
+                    end=end,
+                    event_count=events,
+                )
             self.sink.emit(
                 WindowResult(
                     query_id=query.query_id,
@@ -396,6 +414,16 @@ class GroupRuntime:
         closing.close(time)
         self.stats.slices_closed += 1
         self.slice_seq += 1
+        if self.recorder.enabled:
+            self.recorder.record(
+                "slice.close",
+                time,
+                node=self.node_id,
+                group=self.group.group_id,
+                index=closing.index,
+                start=closing.start,
+                end=closing.end,
+            )
         refcount = len(self.open_windows) if self.assemble else 0
         if self.assemble:
             self.store.add(closing, refcount)
@@ -852,11 +880,14 @@ class AggregationEngine:
         emit_empty: bool = False,
         sink: ResultSink | None = None,
         plan: QueryPlan | None = None,
+        recorder=None,
     ) -> None:
         self.sink = sink if sink is not None else ResultSink()
         self.stats = EngineStats()
         self.plan = plan if plan is not None else analyze(queries, policy=policy)
         self.policy = self.plan.policy
+        #: opt-in slice-lifecycle tracing (repro.obs.tracing.TraceRecorder)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.groups: list[GroupRuntime] = [
             GroupRuntime(
                 group,
@@ -864,6 +895,8 @@ class AggregationEngine:
                 self.stats,
                 punctuation_mode=punctuation_mode,
                 emit_empty=emit_empty,
+                recorder=self.recorder,
+                node_id="engine",
             )
             for group in self.plan.groups
         ]
@@ -1021,6 +1054,8 @@ class AggregationEngine:
                 self.sink,
                 self.stats,
                 punctuation_mode=self.groups[0].mode if self.groups else "heap",
+                recorder=self.recorder,
+                node_id="engine",
             )
             self.groups.append(target)
             # Bootstrap the new group at the current stream time so its

@@ -63,10 +63,15 @@ def run_processor(
         for event in events:
             ingest(event)
             process(event)
+        processed = _time.perf_counter()
         processor.close()
-        elapsed = _time.perf_counter() - started
+        closed = _time.perf_counter()
         throughput = ThroughputResult(
-            events=len(events), seconds=elapsed, results=processor.sink.count
+            events=len(events),
+            seconds=closed - started,
+            results=processor.sink.count,
+            process_seconds=processed - started,
+            close_seconds=closed - processed,
         )
         latency = probe.summary()
     else:

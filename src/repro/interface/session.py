@@ -34,8 +34,12 @@ __all__ = ["DesisSession"]
 class DesisSession:
     """A centralized Desis instance accepting textual or built queries."""
 
-    def __init__(self, *, policy: SharingPolicy = SharingPolicy.FULL) -> None:
+    def __init__(self, *, policy: SharingPolicy = SharingPolicy.FULL,
+                 recorder=None) -> None:
         self.policy = policy
+        #: optional slice-lifecycle trace recorder handed to the engine
+        #: (see :mod:`repro.obs.tracing`); ``None`` keeps tracing off
+        self.recorder = recorder
         self._engine: AggregationEngine | None = None
         self._pending: list[Query] = []
         self._counter = 0
@@ -88,7 +92,9 @@ class DesisSession:
 
     def _ensure_engine(self) -> AggregationEngine:
         if self._engine is None:
-            self._engine = AggregationEngine(self._pending, policy=self.policy)
+            self._engine = AggregationEngine(
+                self._pending, policy=self.policy, recorder=self.recorder
+            )
             self._pending = []
         return self._engine
 

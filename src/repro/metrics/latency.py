@@ -15,6 +15,7 @@ complementary measurements exist here:
 
 from __future__ import annotations
 
+import math
 import statistics
 import time as _time
 from dataclasses import dataclass
@@ -43,7 +44,9 @@ def summarize(samples: list[float]) -> LatencySummary:
     ordered = sorted(samples)
 
     def pct(q: float) -> float:
-        index = min(int(q * (len(ordered) - 1)), len(ordered) - 1)
+        # Nearest-rank: the smallest sample >= q of the distribution, so
+        # p99 of 10 samples is the 10th, not the 9th.
+        index = min(max(math.ceil(q * len(ordered)) - 1, 0), len(ordered) - 1)
         return ordered[index]
 
     return LatencySummary(
@@ -71,17 +74,31 @@ class LatencyProbe(ResultSink):
         summary = probe.summary()
     """
 
-    def __init__(self, sample_every: int = 100, keep: bool = False) -> None:
+    def __init__(self, sample_every: int = 100, keep: bool = False,
+                 expiry_horizon_ms: int | None = 600_000) -> None:
         super().__init__(keep=keep)
         self.sample_every = sample_every
+        #: event-time distance after which an unmatched sample is dropped;
+        #: ``None`` keeps every sample forever (unbounded memory when a
+        #: query never covers a sampled event, e.g. filtered markers)
+        self.expiry_horizon_ms = expiry_horizon_ms
         self._ingested = 0
         #: pending samples: (event_time, wall_clock_at_ingest)
         self._pending: list[tuple[int, float]] = []
         self.samples: list[float] = []
+        #: samples evicted unmatched because the stream moved past them
+        self.expired_samples = 0
 
     def on_ingest(self, event: Event) -> None:
         if self._ingested % self.sample_every == 0:
             self._pending.append((event.time, _time.perf_counter()))
+            horizon = self.expiry_horizon_ms
+            if horizon is not None:
+                floor = event.time - horizon
+                if self._pending[0][0] < floor:
+                    kept = [s for s in self._pending if s[0] >= floor]
+                    self.expired_samples += len(self._pending) - len(kept)
+                    self._pending = kept
         self._ingested += 1
 
     def emit(self, result: WindowResult) -> None:

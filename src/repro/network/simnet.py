@@ -48,6 +48,7 @@ from repro.network.messages import (
     ResyncMessage,
     SequencedMessage,
 )
+from repro.obs.tracing import NULL_RECORDER
 
 __all__ = [
     "SimNode",
@@ -348,7 +349,9 @@ class SimNetwork:
                  default_bandwidth_bytes_per_ms: float | None = None,
                  fault_plan: FaultPlan | None = None,
                  retransmit_timeout_ms: float = 100.0,
-                 max_retries: int = 8) -> None:
+                 max_retries: int = 8,
+                 recorder=None) -> None:
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.nodes: dict[str, SimNode] = {}
         self.links: dict[tuple[str, str], Link] = {}
         self.default_codec = default_codec if default_codec is not None else BinaryCodec()
@@ -593,6 +596,14 @@ class SimNetwork:
         link.retransmits += 1
         if not control:
             link.retransmit_bytes += len(data)
+        if self.recorder.enabled:
+            self.recorder.record(
+                "net.retransmit",
+                self.now,
+                link=f"{src}->{dst}",
+                seq=seq,
+                attempt=attempt,
+            )
         self._transmit(link, data, control=control)
         self._push(
             at + self.retransmit_timeout * (2 ** attempt),

@@ -1,0 +1,61 @@
+"""Observability: metrics registry, slice-lifecycle tracing, exporters.
+
+See DESIGN.md ("Observability") for the metric name catalogue and the
+trace event schema.  The package is dependency-free and safe to import
+from every layer; the shared :data:`NULL_RECORDER` keeps instrumented
+hot paths free when tracing is off.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    publish_cluster_result,
+    publish_engine_stats,
+    publish_latency_summary,
+    publish_network_stats,
+)
+from repro.obs.tracing import (
+    NULL_RECORDER,
+    TraceEvent,
+    TraceRecorder,
+    WindowProvenance,
+)
+from repro.obs.exporters import (
+    metrics_to_dict,
+    render_metrics_json,
+    render_prometheus,
+    render_report,
+    render_trace_jsonl,
+    write_metrics,
+    write_trace_jsonl,
+)
+from repro.obs.log import configure_logging, get_logger, kv
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "publish_cluster_result",
+    "publish_engine_stats",
+    "publish_latency_summary",
+    "publish_network_stats",
+    "NULL_RECORDER",
+    "TraceEvent",
+    "TraceRecorder",
+    "WindowProvenance",
+    "metrics_to_dict",
+    "render_metrics_json",
+    "render_prometheus",
+    "render_report",
+    "render_trace_jsonl",
+    "write_metrics",
+    "write_trace_jsonl",
+    "configure_logging",
+    "get_logger",
+    "kv",
+]

@@ -1,0 +1,179 @@
+"""Exporters: traces to JSONL, metrics to Prometheus text / JSON, reports.
+
+Three audiences, three formats:
+
+* machines diffing two runs read the **JSON-lines trace dump**
+  (:func:`render_trace_jsonl`) — one event per line, stable key order,
+  simulated timestamps, so ``diff`` on two same-seed runs is empty;
+* scrapers read the **Prometheus text exposition**
+  (:func:`render_prometheus`) — names are mangled ``a.b`` → ``a_b``,
+  labels sorted, histograms expanded to ``_bucket``/``_sum``/``_count``;
+* humans read the **run report** (:func:`render_report`) — the registry
+  rendered through :func:`repro.harness.reporting.render_table`.
+
+:func:`write_metrics` is the one-call sink behind every ``--metrics-out``
+flag: the file extension picks the format (``.prom``/``.txt`` →
+Prometheus text, anything else → a JSON document).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.registry import MetricSample, MetricsRegistry
+from repro.obs.tracing import TraceRecorder
+
+__all__ = [
+    "render_trace_jsonl",
+    "write_trace_jsonl",
+    "render_prometheus",
+    "metrics_to_dict",
+    "render_metrics_json",
+    "write_metrics",
+    "render_report",
+]
+
+
+# -- traces --------------------------------------------------------------------
+
+
+def render_trace_jsonl(recorder: TraceRecorder) -> str:
+    """The recorder's buffer as JSON-lines (one event per line)."""
+    return "\n".join(
+        json.dumps(event.to_dict(), sort_keys=False, separators=(",", ":"))
+        for event in recorder.events()
+    )
+
+
+def write_trace_jsonl(recorder: TraceRecorder, path: str) -> int:
+    """Dump the trace to ``path``; returns the number of events written."""
+    text = render_trace_jsonl(recorder)
+    with open(path, "w", encoding="utf-8") as fh:
+        if text:
+            fh.write(text)
+            fh.write("\n")
+    return len(recorder)
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [*sorted(labels.items()), *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for sample in registry.collect():
+        name = _prom_name(sample.name)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {sample.kind}")
+        if sample.kind == "histogram":
+            for bound, count in sample.buckets or ():
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(sample.labels, (('le', _prom_value(bound)),))}"
+                    f" {count}"
+                )
+            lines.append(
+                f"{name}_bucket{_prom_labels(sample.labels, (('le', '+Inf'),))}"
+                f" {sample.count}"
+            )
+            lines.append(
+                f"{name}_sum{_prom_labels(sample.labels)} {_prom_value(sample.sum or 0.0)}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(sample.labels)} {sample.count}"
+            )
+        else:
+            lines.append(
+                f"{name}{_prom_labels(sample.labels)} {_prom_value(sample.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- JSON ----------------------------------------------------------------------
+
+
+def _sample_to_dict(sample: MetricSample) -> dict:
+    out: dict = {
+        "name": sample.name,
+        "labels": sample.labels,
+        "kind": sample.kind,
+        "value": sample.value,
+    }
+    if sample.kind == "histogram":
+        out["buckets"] = [[bound, count] for bound, count in sample.buckets or ()]
+        out["sum"] = sample.sum
+        out["count"] = sample.count
+    return out
+
+
+def metrics_to_dict(registry: MetricsRegistry) -> dict:
+    """A JSON-ready document of every metric in the registry."""
+    return {"metrics": [_sample_to_dict(s) for s in registry.collect()]}
+
+
+def render_metrics_json(registry: MetricsRegistry, **extra) -> str:
+    document = metrics_to_dict(registry)
+    document.update(extra)
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def write_metrics(registry: MetricsRegistry, path: str, **extra) -> None:
+    """Write the registry to ``path``; extension selects the format.
+
+    ``.prom`` / ``.txt`` produce Prometheus text; everything else a JSON
+    document (``extra`` keys are merged in at the top level, JSON only).
+    """
+    if path.endswith((".prom", ".txt")):
+        text = render_prometheus(registry)
+    else:
+        text = render_metrics_json(registry, **extra) + "\n"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+# -- human-readable run report -------------------------------------------------
+
+
+def _fmt_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+
+
+def render_report(registry: MetricsRegistry,
+                  title: str = "Run report") -> str:
+    """The registry as the aligned table humans read after a run."""
+    # Imported here so the obs package stays importable from every layer
+    # (repro.harness pulls in the engine at package-import time).
+    from repro.harness.reporting import render_table
+
+    rows = [
+        [sample.name, _fmt_labels(sample.labels), sample.kind,
+         _prom_value(sample.value)]
+        for sample in registry.collect()
+    ]
+    return render_table(title, ["metric", "labels", "kind", "value"], rows)

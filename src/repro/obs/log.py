@@ -1,0 +1,66 @@
+"""Structured stdlib logging for the repro package.
+
+The codebase previously had zero logging calls; modules now obtain their
+logger through :func:`get_logger` so every record lands under the
+``repro`` hierarchy, and entry points opt into output with
+:func:`configure_logging`.  Library code never configures handlers
+itself — until an entry point (CLI, benchmark, test) calls
+:func:`configure_logging`, records propagate to a ``NullHandler`` and the
+package stays silent, exactly as a library should.
+
+The format is single-line ``key=value`` structured text::
+
+    1691155200.123 INFO repro.cluster.desis run events=100000 wall=1.42
+
+Extra fields are passed through the standard ``extra`` mechanism via
+:func:`kv`, which formats them deterministically (sorted keys).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+__all__ = ["get_logger", "configure_logging", "kv"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Pass ``__name__``; module paths already under ``repro.`` are used
+    as-is, anything else is nested beneath ``repro.``.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def kv(**fields: Any) -> str:
+    """Render extra fields as deterministic ``key=value`` text."""
+    return " ".join(f"{key}={fields[key]}" for key in sorted(fields))
+
+
+def configure_logging(level: int | str = logging.INFO,
+                      stream=None) -> logging.Handler:
+    """Attach one structured stream handler to the ``repro`` logger.
+
+    Idempotent: calling again replaces the previously attached handler
+    instead of stacking duplicates.  Returns the handler (tests use it to
+    point the stream at a buffer).
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_structured", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(created).3f %(levelname)s %(name)s %(message)s")
+    )
+    handler._repro_structured = True
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

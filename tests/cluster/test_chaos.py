@@ -175,6 +175,35 @@ class TestRecoverableParity:
         assert first.network.dedup_dropped == second.network.dedup_dropped
 
 
+class TestTracedRunParity:
+    """``ClusterConfig.trace=True`` must not change what Desis computes —
+    with or without a fault plan — it only fills the run's recorder."""
+
+    PLAN = FaultPlan(seed=6, drop_rate=0.05, duplicate_rate=0.03, jitter_ms=4.0)
+
+    def test_traced_rows_identical_fault_free(self):
+        streams = make_streams(3, 300)
+        _, plain = run_desis(QUERY_SETS["mixed"], three_tier(3, 1), streams)
+        _, traced = run_desis(
+            QUERY_SETS["mixed"], three_tier(3, 1), streams, trace=True
+        )
+        assert rows(traced) == rows(plain)
+        assert len(traced.recorder) > 0
+        assert len(plain.recorder) == 0
+
+    def test_traced_rows_identical_under_chaos(self):
+        streams = make_streams(3, 300)
+        kw = dict(fault_plan=self.PLAN, node_timeout=NEVER)
+        _, plain = run_desis(QUERY_SETS["mixed"], three_tier(3, 1), streams, **kw)
+        _, traced = run_desis(
+            QUERY_SETS["mixed"], three_tier(3, 1), streams, trace=True, **kw
+        )
+        assert rows(traced) == rows(plain)
+        assert traced.network.retransmits == plain.network.retransmits
+        traced_retx = sum(1 for _ in traced.recorder.events("net.retransmit"))
+        assert traced_retx == traced.network.retransmits
+
+
 class _ParityOracle:
     """Fault-free baselines, computed once per (window kind, mode) pair."""
 

@@ -183,6 +183,49 @@ class TestDataDrivenWindows:
             assert_parity(queries, events, policy=policy, batches=(13, 100_000))
 
 
+class TestRecorderParity:
+    """Tracing must be observationally invisible: same results and stats
+    whether the recorder is the shared no-op (default) or fully enabled."""
+
+    def _replay(self, events, *, batch, recorder):
+        from repro.obs import TraceRecorder
+
+        engine = AggregationEngine(
+            FIXED_QUERIES,
+            recorder=TraceRecorder() if recorder else None,
+        )
+        if batch is None:
+            for event in events:
+                engine.process(event)
+        else:
+            for i in range(0, len(events), batch):
+                engine.process_batch(events[i:i + batch])
+        engine.close()
+        rows = [result_key(r) for r in engine.sink.results]
+        return rows, engine.stats, engine.recorder
+
+    def test_enabled_recorder_changes_nothing(self):
+        events = make_stream(700)
+        for batch in (None, 7, 100_000):
+            base_rows, base_stats, _ = self._replay(
+                events, batch=batch, recorder=False
+            )
+            rows, stats, recorder = self._replay(
+                events, batch=batch, recorder=True
+            )
+            assert rows == base_rows, batch
+            assert stats == base_stats, batch
+            assert len(recorder) > 0  # and the trace actually recorded
+
+    def test_default_recorder_is_the_shared_noop(self):
+        from repro.obs import NULL_RECORDER
+
+        engine = AggregationEngine(FIXED_QUERIES)
+        assert engine.recorder is NULL_RECORDER
+        for runtime in engine.groups:
+            assert runtime.recorder is NULL_RECORDER
+
+
 class TestRuntimeManagement:
     def test_add_query_mid_batch(self):
         events = make_stream(600)

@@ -36,6 +36,25 @@ class TestThroughput:
         assert result.results > 0
         assert result.events_per_second > 0
 
+    def test_close_time_split_out_of_process_time(self):
+        events = make_stream(500)
+        result = measure_throughput(DesisProcessor(queries()), events)
+        assert result.process_seconds > 0
+        assert result.close_seconds > 0
+        assert result.seconds == pytest.approx(
+            result.process_seconds + result.close_seconds
+        )
+        # the sustained rate bills the ingest loop only
+        assert result.events_per_second == pytest.approx(
+            result.events / result.process_seconds
+        )
+
+    def test_legacy_results_fall_back_to_total_seconds(self):
+        from repro.metrics import ThroughputResult
+
+        legacy = ThroughputResult(events=100, seconds=2.0, results=1)
+        assert legacy.events_per_second == 50.0
+
     def test_modeled_sustainable_is_minimum(self):
         assert modeled_sustainable_throughput(node_rates=[5e6, 2e6, 9e6]) == 2e6
 
@@ -91,6 +110,37 @@ class TestLatencyProbe:
         summary = summarize([])
         assert summary.count == 0 and summary.max == 0.0
 
+    def test_percentiles_use_nearest_rank(self):
+        # p99 of 10 samples is the 10th-smallest (ceil(0.99 * 10) = 10),
+        # not the 9th that floor-indexing used to return.
+        summary = summarize([float(i) for i in range(1, 11)])
+        assert summary.p50 == 5.0
+        assert summary.p95 == 10.0
+        assert summary.p99 == 10.0
+        # p50 of 2 samples is the 1st (ceil(0.5 * 2) = 1), never the min
+        # by accident of flooring q * (n - 1) to index 0.
+        assert summarize([1.0, 100.0]).p50 == 1.0
+        assert summarize([7.0]).p50 == 7.0
+        assert summarize([7.0]).p99 == 7.0
+
+    def test_pending_samples_expire_past_the_horizon(self):
+        probe = LatencyProbe(sample_every=1, expiry_horizon_ms=1_000)
+        probe.on_ingest(Event(time=0, key="a", value=1.0))
+        probe.on_ingest(Event(time=500, key="a", value=1.0))
+        probe.on_ingest(Event(time=2_000, key="a", value=1.0))  # evicts 0, 500
+        assert probe.expired_samples == 2
+        assert [t for t, _ in probe._pending] == [2_000]
+        # an expired sample can no longer match a late result
+        probe.emit(WindowResult("q", 0, 100, 1.0, 1, emitted_at=100))
+        assert probe.samples == []
+
+    def test_no_horizon_keeps_everything(self):
+        probe = LatencyProbe(sample_every=1, expiry_horizon_ms=None)
+        probe.on_ingest(Event(time=0, key="a", value=1.0))
+        probe.on_ingest(Event(time=10**9, key="a", value=1.0))
+        assert probe.expired_samples == 0
+        assert len(probe._pending) == 2
+
 
 class TestEventTimeLatency:
     def test_positive_latencies_only(self):
@@ -100,6 +150,18 @@ class TestEventTimeLatency:
         sink.emit(WindowResult("q", 0, 100, 1.0, 1, emitted_at=150))
         sink.emit(WindowResult("q", 0, 500, 1.0, 1, emitted_at=400))  # forced
         assert event_time_latencies(sink) == [50.0]
+
+    def test_emit_at_window_end_counts_as_zero(self):
+        from repro.core.results import ResultSink
+
+        sink = ResultSink()
+        sink.emit(WindowResult("q", 0, 100, 1.0, 1, emitted_at=100))
+        assert event_time_latencies(sink) == [0.0]
+
+    def test_empty_sink(self):
+        from repro.core.results import ResultSink
+
+        assert event_time_latencies(ResultSink()) == []
 
 
 class TestNetworkBreakdown:
@@ -117,7 +179,68 @@ class TestNetworkBreakdown:
         assert rolled.total_bytes == 140
         assert rolled.data_bytes == 130
 
+    def test_data_bytes_with_reliability_counters(self):
+        # data_bytes stays total - control even when repair traffic is
+        # in play: retransmits bill data, acks bill control.
+        stats = NetworkStats(
+            bytes_by_link={("a", "b"): 500},
+            messages_by_link={("a", "b"): 5},
+            bytes_from_role={NodeRole.LOCAL: 500},
+            data_bytes_from_role={NodeRole.LOCAL: 420},
+            control_bytes=80,
+            drops=3,
+            retransmits=2,
+            retransmit_bytes=60,
+            acks=4,
+            ack_bytes=40,
+            duplicates=1,
+            duplicate_data_bytes=30,
+            dedup_dropped=1,
+        )
+        rolled = breakdown(stats)
+        assert rolled.data_bytes == 420
+        assert rolled.retransmit_bytes == 60
+        assert rolled.ack_bytes == 40
+        assert rolled.dedup_dropped == 1
+        # goodput identity: payload minus repair and duplicate bytes
+        assert (
+            rolled.goodput_data_bytes
+            == rolled.data_bytes - rolled.retransmit_bytes - 30
+        )
+
+    def test_bandwidth_cap_ignored_without_both_inputs(self):
+        assert (
+            modeled_sustainable_throughput(
+                node_rates=[5e6], bytes_per_event=31.0
+            )
+            == 5e6
+        )
+        assert (
+            modeled_sustainable_throughput(
+                node_rates=[5e6], link_bandwidth_bytes_per_s=125e6
+            )
+            == 5e6
+        )
+        # zero-sized events can never saturate the link
+        assert (
+            modeled_sustainable_throughput(
+                node_rates=[5e6],
+                bytes_per_event=0.0,
+                link_bandwidth_bytes_per_s=125e6,
+            )
+            == 5e6
+        )
+
     def test_fmt_bytes(self):
         assert fmt_bytes(512) == "512.0 B"
         assert fmt_bytes(2_048) == "2.0 KB"
         assert fmt_bytes(3 * 1024**3) == "3.0 GB"
+
+    def test_fmt_bytes_boundaries(self):
+        assert fmt_bytes(0) == "0.0 B"
+        assert fmt_bytes(1023) == "1023.0 B"
+        assert fmt_bytes(1024) == "1.0 KB"
+        assert fmt_bytes(1023.9) == "1023.9 B"
+        assert fmt_bytes(1536) == "1.5 KB"
+        assert fmt_bytes(-2_048) == "-2.0 KB"
+        assert fmt_bytes(2 * 1024**4) == "2.0 TB"

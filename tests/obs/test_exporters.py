@@ -1,0 +1,157 @@
+"""Tests for the trace/metrics exporters and structured logging."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    configure_logging,
+    get_logger,
+    kv,
+    metrics_to_dict,
+    render_metrics_json,
+    render_prometheus,
+    render_report,
+    render_trace_jsonl,
+    write_metrics,
+    write_trace_jsonl,
+)
+
+
+def small_registry():
+    registry = MetricsRegistry()
+    registry.counter("engine.events").inc(100)
+    registry.counter("net.bytes", link="a->b").inc(42)
+    registry.gauge("cluster.wall_seconds").set(1.5)
+    hist = registry.histogram("latency.ms", buckets=(1.0, 10.0))
+    hist.observe(0.5)
+    hist.observe(5.0)
+    hist.observe(50.0)
+    return registry
+
+
+class TestTraceJsonl:
+    def test_one_event_per_line_with_stable_keys(self):
+        recorder = TraceRecorder()
+        recorder.record("slice.close", 10, node="n0", group=0, index=3,
+                        start=0, end=100)
+        text = render_trace_jsonl(recorder)
+        (line,) = text.splitlines()
+        assert json.loads(line) == {
+            "seq": 1, "at": 10, "kind": "slice.close", "node": "n0",
+            "group": 0, "index": 3, "start": 0, "end": 100,
+        }
+
+    def test_write_returns_count_and_round_trips(self, tmp_path):
+        recorder = TraceRecorder()
+        for i in range(3):
+            recorder.record("window.emit", i, node="root", group=0,
+                            query_id="q", start=i, end=i + 1)
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(recorder, str(path)) == 3
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["kind"] == "window.emit" for line in lines)
+
+    def test_empty_trace_writes_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(TraceRecorder(), str(path)) == 0
+        assert path.read_text() == ""
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = render_prometheus(small_registry())
+        assert "# TYPE engine_events counter" in text
+        assert "engine_events 100" in text
+        assert 'net_bytes{link="a->b"} 42' in text
+        assert "cluster_wall_seconds 1.5" in text
+
+    def test_histogram_expansion(self):
+        lines = render_prometheus(small_registry()).splitlines()
+        assert 'latency_ms_bucket{le="1"} 1' in lines
+        assert 'latency_ms_bucket{le="10"} 2' in lines
+        assert 'latency_ms_bucket{le="+Inf"} 3' in lines
+        assert "latency_ms_sum 55.5" in lines
+        assert "latency_ms_count 3" in lines
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x", path='a"b\\c').inc()
+        assert 'x{path="a\\"b\\\\c"} 1' in render_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestJson:
+    def test_document_shape(self):
+        document = metrics_to_dict(small_registry())
+        by_name = {m["name"]: m for m in document["metrics"]}
+        assert by_name["engine.events"]["value"] == 100
+        assert by_name["net.bytes"]["labels"] == {"link": "a->b"}
+        assert by_name["latency.ms"]["buckets"] == [[1.0, 1], [10.0, 2]]
+        assert by_name["latency.ms"]["count"] == 3
+
+    def test_extra_keys_merged(self):
+        document = json.loads(
+            render_metrics_json(small_registry(), benchmark="bench", seed=7)
+        )
+        assert document["benchmark"] == "bench"
+        assert document["seed"] == 7
+
+    def test_write_metrics_picks_format_by_extension(self, tmp_path):
+        registry = small_registry()
+        json_path = tmp_path / "m.json"
+        prom_path = tmp_path / "m.prom"
+        write_metrics(registry, str(json_path), run="x")
+        write_metrics(registry, str(prom_path))
+        assert json.loads(json_path.read_text())["run"] == "x"
+        assert prom_path.read_text().startswith("# TYPE")
+
+
+class TestReport:
+    def test_report_renders_every_metric(self):
+        text = render_report(small_registry(), "My run")
+        assert "=== My run ===" in text
+        assert "engine.events" in text
+        assert "link=a->b" in text
+        assert "histogram" in text
+
+
+class TestLogging:
+    def test_get_logger_nests_under_repro(self):
+        assert get_logger("repro.cluster.desis").name == "repro.cluster.desis"
+        assert get_logger("benchmarks.x").name == "repro.benchmarks.x"
+
+    def test_kv_is_sorted_and_deterministic(self):
+        assert kv(b=2, a=1, c="x") == "a=1 b=2 c=x"
+
+    def test_silent_until_configured_then_structured(self):
+        logger = get_logger("repro.obs.test_target")
+        buffer = io.StringIO()
+        handler = configure_logging(logging.INFO, stream=buffer)
+        try:
+            logger.info("run finished %s", kv(events=5, wall=0.1))
+            line = buffer.getvalue().strip()
+            assert "INFO repro.obs.test_target run finished" in line
+            assert "events=5 wall=0.1" in line
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+    def test_configure_is_idempotent(self):
+        first = configure_logging(logging.INFO, stream=io.StringIO())
+        second = configure_logging(logging.INFO, stream=io.StringIO())
+        try:
+            handlers = [
+                h for h in logging.getLogger("repro").handlers
+                if getattr(h, "_repro_structured", False)
+            ]
+            assert handlers == [second]
+            assert first is not second
+        finally:
+            logging.getLogger("repro").removeHandler(second)

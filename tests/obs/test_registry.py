@@ -1,0 +1,163 @@
+"""Tests for the labeled metrics registry and its publish bridges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterConfig, DesisCluster
+from repro.core.engine import AggregationEngine
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+from repro.metrics import summarize
+from repro.network.topology import three_tier
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    publish_cluster_result,
+    publish_engine_stats,
+    publish_latency_summary,
+    publish_network_stats,
+)
+
+from tests.cluster.test_desis_parity import TICK, make_streams
+from tests.conftest import make_stream
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.value("hits") == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+    def test_gauge_sets_and_moves(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert registry.value("depth") == 7
+
+    def test_labels_partition_series(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes", link="a->b").inc(10)
+        registry.counter("bytes", link="b->c").inc(20)
+        assert registry.value("bytes", link="a->b") == 10
+        assert registry.value("bytes", link="b->c") == 20
+        assert registry.value("bytes") == 0.0  # unlabeled series untouched
+        assert len(registry) == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("x", a="1", b="2").inc()
+        assert registry.counter("x", b="2", a="1").value == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("n")
+
+    def test_histogram_cumulative_buckets(self):
+        hist = Histogram(buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 3]  # cumulative per bound
+        assert hist.count == 4  # +Inf sees everything
+        assert hist.sum == 555.5
+        assert hist.value == pytest.approx(555.5 / 4)
+
+    def test_histogram_requires_sorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(10.0, 1.0))
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("lat", buckets=(1.0, 5.0))
+
+    def test_collect_is_deterministically_ordered(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a", link="2").inc()
+        registry.counter("a", link="1").inc()
+        names = [(s.name, s.labels) for s in registry.collect()]
+        assert names == [("a", {"link": "1"}), ("a", {"link": "2"}), ("z", {})]
+
+
+class TestBridges:
+    def _engine_stats(self):
+        queries = [Query.of("q", WindowSpec.tumbling(200), AggFunction.SUM)]
+        engine = AggregationEngine(queries)
+        engine.process_batch(make_stream(400))
+        engine.close()
+        return engine.stats
+
+    def test_engine_stats_land_under_stable_names(self):
+        stats = self._engine_stats()
+        registry = MetricsRegistry()
+        publish_engine_stats(registry, stats)
+        assert registry.value("engine.events") == stats.events
+        assert registry.value("engine.calculations") == stats.calculations
+        assert registry.value("engine.peak_live_slices") == stats.peak_live_slices
+
+    def test_engine_stats_labels_pass_through(self):
+        stats = self._engine_stats()
+        registry = MetricsRegistry()
+        publish_engine_stats(registry, stats, node="local-3")
+        assert registry.value("engine.events", node="local-3") == stats.events
+        assert registry.value("engine.events") == 0.0
+
+    def test_cluster_result_covers_network_and_nodes(self):
+        queries = [Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)]
+        streams = make_streams(2, 300)
+        result = DesisCluster(
+            queries, three_tier(2, 1), config=ClusterConfig(tick_interval=TICK)
+        ).run(streams)
+        registry = MetricsRegistry()
+        publish_cluster_result(registry, result)
+        assert registry.value("cluster.events") == result.events
+        assert registry.value("cluster.results") == len(result.sink)
+        assert registry.value("net.total_bytes") == result.network.total_bytes
+        assert registry.value("net.retransmits") == 0
+        assert (
+            registry.value("node.slices_shipped", role="local", node="local-0")
+            == result.local_stats["local-0"].slices_closed
+        )
+        # per-link series exist for every link that carried traffic
+        links = {
+            s.labels["link"] for s in registry.collect() if s.name == "net.bytes"
+        }
+        assert "local-0->mid-0" in links
+
+    def test_network_reliability_counters_published(self):
+        queries = [Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)]
+        from repro.network.simnet import FaultPlan
+
+        streams = make_streams(2, 400)
+        result = DesisCluster(
+            queries,
+            three_tier(2, 1),
+            config=ClusterConfig(
+                tick_interval=TICK,
+                fault_plan=FaultPlan(seed=3, drop_rate=0.1),
+                node_timeout=10**9,
+            ),
+        ).run(streams)
+        registry = MetricsRegistry()
+        publish_network_stats(registry, result.network)
+        assert registry.value("net.retransmits") == result.network.retransmits
+        assert registry.value("net.acks") == result.network.acks
+        assert registry.value("net.drops") == result.network.drops
+
+    def test_latency_summary_gauges(self):
+        registry = MetricsRegistry()
+        publish_latency_summary(registry, summarize([1.0, 2.0, 3.0]), probe="x")
+        assert registry.value("latency.count", probe="x") == 3
+        assert registry.value("latency.p50", probe="x") == 2.0
+        assert registry.value("latency.max", probe="x") == 3.0

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -89,6 +91,95 @@ class TestCluster:
         assert code == 0
         assert "Desis (decentralized)" in out
         assert "Scotty (centralized)" in out
+
+
+class TestObservabilityFlags:
+    def test_run_trace_and_metrics_out(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run",
+                "SELECT SUM(value) FROM stream WINDOW TUMBLING 1s",
+                "--events", "3000",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "events recorded" in out
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events and {"slice.close", "window.emit"} <= {
+            e["kind"] for e in events
+        }
+        document = json.loads(metrics.read_text())
+        names = {m["name"] for m in document["metrics"]}
+        assert "engine.calculations" in names
+
+    def test_run_metrics_out_prometheus(self, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "run",
+                "SELECT AVG(value) FROM stream WINDOW TUMBLING 1s",
+                "--events", "2000",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE engine_calculations counter" in text
+        assert "engine_events 2000" in text
+
+    def test_cluster_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "cluster", "--locals", "2", "--events", "3000",
+                "--rate", "3000", "--trace-out", str(trace),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "events recorded" in out
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace.read_text().splitlines()
+        }
+        assert {"partial.ship", "merge.release", "window.emit"} <= kinds
+
+
+class TestReport:
+    def test_report_prints_registry_and_trace(self, capsys):
+        code = main(
+            ["report", "--locals", "2", "--events", "3000", "--rate", "3000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Desis run report" in out
+        assert "engine.calculations" in out
+        assert "net.total_bytes" in out
+        assert "events recorded" in out
+
+    def test_report_explain_under_faults(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "report", "--locals", "2", "--events", "6000",
+                "--rate", "3000", "--drop-rate", "0.02", "--seed", "3",
+                "--explain", "--metrics-out", str(metrics),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "last window provenance" in out
+        assert "sources: local-0, local-1" in out
+        assert "retransmits before emit" in out
+        document = json.loads(metrics.read_text())
+        assert any(
+            m["name"] == "net.retransmits" for m in document["metrics"]
+        )
 
 
 def test_parser_requires_command():

@@ -1,0 +1,110 @@
+"""Smoke guard: observability must not tax the batched hot path.
+
+The <5% budget for the no-op recorder holds by construction, and this
+file pins that construction deterministically instead of trusting a
+wall clock on a shared CI machine:
+
+* with the default shared no-op recorder, the replay makes **zero**
+  ``record`` calls — every hook sits behind ``if recorder.enabled:``, so
+  the only cost is one attribute read per slice cut / window close
+  (never per event);
+* with an enabled recorder, ``record`` is called O(slices + windows)
+  times, never O(events) — tracing can't creep into the per-event loop
+  unnoticed.
+
+A deliberately loose wall-clock check (interleaved, best-of-N, retried)
+backs this up against catastrophic regressions only; the tight bound is
+the call-count structure above.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.core.engine import AggregationEngine
+from repro.harness import tumbling_queries
+from repro.obs import NULL_RECORDER, TraceRecorder
+from repro.obs.tracing import _NullRecorder
+
+from tests.conftest import make_stream
+
+N_EVENTS = 40_000
+REPEATS = 3
+ATTEMPTS = 3
+#: catastrophic-regression ceiling for *enabled* tracing (the no-op case
+#: is pinned exactly by the call-count assertions)
+WALL_CLOCK_CEILING = 1.5
+
+
+class _CountingNullRecorder(_NullRecorder):
+    """Disabled recorder that counts hook invocations that slip through."""
+
+    __slots__ = ("calls",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.calls = 0
+
+    def record(self, kind, at, *, node="", group=-1, **data):
+        self.calls += 1
+
+
+def _replay(events, recorder):
+    engine = AggregationEngine(tumbling_queries(1), recorder=recorder)
+    started = _time.perf_counter()
+    engine.process_batch(events)
+    engine.close()
+    elapsed = _time.perf_counter() - started
+    rows = [
+        (r.query_id, r.start, r.end, r.value, r.event_count, r.emitted_at)
+        for r in engine.sink.results
+    ]
+    return elapsed, rows, engine
+
+
+def test_noop_recorder_never_called_on_the_hot_path():
+    events = make_stream(N_EVENTS)
+    recorder = _CountingNullRecorder()
+    _, _, engine = _replay(events, recorder)
+    assert engine.stats.events == N_EVENTS
+    assert recorder.calls == 0  # every hook honored the enabled guard
+
+
+def test_enabled_recorder_cost_is_per_slice_not_per_event():
+    events = make_stream(N_EVENTS)
+    recorder = TraceRecorder()
+    _, _, engine = _replay(events, recorder)
+    traced = recorder._seq  # total record calls, eviction included
+    budget = engine.stats.slices_closed + engine.stats.results
+    assert 0 < traced <= budget
+    assert traced < N_EVENTS / 10  # nowhere near O(events)
+
+
+def test_default_engine_uses_the_shared_noop():
+    engine = AggregationEngine(tumbling_queries(1))
+    assert engine.recorder is NULL_RECORDER
+    assert NULL_RECORDER.enabled is False
+
+
+def test_wall_clock_smoke():
+    """Tracing fully on must stay within the catastrophe ceiling of off."""
+    events = make_stream(N_EVENTS)
+    _replay(events, None)  # warm up caches outside the timed runs
+    ratios = []
+    for _ in range(ATTEMPTS):
+        best = {"off": float("inf"), "on": float("inf")}
+        rows = {}
+        for _ in range(REPEATS):
+            for mode, recorder in (("off", None), ("on", TraceRecorder())):
+                elapsed, result_rows, _ = _replay(events, recorder)
+                best[mode] = min(best[mode], elapsed)
+                rows[mode] = result_rows
+        assert rows["on"] == rows["off"], "tracing changed the results"
+        ratio = best["on"] / best["off"]
+        ratios.append(round(ratio, 3))
+        if ratio <= WALL_CLOCK_CEILING:
+            return
+    raise AssertionError(
+        f"enabled tracing exceeded {WALL_CLOCK_CEILING}x the no-op batched "
+        f"path in every attempt: ratios={ratios}"
+    )
