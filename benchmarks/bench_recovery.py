@@ -1,0 +1,221 @@
+"""Recovery benchmark: checkpointed vs checkpoint-less restart cost.
+
+Crashes the intermediate of a three-tier ``DesisCluster`` mid-run with a
+state-losing restart and measures what recovery costs in both modes:
+
+* **scratch** — no checkpoints; the restarted node's children re-ship
+  their entire retained history and the mergers replay it all;
+* **checkpointed** — the node restores mergers, floors, and retained
+  batches from its latest snapshot, so children fast-forward and re-ship
+  only the suffix past the checkpointed cursors.
+
+Both modes are asserted byte-identical to the fault-free baseline —
+recovery is only allowed to cost wire bytes and (simulated) time, never
+results.  Links get a finite bandwidth so re-shipped bytes translate
+into simulated recovery latency: the gap between the node's
+``node.recover`` trace event and the next window emission at the root.
+
+Run standalone to (re)generate ``BENCH_recovery.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py
+
+``tests/test_bench_smoke.py`` runs the same harness at tiny scale so CI
+catches recovery parity or accounting drift early; the weekly chaos job
+uploads the full-scale JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time as _time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # standalone execution
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster import ClusterConfig, DesisCluster  # noqa: E402
+from repro.core.query import Query, WindowSpec  # noqa: E402
+from repro.core.types import AggFunction  # noqa: E402
+from repro.datagen import DataGenerator, DataGeneratorConfig  # noqa: E402
+from repro.network.simnet import CrashWindow, FaultPlan  # noqa: E402
+from repro.network.topology import three_tier  # noqa: E402
+
+DEFAULT_EVENTS = 30_000
+QUICK_EVENTS = 3_000
+OUTPUT_NAME = "BENCH_recovery.json"
+
+N_LOCALS = 3
+TICK = 500
+#: finite links (~1G Ethernet of the paper's Pi cluster) so re-shipped
+#: recovery traffic costs simulated time, not just bytes
+BANDWIDTH = 131.0
+
+
+def _queries():
+    return [
+        Query.of("tumbling", WindowSpec.tumbling(1_000), AggFunction.SUM),
+        Query.of("session", WindowSpec.session(gap=400), AggFunction.MAX),
+    ]
+
+
+def _streams(n_events: int) -> dict[str, list]:
+    per_node = n_events // N_LOCALS
+    # Low rate: recovery cost scales with the retained slice history the
+    # crash forces back onto the wire, i.e. with the simulated span.
+    config = DataGeneratorConfig(keys=("k0", "k1", "k2"), rate=200.0)
+    return {
+        f"local-{i}": list(DataGenerator(config, seed=10 + i).events(per_node))
+        for i in range(N_LOCALS)
+    }
+
+
+def _span(streams: dict[str, list]) -> int:
+    return max(event.time for stream in streams.values() for event in stream)
+
+
+def _run_once(streams, crash=None, checkpoint_interval=None):
+    plan = None
+    if crash is not None:
+        plan = FaultPlan(
+            seed=7,
+            crashes=(CrashWindow("mid-0", crash[0], crash[1], lose_state=True),),
+        )
+    config = ClusterConfig(
+        tick_interval=TICK,
+        fault_plan=plan,
+        node_timeout=10**9,
+        bandwidth_bytes_per_ms=BANDWIDTH,
+        checkpoint_interval=checkpoint_interval,
+        trace=True,
+    )
+    cluster = DesisCluster(_queries(), three_tier(N_LOCALS, 1), config=config)
+    started = _time.perf_counter()
+    result = cluster.run({k: list(v) for k, v in streams.items()})
+    elapsed = _time.perf_counter() - started
+    return cluster, result, elapsed
+
+
+def _rows(result):
+    return [
+        (r.query_id, r.start, r.end, r.event_count, r.value)
+        for r in result.sink
+    ]
+
+
+def _recovery_latency(result) -> int | None:
+    """Sim-ms from the node's restore to the next root emission."""
+    recover = next(result.recorder.events("node.recover"), None)
+    if recover is None:
+        return None
+    for event in result.recorder.events("window.emit"):
+        if event.at >= recover.at:
+            return event.at - recover.at
+    return None
+
+
+def run(n_events: int = DEFAULT_EVENTS) -> dict:
+    streams = _streams(n_events)
+    events = sum(len(s) for s in streams.values())
+    span = _span(streams)
+    # Crash through the middle 20% of the run: late enough that real
+    # history accumulated, early enough that recovery has work left.
+    crash = (int(span * 0.4), int(span * 0.6))
+    checkpoint_interval = max(TICK, int(span * 0.1))
+
+    _, baseline, base_wall = _run_once(streams)
+    base_rows = _rows(baseline)
+
+    report: dict = {
+        "benchmark": "checkpointed_recovery",
+        "events": events,
+        "locals": N_LOCALS,
+        "crash_ms": list(crash),
+        "checkpoint_interval_ms": checkpoint_interval,
+        "baseline": {
+            "wall_s": round(base_wall, 4),
+            "results": len(base_rows),
+            "data_bytes": baseline.network.data_bytes,
+        },
+        "modes": {},
+    }
+    for label, interval in (("scratch", None), ("checkpointed", checkpoint_interval)):
+        cluster, result, elapsed = _run_once(
+            streams, crash=crash, checkpoint_interval=interval
+        )
+        if _rows(result) != base_rows:
+            raise AssertionError(
+                f"{label}: results diverged from the fault-free run — "
+                "recovery failed to reproduce the baseline emissions"
+            )
+        if result.recoveries != 1:
+            raise AssertionError(f"{label}: expected 1 recovery, got {result.recoveries}")
+        store = cluster.checkpoint_store
+        report["modes"][label] = {
+            "wall_s": round(elapsed, 4),
+            "data_bytes": result.network.data_bytes,
+            "reshipped_data_bytes": result.network.data_bytes
+            - baseline.network.data_bytes,
+            "recovery_latency_ms": _recovery_latency(result),
+            "checkpoints": result.checkpoints,
+            "checkpoint_bytes": store.bytes_written if store is not None else 0,
+            "duplicates_suppressed": result.duplicates_suppressed,
+        }
+    scratch = report["modes"]["scratch"]
+    ckpt = report["modes"]["checkpointed"]
+    if ckpt["data_bytes"] >= scratch["data_bytes"]:
+        raise AssertionError(
+            "checkpointed recovery must re-ship strictly fewer bytes than "
+            f"scratch replay ({ckpt['data_bytes']} >= {scratch['data_bytes']})"
+        )
+    saved = scratch["reshipped_data_bytes"] - ckpt["reshipped_data_bytes"]
+    report["savings"] = {
+        "reship_bytes_saved": saved,
+        "reship_saved_pct": round(
+            100.0 * saved / scratch["reshipped_data_bytes"], 1
+        )
+        if scratch["reshipped_data_bytes"]
+        else 0.0,
+        "latency_delta_ms": (
+            scratch["recovery_latency_ms"] - ckpt["recovery_latency_ms"]
+            if scratch["recovery_latency_ms"] is not None
+            and ckpt["recovery_latency_ms"] is not None
+            else None
+        ),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("events", nargs="?", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--quick", action="store_true",
+                        help=f"tiny run ({QUICK_EVENTS} events), no JSON "
+                             "output — CI smoke mode")
+    args = parser.parse_args(argv)
+    report = run(QUICK_EVENTS if args.quick else args.events)
+    for label, row in report["modes"].items():
+        latency = row["recovery_latency_ms"]
+        print(
+            f"{label:>12}: reshipped {row['reshipped_data_bytes']:>9,} B"
+            f"  recovery latency {latency if latency is not None else '-':>6} ms"
+            f"  checkpoints {row['checkpoints']}"
+        )
+    savings = report["savings"]
+    print(
+        f"checkpointing saved {savings['reship_bytes_saved']:,} B "
+        f"({savings['reship_saved_pct']}% of the scratch re-ship)"
+    )
+    if args.quick:
+        print("quick mode: skipped JSON output")
+        return
+    out = REPO_ROOT / OUTPUT_NAME
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,7 @@ from repro.harness import (
 )
 from repro.interface import DesisSession
 from repro.metrics import breakdown, fmt_bytes
-from repro.network.simnet import FaultPlan
+from repro.network.simnet import CrashWindow, FaultPlan
 from repro.network.topology import three_tier
 from repro.obs import (
     MetricsRegistry,
@@ -160,19 +160,39 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def _parse_crash(spec: str) -> CrashWindow:
+    """``node:start:end`` (state-losing restart) or ``node:start``
+    (permanent death, failed over to the parent)."""
+    parts = spec.split(":")
+    if len(parts) == 2:
+        return CrashWindow(parts[0], int(parts[1]), None)
+    if len(parts) == 3:
+        return CrashWindow(parts[0], int(parts[1]), int(parts[2]),
+                           lose_state=True)
+    raise SystemExit(f"bad --crash spec {spec!r}: want node:start[:end]")
+
+
 def cmd_report(args) -> int:
     """Run a Desis deployment and render its full observability report."""
     fn = AggFunction(args.function)
     queries = [Query.of("q", WindowSpec.tumbling(args.window_ms), fn)]
     topology = three_tier(args.locals, 1)
     streams = _events(args).streams(args.locals, args.events)
+    crashes = tuple(_parse_crash(spec) for spec in args.crash or ())
     fault_plan = (
-        FaultPlan(seed=args.seed, drop_rate=args.drop_rate)
-        if args.drop_rate
+        FaultPlan(seed=args.seed, drop_rate=args.drop_rate, crashes=crashes)
+        if args.drop_rate or crashes
         else None
     )
     config = ClusterConfig(
-        tick_interval=1_000, trace=True, fault_plan=fault_plan
+        tick_interval=1_000,
+        trace=True,
+        fault_plan=fault_plan,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_dir=args.checkpoint_dir,
+        node_timeout=args.node_timeout,
+        # heartbeats must outpace the timeout for the sweep to see silence
+        heartbeat_interval=max(1, min(5_000, args.node_timeout // 3)),
     )
     result = DesisCluster(queries, topology, config=config).run(
         {k: list(v) for k, v in streams.items()}
@@ -280,6 +300,24 @@ def build_parser() -> argparse.ArgumentParser:
                         dest="drop_rate",
                         help="run under a seeded fault plan with this "
                              "per-link drop probability")
+    report.add_argument("--crash", action="append", metavar="NODE:START[:END]",
+                        help="inject a crash window (sim ms); with END the "
+                             "node loses state and restarts from its latest "
+                             "checkpoint, without END it dies permanently "
+                             "and its children fail over (repeatable)")
+    report.add_argument("--checkpoint-interval", type=int, default=None,
+                        dest="checkpoint_interval", metavar="MS",
+                        help="persist intermediate/root state snapshots at "
+                             "this sim-time cadence (default: off)")
+    report.add_argument("--checkpoint-dir", default=None,
+                        dest="checkpoint_dir", metavar="DIR",
+                        help="write checkpoints as on-disk .ckpt files "
+                             "instead of the in-memory store")
+    report.add_argument("--node-timeout", type=int, default=15_000,
+                        dest="node_timeout", metavar="MS",
+                        help="heartbeat silence before a parent declares a "
+                             "child dead (drives failover of permanent "
+                             "--crash windows)")
     report.add_argument("--explain", action="store_true",
                         help="print the last window's slice provenance")
     report.add_argument("--trace-out", default=None, dest="trace_out",

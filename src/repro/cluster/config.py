@@ -52,6 +52,22 @@ class ClusterConfig:
             every node and the network, and returns it on the run result.
             Off (the default) keeps all instrumented paths on the shared
             no-op recorder — byte-identical outputs, within-noise cost.
+        checkpoint_interval: sim-time cadence (ms) at which intermediates
+            and the root persist incremental state snapshots (DESIGN.md
+            §8).  ``None`` (the default) disables checkpointing entirely —
+            no snapshots, no retention trimming, zero overhead.
+        checkpoint_every_slices: additionally checkpoint after this many
+            slice records merged since the last snapshot (``None`` = time
+            cadence only).  Only consulted when ``checkpoint_interval``
+            is set.
+        checkpoint_store: explicit
+            :class:`~repro.cluster.checkpoint.CheckpointStore` to persist
+            snapshots into.  ``None`` resolves to a
+            :class:`~repro.cluster.checkpoint.DirCheckpointStore` when
+            ``checkpoint_dir`` is set, else an in-memory store.
+        checkpoint_dir: directory for on-disk checkpoints (one ``.ckpt``
+            file per node, replaced atomically).  Ignored when
+            ``checkpoint_store`` is given.
     """
 
     origin: int = 0
@@ -67,3 +83,11 @@ class ClusterConfig:
     retransmit_timeout: float = 100.0
     max_retries: int = 8
     trace: bool = False
+    checkpoint_interval: int | None = None
+    checkpoint_every_slices: int | None = None
+    checkpoint_store: object | None = None
+    checkpoint_dir: str | None = None
+
+    @property
+    def checkpointing(self) -> bool:
+        return self.checkpoint_interval is not None

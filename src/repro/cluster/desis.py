@@ -25,11 +25,16 @@ from repro.core.query import Query
 from repro.core.results import ResultSink
 from repro.core.serde import query_to_dict
 from repro.core.types import NodeRole, SharingPolicy
+from repro.cluster.checkpoint import (
+    CheckpointStore,
+    DirCheckpointStore,
+    InMemoryCheckpointStore,
+)
 from repro.cluster.config import ClusterConfig
 from repro.cluster.intermediate import IntermediateNode
 from repro.cluster.local import LocalNode
 from repro.cluster.root import RootAssembler, RootNode
-from repro.network.messages import ControlMessage
+from repro.network.messages import ControlMessage, ResyncMessage
 from repro.network.simnet import NetworkStats, SimNetwork
 from repro.network.topology import Topology
 from repro.obs.log import get_logger, kv
@@ -54,6 +59,14 @@ class ClusterRunResult:
     #: the run's trace recorder (the shared no-op unless ``config.trace``);
     #: feed emitted results to ``recorder.explain_window`` for provenance
     recorder: TraceRecorder = field(default_factory=lambda: NULL_RECORDER)
+    #: recovery accounting (DESIGN.md §8): checkpoints persisted, nodes
+    #: restored from a state-losing crash, children rerouted at failover,
+    #: and replayed window results the exactly-once ledger kept out of the
+    #: sink.  All zero when checkpointing is off and no node loses state.
+    checkpoints: int = 0
+    recoveries: int = 0
+    reroutes: int = 0
+    duplicates_suppressed: int = 0
 
     @property
     def throughput(self) -> float:
@@ -114,6 +127,18 @@ class DesisCluster:
             max_retries=self.config.max_retries,
             recorder=self.recorder,
         )
+        self.checkpoint_store: CheckpointStore | None = None
+        if self.config.checkpoint_interval is not None:
+            store = self.config.checkpoint_store
+            if store is None:
+                store = (
+                    DirCheckpointStore(self.config.checkpoint_dir)
+                    if self.config.checkpoint_dir is not None
+                    else InMemoryCheckpointStore()
+                )
+            self.checkpoint_store = store
+        self.reroutes = 0
+        self._dead_intermediates: list[IntermediateNode] = []
         self._build_nodes()
 
     # -- construction -------------------------------------------------------------------
@@ -149,6 +174,14 @@ class DesisCluster:
                 self.net.add_node(node)
         for child, parent in topo.parents.items():
             self.net.connect(child, parent)
+        store = self.checkpoint_store
+        if store is not None:
+            self.root.store = store
+            for node in self.intermediates.values():
+                node.store = store
+        self.root.on_child_dead = self._on_child_dead
+        for node in self.intermediates.values():
+            node.on_child_dead = self._on_child_dead
 
     def _broadcast_attributes(self) -> None:
         """Ship window attributes and topology down the tree (Sec 3.1)."""
@@ -283,6 +316,92 @@ class DesisCluster:
             self.remove_node(node_id)
         return dead
 
+    # -- recovery and failover (DESIGN.md §8) ----------------------------------------------
+
+    def _arm_recovery(self, end: int) -> None:
+        """Seal the fault plan at end-of-stream, enable batch retention
+        where recovery could re-request shipped suffixes, and schedule the
+        restarts of finite state-losing crash windows."""
+        plan = self.config.fault_plan
+        if plan is None:
+            return
+        plan.seal(end)
+        needs_retention = self.checkpoint_store is not None or any(
+            w.lose_state or w.end is None or w.end >= end for w in plan.crashes
+        )
+        if needs_retention:
+            for node in self.locals.values():
+                node._retain = True
+            for node in self.intermediates.values():
+                node._retain = True
+        for window in plan.crashes:
+            if not window.lose_state:
+                continue
+            if window.node in self.locals:
+                raise ClusterError(
+                    f"lose_state crash on local node {window.node!r}: local "
+                    "input cannot be replayed, only intermediates and the "
+                    "root support state-losing restarts"
+                )
+            if window.end is None or window.end >= end:
+                continue  # permanent death: failover, not restart
+            self.net.schedule_restart(window.node, window.end)
+
+    def _on_child_dead(self, child: str, now: int, net: SimNetwork) -> None:
+        """Fail over a permanently dead intermediate (DESIGN.md §8).
+
+        Invoked from the parent's liveness sweep, atomically before any
+        further coverage advance: the dead node's children are adopted by
+        its *parent* at the parent's current coverage floors, then told to
+        reparent — renumber and re-ship their retained suffix past the
+        floors — so the parent's mergers resume exactly where the dead
+        node's forwarding stopped.
+        """
+        if child not in self.intermediates:
+            return  # dead locals are not rerouted: their source is gone
+        target, orphans = self.topology.fail_over(child)
+        dead = self.intermediates.pop(child)
+        dead.alive = False
+        self._dead_intermediates.append(dead)
+        target_node = (
+            self.root if target == self.topology.root else self.intermediates[target]
+        )
+        target_node.remove_child(child)
+        floors = {
+            group_id: (0, merger.forwarded_to)
+            for group_id, merger in enumerate(target_node.mergers)
+        }
+        for orphan in orphans:
+            if (orphan, target) not in net.links:
+                net.connect(orphan, target)
+            target_node.add_child(orphan)
+            if target_node.liveness is not None:
+                # The orphan joins now, not at the origin: it must not be
+                # swept for silence it predates.
+                target_node.liveness.add(orphan, now)
+            net.abandon_channel(orphan, child)
+            epoch = net.expect_resync(orphan, target)
+            net.send(
+                target,
+                orphan,
+                ResyncMessage(
+                    sender=target,
+                    epoch=epoch,
+                    entries=dict(floors),
+                    recover=True,
+                    new_parent=target,
+                ),
+            )
+            self.reroutes += 1
+            if self.recorder.enabled:
+                self.recorder.record(
+                    "child.reroute",
+                    now,
+                    node=orphan,
+                    dead_parent=child,
+                    new_parent=target,
+                )
+
     # -- driving ---------------------------------------------------------------------------
 
     def _align_up(self, time: int) -> int:
@@ -320,6 +439,7 @@ class DesisCluster:
             )
         end = self._align_up(last)
         self._end_boundary = end
+        self._arm_recovery(end)
         for node_id in list(self.locals):
             self.net.schedule_ticks(
                 node_id,
@@ -334,9 +454,9 @@ class DesisCluster:
                 end=end,
                 interval=self.config.heartbeat_interval,
             )
-        if self.config.fault_plan is not None:
-            # The root's heartbeat-silence sweep only matters when nodes
-            # can actually go silent.
+        if self.config.fault_plan is not None or self.checkpoint_store is not None:
+            # The root ticks for the heartbeat-silence sweep (nodes can go
+            # silent) and for the checkpoint cadence.
             self.net.schedule_ticks(
                 self.topology.root,
                 start=self.config.origin,
@@ -377,4 +497,12 @@ class DesisCluster:
                 for node_id, node in self.net.nodes.items()
             },
             recorder=self.recorder,
+            checkpoints=self.root.checkpoints_taken
+            + sum(n.checkpoints_taken for n in self.intermediates.values())
+            + sum(n.checkpoints_taken for n in self._dead_intermediates),
+            recoveries=self.root.recoveries
+            + sum(n.recoveries for n in self.intermediates.values())
+            + sum(n.recoveries for n in self._dead_intermediates),
+            reroutes=self.reroutes,
+            duplicates_suppressed=self.root.duplicates_suppressed,
         )

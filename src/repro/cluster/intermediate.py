@@ -13,10 +13,24 @@ from __future__ import annotations
 
 from repro.core.analyzer import QueryPlan
 from repro.core.types import NodeRole
+from repro.cluster.checkpoint import (
+    decode_checkpoint,
+    encode_checkpoint,
+    merger_cursors,
+    pending_chunks,
+    restore_mergers,
+    restore_retained,
+    retained_chunks,
+)
 from repro.cluster.config import ClusterConfig
 from repro.cluster.merger import GroupMerger
-from repro.cluster.reliability import ChildLiveness, resync_entries
+from repro.cluster.reliability import (
+    ChildLiveness,
+    recovery_entries,
+    resync_entries,
+)
 from repro.network.messages import (
+    CheckpointMessage,
     ControlMessage,
     PartialBatchMessage,
     ResyncMessage,
@@ -35,6 +49,7 @@ class IntermediateNode(SimNode):
         super().__init__(node_id, NodeRole.INTERMEDIATE)
         self.parent = parent
         self.children = list(children)
+        self.plan = plan
         self.config = config
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.mergers = [
@@ -51,6 +66,23 @@ class IntermediateNode(SimNode):
             if config.fault_plan is not None
             else None
         )
+        # Checkpointing and retention (DESIGN.md §8); the deployment wires
+        # ``store`` and ``_retain`` when recovery is in play.
+        self.store = None
+        self._retain = False
+        self._retained: list[PartialBatchMessage] = []
+        #: per-group trim floor last broadcast by the parent — our own
+        #: trim to children is capped by it, so grandchildren never drop
+        #: batches an ancestor recovery could still re-request
+        self._trim_floor = [config.origin for _ in plan.groups]
+        self._ckpt_id = 0
+        self._last_ckpt = config.origin
+        self._slices_since_ckpt = 0
+        self.checkpoints_taken = 0
+        self.recoveries = 0
+        #: deployment hook: called with ``(child, now, net)`` when liveness
+        #: sweeps a child whose crash the fault plan declares permanent
+        self.on_child_dead = None
 
     def on_tick(self, now: int, net: SimNetwork) -> None:
         if not self.alive:
@@ -64,9 +96,18 @@ class IntermediateNode(SimNode):
             )
         liveness = self.liveness
         if liveness is not None:
+            plan = net.fault_plan
             for child in liveness.sweep(now):
                 for merger in self.mergers:
                     merger.remove_child(child)
+                if (
+                    self.on_child_dead is not None
+                    and plan is not None
+                    and plan.permanent(child, now)
+                ):
+                    self.on_child_dead(child, now, net)
+        if self.store is not None:
+            self._maybe_checkpoint(now, net)
 
     def _readmit(self, child: str, net: SimNetwork) -> None:
         for merger in self.mergers:
@@ -96,15 +137,30 @@ class IntermediateNode(SimNode):
                 for child in self.children:
                     net.send(self.node_id, child, message)
             return
+        if isinstance(message, CheckpointMessage):
+            # Parent's retention-trim broadcast: remember its floors (they
+            # cap our own trim to children) and drop retained batches it
+            # can never ask for again.
+            for group_id, floor in message.safe_to.items():
+                if group_id < len(self._trim_floor):
+                    if floor > self._trim_floor[group_id]:
+                        self._trim_floor[group_id] = floor
+            self._apply_trim(message.safe_to)
+            return
         if isinstance(message, ResyncMessage):
-            # Our parent soft-evicted and re-admitted us: restart the
-            # upward slice sequences and never re-ship records for
-            # coverage it already assembled without us.
-            for group_id, (next_seq, covered) in message.entries.items():
-                if group_id < len(self.ship_seq):
-                    self.ship_seq[group_id] = next_seq
-                    self.forward_floor[group_id] = covered
-            net.reset_channel(self.node_id, self.parent, message.epoch)
+            if message.new_parent:
+                self._reparent(message, net)
+            elif message.recover:
+                self._fast_forward(message, net)
+            else:
+                # Our parent soft-evicted and re-admitted us: restart the
+                # upward slice sequences and never re-ship records for
+                # coverage it already assembled without us.
+                for group_id, (next_seq, covered) in message.entries.items():
+                    if group_id < len(self.ship_seq):
+                        self.ship_seq[group_id] = next_seq
+                        self.forward_floor[group_id] = covered
+                net.reset_channel(self.node_id, self.parent, message.epoch)
             return
         if not isinstance(message, PartialBatchMessage):
             return
@@ -137,6 +193,192 @@ class IntermediateNode(SimNode):
             )
         self.ship_seq[message.group_id] += len(records)
         net.send(self.node_id, self.parent, out)
+        if self._retain:
+            self._retained.append(out)
+        if self.store is not None:
+            self._slices_since_ckpt += len(records)
+            self._maybe_checkpoint(now, net)
+
+    # -- checkpointing and recovery (DESIGN.md §8) ----------------------------------
+
+    def _maybe_checkpoint(self, now: int, net: SimNetwork) -> None:
+        if not self.alive:
+            return
+        interval = self.config.checkpoint_interval
+        if interval is None:
+            return
+        due = now - self._last_ckpt >= interval
+        every = self.config.checkpoint_every_slices
+        if not due and every is not None and self._slices_since_ckpt >= every:
+            due = True
+        if not due:
+            return
+        plan = net.fault_plan
+        if plan is not None and plan.crashed(self.node_id, now):
+            # A crashed process takes no snapshots; the last one persisted
+            # before the fault is what recovery will see.
+            return
+        self._checkpoint(now, net)
+
+    def _checkpoint(self, now: int, net: SimNetwork) -> None:
+        self._ckpt_id += 1
+        safe_to = {
+            group_id: min(merger.forwarded_to, self._trim_floor[group_id])
+            for group_id, merger in enumerate(self.mergers)
+        }
+        header = CheckpointMessage(
+            sender=self.node_id,
+            checkpoint_id=self._ckpt_id,
+            at=now,
+            groups={
+                group_id: (
+                    self.ship_seq[group_id],
+                    self.forward_floor[group_id],
+                    merger.forwarded_to,
+                )
+                for group_id, merger in enumerate(self.mergers)
+            },
+            cursors=merger_cursors(self.mergers),
+            safe_to=safe_to,
+        )
+        chunks = pending_chunks(self.node_id, self._ckpt_id, self.mergers)
+        chunks.extend(retained_chunks(self.node_id, self._ckpt_id, self._retained))
+        self.store.save(
+            self.node_id, self._ckpt_id, encode_checkpoint([header, *chunks])
+        )
+        self.checkpoints_taken += 1
+        self._last_ckpt = now
+        self._slices_since_ckpt = 0
+        if self.recorder.enabled:
+            self.recorder.record(
+                "checkpoint.save",
+                now,
+                node=self.node_id,
+                checkpoint_id=self._ckpt_id,
+                chunks=len(chunks) + 1,
+            )
+        for child in self.children:
+            net.send(
+                self.node_id,
+                child,
+                CheckpointMessage(
+                    sender=self.node_id,
+                    checkpoint_id=self._ckpt_id,
+                    at=now,
+                    safe_to=dict(safe_to),
+                ),
+            )
+
+    def on_restart(self, now: int, net: SimNetwork) -> None:
+        """Come back from a state-losing crash (DESIGN.md §8).
+
+        Cluster metadata (parent, children, queries) is durable and
+        re-read; merge state is wiped and reloaded from the latest
+        checkpoint — or left virgin when there is none, the
+        checkpoint-less baseline.  Children are then asked to fast-forward
+        re-ship only the retained suffix past the restored cursors.  No
+        upward resync is needed: the send channel to the parent lives in
+        the transport, and the re-forwarded batches replay the original
+        sequence numbers, so the parent prefix-drops what it already has.
+        """
+        self.recoveries += 1
+        config = self.config
+        self.mergers = [
+            GroupMerger(group, self.children, config.origin)
+            for group in self.plan.groups
+        ]
+        self.ship_seq = [0 for _ in self.plan.groups]
+        self.forward_floor = [config.origin for _ in self.plan.groups]
+        self._trim_floor = [config.origin for _ in self.plan.groups]
+        self._retained = []
+        self._last_heartbeat = now
+        self._last_ckpt = now
+        self._slices_since_ckpt = 0
+        if self.liveness is not None:
+            self.liveness = ChildLiveness(self.children, now, config.node_timeout)
+        loaded = self.store.load_latest(self.node_id) if self.store else None
+        restored_id = 0
+        if loaded is not None:
+            restored_id, blobs = loaded
+            header, chunks = decode_checkpoint(blobs)
+            self._ckpt_id = restored_id
+            for group_id, (ship, floor, _) in header.groups.items():
+                if group_id < len(self.ship_seq):
+                    self.ship_seq[group_id] = ship
+                    self.forward_floor[group_id] = floor
+            restore_mergers(self.mergers, header, chunks)
+            self._retained = restore_retained(self.node_id, chunks)
+        if self.recorder.enabled:
+            self.recorder.record(
+                "node.recover",
+                now,
+                node=self.node_id,
+                checkpoint_id=restored_id,
+                from_checkpoint=loaded is not None,
+            )
+        for child in self.children:
+            epoch = net.expect_resync(child, self.node_id)
+            net.send(
+                self.node_id,
+                child,
+                ResyncMessage(
+                    sender=self.node_id,
+                    epoch=epoch,
+                    entries=recovery_entries(self.mergers, child),
+                    recover=True,
+                ),
+            )
+
+    def _apply_trim(self, safe_to: dict[int, int]) -> None:
+        if not self._retained:
+            return
+        self._retained = [
+            batch
+            for batch in self._retained
+            if (floor := safe_to.get(batch.group_id)) is None
+            or batch.covered_to > floor
+        ]
+
+    def _fast_forward(self, message: ResyncMessage, net: SimNetwork) -> None:
+        """Serve a parent restart: re-ship the retained suffix past its
+        restored cursors with the original sequence numbers."""
+        net.reset_channel(self.node_id, self.parent, message.epoch)
+        for batch in self._retained:
+            cursor = message.entries.get(batch.group_id)
+            if cursor is None or batch.covered_to > cursor[1]:
+                net.send(self.node_id, self.parent, batch)
+
+    def _reparent(self, message: ResyncMessage, net: SimNetwork) -> None:
+        """Fail over to the adopter after our parent died permanently.
+
+        The adopter attached us at its own coverage floors; the retained
+        suffix past each floor is renumbered from slice seq zero, records
+        at or below the floor are pruned, and emptied batches are kept —
+        their coverage steps reproduce the original release granularity.
+        """
+        self.parent = message.new_parent
+        counts: dict[int, int] = {}
+        kept: list[PartialBatchMessage] = []
+        for batch in self._retained:
+            entry = message.entries.get(batch.group_id)
+            floor = entry[1] if entry is not None else None
+            if floor is not None:
+                if batch.covered_to <= floor:
+                    continue
+                batch.records = [r for r in batch.records if r.end > floor]
+            batch.first_slice_seq = counts.get(batch.group_id, 0)
+            counts[batch.group_id] = batch.first_slice_seq + len(batch.records)
+            kept.append(batch)
+        self._retained = kept
+        for group_id, (_, floor) in message.entries.items():
+            if group_id < len(self.ship_seq):
+                self.ship_seq[group_id] = counts.get(group_id, 0)
+                self.forward_floor[group_id] = max(
+                    self.forward_floor[group_id], floor
+                )
+        net.reset_channel(self.node_id, self.parent, message.epoch)
+        for batch in kept:
+            net.send(self.node_id, self.parent, batch)
 
     # -- membership (Sec 3.2) -------------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.core.types import NodeRole, OperatorKind, WindowType
 from repro.cluster.config import ClusterConfig
 from repro.cluster.merger import group_has_sessions
 from repro.network.messages import (
+    CheckpointMessage,
     ContextPartial,
     ControlMessage,
     PartialBatchMessage,
@@ -360,6 +361,12 @@ class LocalNode(SimNode):
         ]
         self.alive = True
         self._last_heartbeat = config.origin
+        # Retention (DESIGN.md §8): when enabled by the deployment, every
+        # shipped batch — including empty coverage steps — is kept until a
+        # parent checkpoint trims it, so a recovering or adoptive parent
+        # can be served the exact per-tick suffix it is missing.
+        self._retain = False
+        self._retained: list[PartialBatchMessage] = []
 
     def on_event(self, event: Event, now: int, net: SimNetwork) -> None:
         self.stats.events += 1
@@ -375,7 +382,10 @@ class LocalNode(SimNode):
         if not self.alive:
             return
         for group in self.groups:
-            net.send(self.node_id, self.parent, group.flush(now))
+            message = group.flush(now)
+            net.send(self.node_id, self.parent, message)
+            if self._retain:
+                self._retained.append(message)
         if now - self._last_heartbeat >= self.config.heartbeat_interval:
             self._last_heartbeat = now
             net.send(
@@ -388,16 +398,27 @@ class LocalNode(SimNode):
         if not self.alive:
             return
         for group in self.groups:
-            net.send(self.node_id, self.parent, group.flush(now))
+            message = group.flush(now)
+            net.send(self.node_id, self.parent, message)
+            if self._retain:
+                self._retained.append(message)
 
     def on_message(self, message, now: int, net: SimNetwork) -> None:
         # Locals receive control traffic (queries, topology) and, after a
         # soft-eviction outage, a state resync from their parent.
+        if isinstance(message, CheckpointMessage):
+            self._apply_trim(message.safe_to)
+            return
         if isinstance(message, ResyncMessage):
-            for group_id, (next_seq, covered) in message.entries.items():
-                if group_id < len(self.groups):
-                    self.groups[group_id].resync(next_seq, covered)
-            net.reset_channel(self.node_id, self.parent, message.epoch)
+            if message.new_parent:
+                self._reparent(message, net)
+            elif message.recover:
+                self._fast_forward(message, net)
+            else:
+                for group_id, (next_seq, covered) in message.entries.items():
+                    if group_id < len(self.groups):
+                        self.groups[group_id].resync(next_seq, covered)
+                net.reset_channel(self.node_id, self.parent, message.epoch)
             return
         if isinstance(message, ControlMessage) and message.kind == "query_remove":
             query_id = message.payload
@@ -405,3 +426,61 @@ class LocalNode(SimNode):
                 if isinstance(group, _SlicedLocalGroup):
                     if query_id in group.runtime.needed:
                         group.runtime.remove_query(query_id)
+
+    # -- recovery support (DESIGN.md §8) -----------------------------------------------
+
+    def _apply_trim(self, safe_to: dict[int, int]) -> None:
+        """Drop retained batches the parent has durably checkpointed past."""
+        if not self._retained:
+            return
+        self._retained = [
+            batch
+            for batch in self._retained
+            if (floor := safe_to.get(batch.group_id)) is None
+            or batch.covered_to > floor
+        ]
+
+    def _fast_forward(self, message: ResyncMessage, net: SimNetwork) -> None:
+        """Serve a parent that restarted from a checkpoint: re-ship only
+        the retained suffix past its restored cursors, with the original
+        sequence numbers (the merger prefix-drops any overlap with frames
+        that survived in the reliable channel)."""
+        net.reset_channel(self.node_id, self.parent, message.epoch)
+        for batch in self._retained:
+            cursor = message.entries.get(batch.group_id)
+            if cursor is None or batch.covered_to > cursor[1]:
+                net.send(self.node_id, self.parent, batch)
+
+    def _reparent(self, message: ResyncMessage, net: SimNetwork) -> None:
+        """Fail over to the adopter of this node after its parent died.
+
+        The adoptive parent attached this node at its own coverage floors
+        (``entries`` carries them with ``next_seq`` 0), so the retained
+        suffix past each floor is renumbered from slice seq zero, records
+        at or below the floor are pruned, and emptied batches are *kept* —
+        their coverage steps reproduce the original release granularity.
+        """
+        self.parent = message.new_parent
+        counts: dict[int, int] = {}
+        kept: list[PartialBatchMessage] = []
+        for batch in self._retained:
+            entry = message.entries.get(batch.group_id)
+            floor = entry[1] if entry is not None else None
+            if floor is not None:
+                if batch.covered_to <= floor:
+                    continue
+                batch.records = [r for r in batch.records if r.end > floor]
+            batch.first_slice_seq = counts.get(batch.group_id, 0)
+            counts[batch.group_id] = batch.first_slice_seq + len(batch.records)
+            kept.append(batch)
+        self._retained = kept
+        for group in self.groups:
+            entry = message.entries.get(group.group.group_id)
+            if entry is None:
+                continue
+            floor = entry[1]
+            group.pending = [r for r in group.pending if r.end > floor]
+            group.ship_seq = counts.get(group.group.group_id, 0)
+        net.reset_channel(self.node_id, self.parent, message.epoch)
+        for batch in kept:
+            net.send(self.node_id, self.parent, batch)

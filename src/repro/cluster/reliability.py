@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.cluster.merger import GroupMerger
 
-__all__ = ["ChildLiveness", "resync_entries"]
+__all__ = ["ChildLiveness", "resync_entries", "recovery_entries"]
 
 
 class ChildLiveness:
@@ -83,3 +83,22 @@ def resync_entries(mergers: list[GroupMerger]) -> dict[int, tuple[int, int]]:
         group_id: (0, merger.forwarded_to)
         for group_id, merger in enumerate(mergers)
     }
+
+
+def recovery_entries(
+    mergers: list[GroupMerger], child: str
+) -> dict[int, tuple[int, int]]:
+    """Per-group restored merge cursors for one child after a parent
+    recovered from a checkpoint (DESIGN.md §8).
+
+    Unlike :func:`resync_entries` the sequence does *not* restart at zero:
+    the parent resumes at the checkpointed ``next_seq``, and the child
+    fast-forwards — re-shipping only the retained suffix past
+    ``(next_seq, covered)`` with its original sequence numbers.
+    """
+    out: dict[int, tuple[int, int]] = {}
+    for group_id, merger in enumerate(mergers):
+        state = merger.children.get(child)
+        if state is not None:
+            out[group_id] = (state.next_seq, state.covered)
+    return out

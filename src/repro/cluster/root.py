@@ -38,10 +38,24 @@ from repro.core.operators import (
 from repro.core.query import Query
 from repro.core.results import ResultSink, WindowResult
 from repro.core.types import NodeRole, OperatorKind, WindowMeasure, WindowType
+from repro.cluster.checkpoint import (
+    assembler_chunks,
+    decode_checkpoint,
+    encode_checkpoint,
+    merger_cursors,
+    pending_chunks,
+    restore_assembler,
+    restore_mergers,
+)
 from repro.cluster.config import ClusterConfig
 from repro.cluster.merger import GroupMerger
-from repro.cluster.reliability import ChildLiveness, resync_entries
+from repro.cluster.reliability import (
+    ChildLiveness,
+    recovery_entries,
+    resync_entries,
+)
 from repro.network.messages import (
+    CheckpointMessage,
     ControlMessage,
     PartialBatchMessage,
     ResyncMessage,
@@ -416,6 +430,7 @@ class RootNode(SimNode):
         self.config = config
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.sink = sink if sink is not None else ResultSink()
+        self.children = list(children)
         self.mergers = [
             GroupMerger(group, children, config.origin) for group in plan.groups
         ]
@@ -431,9 +446,33 @@ class RootNode(SimNode):
             if config.fault_plan is not None
             else None
         )
+        # Exactly-once emission ledger and checkpointing (DESIGN.md §8).
+        # Every window result gets an emit sequence number; after a
+        # state-losing restart the deterministic replay regenerates the
+        # results already emitted before the crash, and ``_suppress_below``
+        # keeps them out of the sink.
+        self._emit_seq = 0
+        self._suppress_below = 0
+        self.duplicates_suppressed = 0
+        self.store = None
+        self._ckpt_id = 0
+        self._last_ckpt = config.origin
+        self._slices_since_ckpt = 0
+        self.checkpoints_taken = 0
+        self.recoveries = 0
+        #: deployment hook: called with ``(child, now, net)`` when liveness
+        #: sweeps a child whose crash the fault plan declares permanent
+        self.on_child_dead = None
 
     def _emit(self, query: Query, start: int, end: int, ops, count: int,
               now: int) -> None:
+        seq = self._emit_seq
+        self._emit_seq = seq + 1
+        if seq < self._suppress_below:
+            # Replayed emission from before the crash — already in the
+            # sink, exactly-once says drop it here.
+            self.duplicates_suppressed += 1
+            return
         if self.recorder.enabled:
             self.recorder.record(
                 "window.emit",
@@ -489,16 +528,158 @@ class RootNode(SimNode):
                 covered_to=covered,
             )
         self.assemblers[message.group_id].consume(covered, records, now)
+        if self.store is not None:
+            self._slices_since_ckpt += len(records)
+            self._maybe_checkpoint(now, net)
 
     def on_tick(self, now: int, net: SimNetwork) -> None:
-        # Ticks are only scheduled for the root under a fault plan: the
-        # heartbeat-silence sweep that soft-evicts partitioned children.
+        # Ticks are scheduled for the root under a fault plan (the
+        # heartbeat-silence sweep that soft-evicts partitioned children)
+        # and when checkpointing is on.
         liveness = self.liveness
-        if liveness is None:
+        if liveness is not None:
+            plan = net.fault_plan
+            for child in liveness.sweep(now):
+                for merger in self.mergers:
+                    merger.remove_child(child)
+                if (
+                    self.on_child_dead is not None
+                    and plan is not None
+                    and plan.permanent(child, now)
+                ):
+                    self.on_child_dead(child, now, net)
+        if self.store is not None:
+            self._maybe_checkpoint(now, net)
+
+    # -- checkpointing and recovery (DESIGN.md §8) ---------------------------------
+
+    def _maybe_checkpoint(self, now: int, net: SimNetwork) -> None:
+        interval = self.config.checkpoint_interval
+        if interval is None:
             return
-        for child in liveness.sweep(now):
-            for merger in self.mergers:
-                merger.remove_child(child)
+        due = now - self._last_ckpt >= interval
+        every = self.config.checkpoint_every_slices
+        if not due and every is not None and self._slices_since_ckpt >= every:
+            due = True
+        if not due:
+            return
+        plan = net.fault_plan
+        if plan is not None and plan.crashed(self.node_id, now):
+            return
+        self._checkpoint(now, net)
+
+    def _checkpoint(self, now: int, net: SimNetwork) -> None:
+        self._ckpt_id += 1
+        safe_to = {
+            group_id: merger.forwarded_to
+            for group_id, merger in enumerate(self.mergers)
+        }
+        header = CheckpointMessage(
+            sender=self.node_id,
+            checkpoint_id=self._ckpt_id,
+            at=now,
+            emit_seq=self._emit_seq,
+            groups={
+                group_id: (0, 0, merger.forwarded_to)
+                for group_id, merger in enumerate(self.mergers)
+            },
+            cursors=merger_cursors(self.mergers),
+            safe_to=safe_to,
+        )
+        chunks = pending_chunks(self.node_id, self._ckpt_id, self.mergers)
+        chunks.extend(assembler_chunks(self.node_id, self._ckpt_id, self.assemblers))
+        self.store.save(
+            self.node_id, self._ckpt_id, encode_checkpoint([header, *chunks])
+        )
+        self.checkpoints_taken += 1
+        self._last_ckpt = now
+        self._slices_since_ckpt = 0
+        if self.recorder.enabled:
+            self.recorder.record(
+                "checkpoint.save",
+                now,
+                node=self.node_id,
+                checkpoint_id=self._ckpt_id,
+                chunks=len(chunks) + 1,
+            )
+        for child in self.children:
+            net.send(
+                self.node_id,
+                child,
+                CheckpointMessage(
+                    sender=self.node_id,
+                    checkpoint_id=self._ckpt_id,
+                    at=now,
+                    safe_to=dict(safe_to),
+                ),
+            )
+
+    def on_restart(self, now: int, net: SimNetwork) -> None:
+        """Come back from a state-losing crash with exactly-once emission.
+
+        Merge and assembly state is wiped and reloaded from the latest
+        checkpoint (or left virgin without one); the emit sequence resumes
+        at the checkpointed ledger value while ``_suppress_below``
+        remembers how far the sink already got, so the deterministic
+        replay regenerates — and drops — exactly the window results
+        emitted between the checkpoint and the crash.
+        """
+        self.recoveries += 1
+        pre_crash_emits = self._emit_seq
+        config = self.config
+        self.mergers = [
+            GroupMerger(group, self.children, config.origin)
+            for group in self.plan.groups
+        ]
+        self.assemblers = [
+            RootAssembler(group, config.origin, self._emit, config)
+            for group in self.plan.groups
+        ]
+        self.last_seen = {}
+        self._emit_seq = 0
+        self._suppress_below = pre_crash_emits
+        self._last_ckpt = now
+        self._slices_since_ckpt = 0
+        if self.liveness is not None:
+            self.liveness = ChildLiveness(self.children, now, config.node_timeout)
+        loaded = self.store.load_latest(self.node_id) if self.store else None
+        restored_id = 0
+        if loaded is not None:
+            restored_id, blobs = loaded
+            header, chunks = decode_checkpoint(blobs)
+            self._ckpt_id = restored_id
+            self._emit_seq = header.emit_seq
+            restore_mergers(self.mergers, header, chunks)
+            by_group = {
+                chunk.group_id: chunk
+                for chunk in chunks
+                if chunk.kind == "assembler"
+            }
+            for assembler in self.assemblers:
+                chunk = by_group.get(assembler.group.group_id)
+                if chunk is not None:
+                    restore_assembler(assembler, chunk)
+        if self.recorder.enabled:
+            self.recorder.record(
+                "node.recover",
+                now,
+                node=self.node_id,
+                checkpoint_id=restored_id,
+                from_checkpoint=loaded is not None,
+                suppress_below=pre_crash_emits,
+            )
+        for child in self.children:
+            epoch = net.expect_resync(child, self.node_id)
+            net.send(
+                self.node_id,
+                child,
+                ResyncMessage(
+                    sender=self.node_id,
+                    epoch=epoch,
+                    entries=recovery_entries(self.mergers, child),
+                    recover=True,
+                ),
+            )
 
     def _readmit(self, child: str, net: SimNetwork) -> None:
         """Re-attach a soft-evicted child whose heartbeats came back."""
@@ -522,12 +703,16 @@ class RootNode(SimNode):
     # -- membership (Sec 3.2) ----------------------------------------------------------------
 
     def add_child(self, child: str) -> None:
+        if child not in self.children:
+            self.children.append(child)
         for merger in self.mergers:
             merger.add_child(child)
         if self.liveness is not None:
             self.liveness.add(child, int(self.config.origin))
 
     def remove_child(self, child: str) -> None:
+        if child in self.children:
+            self.children.remove(child)
         for merger in self.mergers:
             merger.remove_child(child)
         if self.liveness is not None:

@@ -22,6 +22,7 @@ from repro.core.event import Event
 from repro.core.types import OperatorKind
 from repro.network.messages import (
     AckMessage,
+    CheckpointMessage,
     ContextPartial,
     ControlMessage,
     EventBatchMessage,
@@ -30,6 +31,7 @@ from repro.network.messages import (
     ResyncMessage,
     SequencedMessage,
     SliceRecord,
+    SnapshotChunk,
     WindowPartialMessage,
 )
 
@@ -42,6 +44,8 @@ _TAG_CONTROL = 4
 _TAG_SEQUENCED = 5
 _TAG_ACK = 6
 _TAG_RESYNC = 7
+_TAG_CHECKPOINT = 8
+_TAG_SNAPSHOT = 9
 
 #: wire overhead a :class:`SequencedMessage` envelope adds to its inner
 #: message in the binary codec: tag (u8) + epoch (u32) + seq (i64).
@@ -219,14 +223,9 @@ class BinaryCodec(Codec):
                 ops[kind] = r.floats()
         return ops
 
-    def _encode_partial(self, w: _Writer, msg: PartialBatchMessage) -> None:
-        w.u8(_TAG_PARTIAL)
-        w.text(msg.sender)
-        w.u16(msg.group_id)
-        w.i64(msg.first_slice_seq)
-        w.i64(msg.covered_to)
-        w.u32(len(msg.records))
-        for record in msg.records:
+    def _encode_records(self, w: _Writer, records: list[SliceRecord]) -> None:
+        w.u32(len(records))
+        for record in records:
             w.i64(record.start)
             w.i64(record.end)
             w.u16(len(record.contexts))
@@ -251,11 +250,7 @@ class BinaryCodec(Codec):
                 w.text(query_id)
                 w.i64(end)
 
-    def _decode_partial(self, r: _Reader) -> PartialBatchMessage:
-        sender = r.text()
-        group_id = r.u16()
-        first_seq = r.i64()
-        covered = r.i64()
+    def _decode_records(self, r: _Reader) -> list[SliceRecord]:
         records = []
         for _ in range(r.u32()):
             start = r.i64()
@@ -277,6 +272,22 @@ class BinaryCodec(Codec):
             records.append(
                 SliceRecord(start=start, end=end, contexts=contexts, userdef_eps=eps)
             )
+        return records
+
+    def _encode_partial(self, w: _Writer, msg: PartialBatchMessage) -> None:
+        w.u8(_TAG_PARTIAL)
+        w.text(msg.sender)
+        w.u16(msg.group_id)
+        w.i64(msg.first_slice_seq)
+        w.i64(msg.covered_to)
+        self._encode_records(w, msg.records)
+
+    def _decode_partial(self, r: _Reader) -> PartialBatchMessage:
+        sender = r.text()
+        group_id = r.u16()
+        first_seq = r.i64()
+        covered = r.i64()
+        records = self._decode_records(r)
         return PartialBatchMessage(
             sender=sender,
             group_id=group_id,
@@ -412,6 +423,10 @@ class BinaryCodec(Codec):
             w.u16(group_id)
             w.i64(next_seq)
             w.i64(covered_to)
+        flags = (1 if msg.recover else 0) | (2 if msg.new_parent else 0)
+        w.u8(flags)
+        if msg.new_parent:
+            w.text(msg.new_parent)
 
     def _decode_resync(self, r: _Reader) -> ResyncMessage:
         sender = r.text()
@@ -420,7 +435,116 @@ class BinaryCodec(Codec):
         for _ in range(r.u16()):
             group_id = r.u16()
             entries[group_id] = (r.i64(), r.i64())
-        return ResyncMessage(sender=sender, epoch=epoch, entries=entries)
+        flags = r.u8()
+        new_parent = r.text() if flags & 2 else ""
+        return ResyncMessage(
+            sender=sender,
+            epoch=epoch,
+            entries=entries,
+            recover=bool(flags & 1),
+            new_parent=new_parent,
+        )
+
+    def _encode_checkpoint(self, w: _Writer, msg: CheckpointMessage) -> None:
+        w.u8(_TAG_CHECKPOINT)
+        w.text(msg.sender)
+        w.i64(msg.checkpoint_id)
+        w.i64(msg.at)
+        w.i64(msg.emit_seq)
+        w.u16(len(msg.groups))
+        for group_id, (ship_seq, floor, forwarded) in msg.groups.items():
+            w.u16(group_id)
+            w.i64(ship_seq)
+            w.i64(floor)
+            w.i64(forwarded)
+        w.u32(len(msg.cursors))
+        for group_id, child, next_seq, covered in msg.cursors:
+            w.u16(group_id)
+            w.text(child)
+            w.i64(next_seq)
+            w.i64(covered)
+        w.u16(len(msg.safe_to))
+        for group_id, safe in msg.safe_to.items():
+            w.u16(group_id)
+            w.i64(safe)
+
+    def _decode_checkpoint(self, r: _Reader) -> CheckpointMessage:
+        sender = r.text()
+        checkpoint_id = r.i64()
+        at = r.i64()
+        emit_seq = r.i64()
+        groups = {}
+        for _ in range(r.u16()):
+            group_id = r.u16()
+            groups[group_id] = (r.i64(), r.i64(), r.i64())
+        cursors = []
+        for _ in range(r.u32()):
+            group_id = r.u16()
+            child = r.text()
+            cursors.append((group_id, child, r.i64(), r.i64()))
+        safe_to = {}
+        for _ in range(r.u16()):
+            group_id = r.u16()
+            safe_to[group_id] = r.i64()
+        return CheckpointMessage(
+            sender=sender,
+            checkpoint_id=checkpoint_id,
+            at=at,
+            emit_seq=emit_seq,
+            groups=groups,
+            cursors=cursors,
+            safe_to=safe_to,
+        )
+
+    def _encode_snapshot(self, w: _Writer, msg: SnapshotChunk) -> None:
+        w.u8(_TAG_SNAPSHOT)
+        w.text(msg.sender)
+        w.i64(msg.checkpoint_id)
+        w.u16(msg.group_id)
+        w.text(msg.kind)
+        w.text(msg.child)
+        w.i64(msg.seq)
+        w.i64(msg.covered)
+        self._encode_records(w, msg.records)
+        if msg.state is None:
+            w.u8(0)
+        else:
+            w.u8(1)
+            try:
+                raw = json.dumps(msg.state, sort_keys=True).encode("utf-8")
+            except TypeError as exc:
+                raise CodecError(
+                    f"snapshot state not JSON-serializable: {exc}"
+                ) from exc
+            w.u32(len(raw))
+            w.parts.append(raw)
+
+    def _decode_snapshot(self, r: _Reader) -> SnapshotChunk:
+        sender = r.text()
+        checkpoint_id = r.i64()
+        group_id = r.u16()
+        kind = r.text()
+        child = r.text()
+        seq = r.i64()
+        covered = r.i64()
+        records = self._decode_records(r)
+        state = None
+        if r.u8():
+            n = r.u32()
+            raw = r.data[r.pos : r.pos + n]
+            r.pos += n
+            state = json.loads(raw.decode("utf-8"))
+        return SnapshotChunk(
+            sender=sender,
+            checkpoint_id=checkpoint_id,
+            group_id=group_id,
+            kind=kind,
+            child=child,
+            seq=seq,
+            covered=covered,
+            records=records,
+            state=state,
+        )
 
     # -- decoding ----------------------------------------------------------------
 
@@ -437,6 +561,10 @@ class BinaryCodec(Codec):
             self._encode_ack(w, message)
         elif isinstance(message, ResyncMessage):
             self._encode_resync(w, message)
+        elif isinstance(message, CheckpointMessage):
+            self._encode_checkpoint(w, message)
+        elif isinstance(message, SnapshotChunk):
+            self._encode_snapshot(w, message)
         else:
             raise CodecError(f"cannot encode message type {type(message).__name__}")
 
@@ -456,6 +584,10 @@ class BinaryCodec(Codec):
             return self._decode_ack(r)
         if tag == _TAG_RESYNC:
             return self._decode_resync(r)
+        if tag == _TAG_CHECKPOINT:
+            return self._decode_checkpoint(r)
+        if tag == _TAG_SNAPSHOT:
+            return self._decode_snapshot(r)
         raise CodecError(f"unknown message tag: {tag}")
 
     def decode(self, data: bytes) -> Message:
@@ -497,6 +629,48 @@ def _ops_from_jsonable(data: dict[str, Any]) -> dict[OperatorKind, Any]:
     return out
 
 
+def _records_to_jsonable(records: list[SliceRecord]) -> list[dict[str, Any]]:
+    return [
+        {
+            "start": record.start,
+            "end": record.end,
+            "contexts": {
+                str(ctx): {
+                    "count": part.count,
+                    "ops": _ops_to_jsonable(part.ops),
+                    "span": part.span,
+                    "timed": part.timed,
+                }
+                for ctx, part in record.contexts.items()
+            },
+            "userdef_eps": record.userdef_eps,
+        }
+        for record in records
+    ]
+
+
+def _records_from_jsonable(data: list[dict[str, Any]]) -> list[SliceRecord]:
+    return [
+        SliceRecord(
+            start=record["start"],
+            end=record["end"],
+            contexts={
+                int(ctx): ContextPartial(
+                    count=part["count"],
+                    ops=_ops_from_jsonable(part["ops"]),
+                    span=tuple(part["span"]) if part["span"] else None,
+                    timed=[tuple(tv) for tv in part["timed"]]
+                    if part["timed"] is not None
+                    else None,
+                )
+                for ctx, part in record["contexts"].items()
+            },
+            userdef_eps=[tuple(ep) for ep in record["userdef_eps"]],
+        )
+        for record in data
+    ]
+
+
 def _to_jsonable(message: Message) -> dict[str, Any]:
     if isinstance(message, PartialBatchMessage):
         return {
@@ -505,23 +679,7 @@ def _to_jsonable(message: Message) -> dict[str, Any]:
             "group_id": message.group_id,
             "first_slice_seq": message.first_slice_seq,
             "covered_to": message.covered_to,
-            "records": [
-                {
-                    "start": record.start,
-                    "end": record.end,
-                    "contexts": {
-                        str(ctx): {
-                            "count": part.count,
-                            "ops": _ops_to_jsonable(part.ops),
-                            "span": part.span,
-                            "timed": part.timed,
-                        }
-                        for ctx, part in record.contexts.items()
-                    },
-                    "userdef_eps": record.userdef_eps,
-                }
-                for record in message.records
-            ],
+            "records": _records_to_jsonable(message.records),
         }
     if isinstance(message, EventBatchMessage):
         return {
@@ -577,6 +735,44 @@ def _to_jsonable(message: Message) -> dict[str, Any]:
                 str(group_id): list(entry)
                 for group_id, entry in message.entries.items()
             },
+            "recover": message.recover,
+            "new_parent": message.new_parent,
+        }
+    if isinstance(message, CheckpointMessage):
+        return {
+            "type": "checkpoint",
+            "sender": message.sender,
+            "checkpoint_id": message.checkpoint_id,
+            "at": message.at,
+            "emit_seq": message.emit_seq,
+            "groups": {
+                str(group_id): list(entry)
+                for group_id, entry in message.groups.items()
+            },
+            "cursors": [list(cursor) for cursor in message.cursors],
+            "safe_to": {
+                str(group_id): safe
+                for group_id, safe in message.safe_to.items()
+            },
+        }
+    if isinstance(message, SnapshotChunk):
+        try:
+            state = json.loads(json.dumps(message.state, sort_keys=True))
+        except TypeError as exc:
+            raise CodecError(
+                f"snapshot state not JSON-serializable: {exc}"
+            ) from exc
+        return {
+            "type": "snapshot",
+            "sender": message.sender,
+            "checkpoint_id": message.checkpoint_id,
+            "group_id": message.group_id,
+            "kind": message.kind,
+            "child": message.child,
+            "seq": message.seq,
+            "covered": message.covered,
+            "records": _records_to_jsonable(message.records),
+            "state": state,
         }
     raise CodecError(f"cannot encode message type {type(message).__name__}")
 
@@ -589,25 +785,7 @@ def _from_jsonable(data: dict[str, Any]) -> Message:
             group_id=data["group_id"],
             first_slice_seq=data["first_slice_seq"],
             covered_to=data["covered_to"],
-            records=[
-                SliceRecord(
-                    start=record["start"],
-                    end=record["end"],
-                    contexts={
-                        int(ctx): ContextPartial(
-                            count=part["count"],
-                            ops=_ops_from_jsonable(part["ops"]),
-                            span=tuple(part["span"]) if part["span"] else None,
-                            timed=[tuple(tv) for tv in part["timed"]]
-                            if part["timed"] is not None
-                            else None,
-                        )
-                        for ctx, part in record["contexts"].items()
-                    },
-                    userdef_eps=[tuple(ep) for ep in record["userdef_eps"]],
-                )
-                for record in data["records"]
-            ],
+            records=_records_from_jsonable(data["records"]),
         )
     if kind == "events":
         return EventBatchMessage(
@@ -650,5 +828,38 @@ def _from_jsonable(data: dict[str, Any]) -> Message:
                 int(group_id): tuple(entry)
                 for group_id, entry in data["entries"].items()
             },
+            recover=bool(data.get("recover", False)),
+            new_parent=data.get("new_parent", ""),
+        )
+    if kind == "checkpoint":
+        return CheckpointMessage(
+            sender=data["sender"],
+            checkpoint_id=data["checkpoint_id"],
+            at=data["at"],
+            emit_seq=data["emit_seq"],
+            groups={
+                int(group_id): tuple(entry)
+                for group_id, entry in data["groups"].items()
+            },
+            cursors=[
+                (group_id, child, next_seq, covered)
+                for group_id, child, next_seq, covered in data["cursors"]
+            ],
+            safe_to={
+                int(group_id): safe
+                for group_id, safe in data["safe_to"].items()
+            },
+        )
+    if kind == "snapshot":
+        return SnapshotChunk(
+            sender=data["sender"],
+            checkpoint_id=data["checkpoint_id"],
+            group_id=data["group_id"],
+            kind=data["kind"],
+            child=data["child"],
+            seq=data["seq"],
+            covered=data["covered"],
+            records=_records_from_jsonable(data["records"]),
+            state=data["state"],
         )
     raise CodecError(f"unknown string message type: {kind!r}")

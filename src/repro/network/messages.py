@@ -27,6 +27,18 @@ types join them (the paper assumes lossless links, Sec 5; we do not):
   soft-evicted node rejoins via the heartbeat path: per query-group the
   slice sequence to resume at and the coverage already assembled without
   the child.
+
+Checkpointed recovery adds two more (see DESIGN.md §8):
+
+* :class:`CheckpointMessage` — the header of a node's incremental state
+  snapshot (sequence numbers, forward floors, per-child merge cursors,
+  the root's emit ledger).  The same type doubles as the parent-to-child
+  retention-trim broadcast: after persisting a checkpoint the parent
+  tells its children the coverage floor below which shipped batches can
+  never be asked for again.
+* :class:`SnapshotChunk` — one piece of checkpointed state: a child's
+  buffered (pending) slice records, one retained upward batch, or a root
+  assembler's window-state blob.
 """
 
 from __future__ import annotations
@@ -47,6 +59,8 @@ __all__ = [
     "SequencedMessage",
     "AckMessage",
     "ResyncMessage",
+    "CheckpointMessage",
+    "SnapshotChunk",
     "Message",
 ]
 
@@ -168,11 +182,79 @@ class ResyncMessage:
     boundary the parent has already assembled without it (the child prunes
     pending slice records at or before it — those windows closed degraded
     during the outage and must not be re-shipped).
+
+    Checkpointed recovery reuses the same flow with two extra fields:
+    ``recover=True`` means the parent restarted from a checkpoint and the
+    entries are its restored merge cursors — the child fast-forwards and
+    re-ships only the retained suffix past them (original sequence
+    numbers, nothing pruned).  ``new_parent`` (failover) names the node
+    that adopted the child after its old parent died permanently: the
+    child reparents, renumbers its retained suffix past the adoption
+    floors from slice seq 0, and re-ships to the adopter.
     """
 
     sender: str
     epoch: int = 0
     entries: dict[int, tuple[int, int]] = field(default_factory=dict)
+    recover: bool = False
+    new_parent: str = ""
+
+
+@dataclass(slots=True)
+class CheckpointMessage:
+    """Checkpoint header — and, on the wire, the retention-trim broadcast.
+
+    As the first chunk of a persisted snapshot it carries every scalar a
+    node needs to resume: per-group ``(ship_seq, forward_floor,
+    forwarded_to)``, the per-child reliable merge cursors, and (root only)
+    the emit-sequence ledger for exactly-once emission.
+
+    Sent parent-to-child after a checkpoint is saved, only ``safe_to``
+    matters: per group, the coverage floor the parent has durably
+    assembled past — children may drop retained upward batches whose
+    ``covered_to`` is at or below it, because no recovery (restart *or*
+    failover) can ever ask for them again.
+    """
+
+    sender: str
+    checkpoint_id: int
+    at: int
+    emit_seq: int = 0
+    #: group_id -> (ship_seq, forward_floor, forwarded_to)
+    groups: dict[int, tuple[int, int, int]] = field(default_factory=dict)
+    #: reliable merge cursors: (group_id, child, next_slice_seq, covered_to)
+    cursors: list[tuple[int, str, int, int]] = field(default_factory=list)
+    #: retention-trim floors: group_id -> safe coverage boundary
+    safe_to: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class SnapshotChunk:
+    """One piece of checkpointed node state.
+
+    ``kind`` selects the payload shape:
+
+    * ``"pending"`` — one merge child's buffered-but-unreleased slice
+      records (``child`` names it; the matching cursor lives in the
+      header).
+    * ``"retained"`` — one retained upward batch (``seq`` is its original
+      ``first_slice_seq``, ``covered`` its ``covered_to``) so a restarted
+      intermediate can still serve a later parent recovery.
+    * ``"assembler"`` — one root group's window-assembly state:
+      ``records`` is the merged slice buffer, ``state`` a deterministic
+      JSON-able blob of per-query progress (fixed schedules, open
+      sessions, user-defined pointers, open count windows).
+    """
+
+    sender: str
+    checkpoint_id: int
+    group_id: int
+    kind: str  # "pending" | "retained" | "assembler"
+    child: str = ""
+    seq: int = 0
+    covered: int = 0
+    records: list[SliceRecord] = field(default_factory=list)
+    state: Any = None
 
 
 @dataclass(slots=True)
@@ -197,4 +279,6 @@ Message = (
     | SequencedMessage
     | AckMessage
     | ResyncMessage
+    | CheckpointMessage
+    | SnapshotChunk
 )

@@ -43,6 +43,7 @@ from repro.core.types import NodeRole
 from repro.network.codec import BinaryCodec, Codec
 from repro.network.messages import (
     AckMessage,
+    CheckpointMessage,
     ControlMessage,
     Message,
     ResyncMessage,
@@ -66,6 +67,7 @@ _MESSAGE = 2
 _FINISH = 3
 _EVENT_BATCH = 4
 _RETRY = 5
+_RESTART = 6
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,14 +110,27 @@ class CrashWindow:
     crash shorter than the heartbeat eviction threshold is fully
     recoverable; a longer one triggers soft eviction and the heartbeat
     rejoin/resync path.
+
+    ``end=None`` means the node never comes back — a permanent death; so
+    does a finite ``end`` at or past the plan's sealed horizon (the
+    end-of-stream boundary), since such a node can never rejoin before
+    the run finishes.  Permanently dead senders stop burning retransmit
+    timers (frames are abandoned as ``retransmit_exhausted``) and, for
+    intermediates, trigger failover instead of waiting on a rejoin.
+
+    ``lose_state=True`` escalates a restart from a partition to real
+    process death: when the window closes the node's *state* is wiped and
+    it recovers from its latest checkpoint (or from scratch) via
+    :meth:`SimNode.on_restart`.
     """
 
     node: str
     start: int
-    end: int
+    end: int | None = None
+    lose_state: bool = False
 
     def __post_init__(self) -> None:
-        if self.end <= self.start:
+        if self.end is not None and self.end <= self.start:
             raise ValueError(
                 f"crash window must have end > start, got [{self.start}, {self.end})"
             )
@@ -141,6 +156,9 @@ class FaultPlan:
     crashes: tuple[CrashWindow, ...] = ()
     #: per-link overrides; unlisted links use the plan-wide rates
     link_overrides: dict[tuple[str, str], LinkFaults] = field(default_factory=dict)
+    #: end-of-stream boundary set by the deployment (see :meth:`seal`);
+    #: crash windows reaching it are treated as permanent deaths
+    horizon: int | None = None
 
     def __post_init__(self) -> None:
         self.crashes = tuple(self.crashes)
@@ -163,17 +181,38 @@ class FaultPlan:
     def rng_for_link(self, src: str, dst: str) -> random.Random:
         return random.Random(f"{self.seed}|{src}->{dst}")
 
+    def seal(self, horizon: int) -> None:
+        """Fix the end-of-stream boundary the deployment will run to.
+
+        A crash window whose ``end`` is ``None`` or reaches the horizon can
+        never restart within the run: :meth:`permanent` reports it, retry
+        timers give up on its frames instead of rescheduling past the end
+        of the simulation, and parents fail its children over rather than
+        waiting for a rejoin that cannot happen.
+        """
+        self.horizon = int(horizon)
+
     def crashed(self, node: str, at: float) -> bool:
         return any(
-            w.node == node and w.start <= at < w.end for w in self.crashes
+            w.node == node and w.start <= at and (w.end is None or at < w.end)
+            for w in self.crashes
         )
 
     def crash_end(self, node: str, at: float) -> float:
         """End of the crash window covering ``at`` (``at`` if none does)."""
         for w in self.crashes:
-            if w.node == node and w.start <= at < w.end:
-                return float(w.end)
+            if w.node == node and w.start <= at and (w.end is None or at < w.end):
+                return float("inf") if w.end is None else float(w.end)
         return at
+
+    def permanent(self, node: str, at: float) -> bool:
+        """Is ``node`` dead at ``at`` with no restart before the horizon?"""
+        for w in self.crashes:
+            if w.node == node and w.start <= at and (w.end is None or at < w.end):
+                return w.end is None or (
+                    self.horizon is not None and w.end >= self.horizon
+                )
+        return False
 
 
 class _SendChannel:
@@ -245,6 +284,11 @@ class SimNode:
 
     def on_finish(self, now: int, net: "SimNetwork") -> None:
         """The stream ended; flush all remaining state."""
+
+    def on_restart(self, now: int, net: "SimNetwork") -> None:
+        """The node's process died and restarted with empty state (a
+        ``lose_state`` crash window closed); reload from the latest
+        checkpoint, or rebuild from scratch when there is none."""
 
 
 @dataclass(slots=True)
@@ -462,6 +506,14 @@ class SimNetwork:
     def schedule_finish(self, node_id: str, at: float) -> None:
         self._push(at, _FINISH, node_id)
 
+    def schedule_restart(self, node_id: str, at: float) -> None:
+        """Schedule a state-loss restart: :meth:`SimNode.on_restart` fires
+        at ``at`` (the close of a ``lose_state`` crash window).  Scheduled
+        up front by the deployment, so at equal timestamps the restart
+        precedes message deliveries and retry timers pushed during the
+        run."""
+        self._push(at, _RESTART, node_id)
+
     def send(self, src: str, dst: str, message: Message) -> None:
         """Serialize, account, and schedule delivery of ``message``.
 
@@ -484,7 +536,9 @@ class SimNetwork:
             )
             self._push(arrival, _MESSAGE, (dst, link.codec, data, link))
             return
-        control = isinstance(message, (ControlMessage, AckMessage, ResyncMessage))
+        control = isinstance(
+            message, (ControlMessage, AckMessage, ResyncMessage, CheckpointMessage)
+        )
         if isinstance(message, (ControlMessage, AckMessage)):
             if plan.crashed(src, self.now):
                 link.drops += 1
@@ -536,6 +590,19 @@ class SimNetwork:
         """
         self._send_channel(src, dst).reset(epoch)
 
+    def abandon_channel(self, src: str, dst: str) -> None:
+        """Drop the ``src -> dst`` send backlog without renumbering.
+
+        Used at failover, when ``dst`` is permanently dead and ``src`` has
+        been adopted by another parent: the unacked frames can never be
+        acked, and their retained payload is re-shipped to the adopter, so
+        pending retry timers should find nothing to resend.
+        """
+        channel = self._send_channels.get((src, dst))
+        if channel is not None:
+            channel.unacked.clear()
+            channel.retries.clear()
+
     def expect_resync(self, src: str, dst: str) -> int:
         """Receiver-side half of a channel restart; returns the new epoch.
 
@@ -581,6 +648,13 @@ class SimNetwork:
         link = self.links[(src, dst)]
         data, control = channel.unacked[seq]
         if plan.crashed(src, self.now):
+            if plan.permanent(src, self.now):
+                # The sender never restarts within this run: abandon the
+                # frame now rather than parking a timer past the horizon.
+                del channel.unacked[seq]
+                channel.retries.pop(seq, None)
+                link.retransmit_exhausted += 1
+                return
             # The interface is down; retry after restart without spending
             # the retry budget on a frame that never reached the wire.
             retry_at = max(plan.crash_end(src, self.now), at + self.retransmit_timeout)
@@ -714,6 +788,13 @@ class SimNetwork:
                 node = self.nodes[node_id]
                 started = _time.perf_counter()
                 node.on_tick(tick_time, self)
+                node.cpu_time += _time.perf_counter() - started
+            elif kind == _RESTART:
+                node = self.nodes.get(payload)
+                if node is None:
+                    continue  # removed (e.g. failed over) before restarting
+                started = _time.perf_counter()
+                node.on_restart(int(self.now), self)
                 node.cpu_time += _time.perf_counter() - started
             elif kind == _FINISH:
                 node = self.nodes[payload]

@@ -122,6 +122,26 @@ class Topology:
             if child_parent == node:
                 self.parents[child] = parent
 
+    def fail_over(self, dead: str) -> tuple[str, list[str]]:
+        """Remove a permanently dead intermediate; children move to its
+        parent.
+
+        Returns ``(adoptive_parent, orphans)``.  The orphans are adopted
+        by the dead node's *parent* (not a sibling): the parent's merger
+        already covers exactly what the dead child forwarded, so re-shipped
+        suffixes land on the same coverage floor and window emission order
+        is preserved; a sibling adoption would splice two coverage frontiers
+        and reorder releases.
+        """
+        if dead == self.root:
+            raise TopologyError("cannot fail over the root node")
+        if self.roles.get(dead) is not NodeRole.INTERMEDIATE:
+            raise TopologyError(f"can only fail over intermediates, not {dead!r}")
+        target = self.parents[dead]
+        orphans = self.children(dead)
+        self.remove_node(dead)
+        return target, orphans
+
     def to_payload(self) -> dict:
         """JSON-compatible form for topology control messages."""
         return {

@@ -275,6 +275,12 @@ def publish_cluster_result(registry: MetricsRegistry, result) -> None:
     registry.counter("cluster.events").inc(result.events)
     registry.counter("cluster.results").inc(len(result.sink))
     registry.gauge("cluster.wall_seconds").set(result.wall_seconds)
+    registry.counter("cluster.checkpoints").inc(getattr(result, "checkpoints", 0))
+    registry.counter("cluster.recoveries").inc(getattr(result, "recoveries", 0))
+    registry.counter("net.reroutes").inc(getattr(result, "reroutes", 0))
+    registry.counter("cluster.duplicates_suppressed").inc(
+        getattr(result, "duplicates_suppressed", 0)
+    )
     publish_network_stats(registry, result.network)
     for role, seconds in result.cpu_by_role.items():
         registry.gauge("cluster.cpu_seconds", role=role.value).set(seconds)

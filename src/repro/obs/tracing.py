@@ -15,6 +15,9 @@ kind                      recorded when / by
 ``root.consume``          the root's merger hands covered records to assembly
 ``window.emit``           a window result reaches the sink
 ``net.retransmit``        the reliable channel re-sends an unacked frame
+``checkpoint.save``       a node persists a state snapshot (DESIGN.md §8)
+``node.recover``          a node restores after a state-losing restart
+``child.reroute``         failover adopts a dead intermediate's child
 ========================  =====================================================
 
 Events are keyed by ``(group, slice id, node)`` and stamped with

@@ -17,6 +17,8 @@ chaos"`` (see ``pyproject.toml``).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -31,6 +33,10 @@ from repro.network.topology import chain, star, three_tier
 from tests.cluster.test_desis_parity import TICK, make_streams
 
 NEVER = 10**9  # node_timeout that disables eviction for pure-link chaos
+
+#: seed-sweep width, overridable from CI (``CHAOS_SEEDS=8`` in the weekly
+#: chaos job) without editing the suite
+CHAOS_SEEDS = int(os.environ.get("CHAOS_SEEDS", "3"))
 
 
 def rows(result):
@@ -71,7 +77,7 @@ class TestZeroOverheadDefault:
 
     def test_no_plan_keeps_reliability_counters_zero(self):
         streams = make_streams(3, 300)
-        _, result = run_desis(QUERY_SETS["mixed"], three_tier(3, 1), streams)
+        cluster, result = run_desis(QUERY_SETS["mixed"], three_tier(3, 1), streams)
         net = result.network
         assert net.drops == 0
         assert net.duplicates == 0
@@ -82,6 +88,16 @@ class TestZeroOverheadDefault:
         assert net.ack_bytes == 0
         assert net.dedup_dropped == 0
         assert net.goodput_data_bytes == net.data_bytes
+        # The recovery subsystem (DESIGN.md §8) is equally invisible:
+        # no store, no retention, no checkpoint/recovery/reroute activity.
+        assert cluster.checkpoint_store is None
+        assert result.checkpoints == 0
+        assert result.recoveries == 0
+        assert result.reroutes == 0
+        assert result.duplicates_suppressed == 0
+        for node in (*cluster.locals.values(), *cluster.intermediates.values()):
+            assert node._retain is False
+            assert node._retained == []
 
     def test_zero_rate_plan_matches_no_plan_results(self):
         streams = make_streams(3, 300)
@@ -130,7 +146,7 @@ class TestRecoverableParity:
         assert rows(faulty) == rows(baseline)
         assert faulty.network.retransmits > 0 or faulty.network.drops == 0
 
-    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("seed", range(CHAOS_SEEDS))
     def test_parity_across_seeds(self, seed):
         streams = make_streams(3, 300, keys=("a", "b"))
         _, baseline = run_desis(QUERY_SETS["mixed"], three_tier(3, 1), streams)

@@ -1,0 +1,359 @@
+"""Checkpointed recovery, exactly-once emission, and failover (DESIGN.md §8).
+
+The contract under test: a run with state-losing crashes and restarts —
+or a permanently dead intermediate failed over to its parent — produces a
+sink byte-identical to the fault-free run, whether the restarted node
+restores from a checkpoint or replays from scratch.  Byte-identical means
+``(query_id, start, end, event_count, value)`` per emitted row, in order;
+only ``emitted_at`` may differ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    DesisCluster,
+    DirCheckpointStore,
+    InMemoryCheckpointStore,
+)
+from repro.cluster.checkpoint import decode_checkpoint, encode_checkpoint
+from repro.core.errors import ClusterError
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction, WindowMeasure
+from repro.network.messages import CheckpointMessage, SnapshotChunk
+from repro.network.simnet import CrashWindow, FaultPlan
+from repro.network.topology import three_tier
+from repro.obs.registry import MetricsRegistry, publish_cluster_result
+
+from tests.cluster.test_desis_parity import TICK, make_streams
+
+NEVER = 10**9  # a node_timeout that never fires: isolate recovery from eviction
+
+QUERIES = {
+    "mixed": [
+        Query.of("t", WindowSpec.tumbling(1_000), AggFunction.SUM),
+        Query.of("s", WindowSpec.sliding(2_000, 500), AggFunction.MIN),
+        Query.of("g", WindowSpec.session(gap=300), AggFunction.COUNT),
+    ],
+    "count": [
+        Query.of(
+            "c",
+            WindowSpec.tumbling(40, measure=WindowMeasure.COUNT),
+            AggFunction.COUNT,
+        )
+    ],
+}
+
+
+def rows(result):
+    return [
+        (r.query_id, r.start, r.end, r.event_count, r.value) for r in result.sink
+    ]
+
+
+def run_desis(kind, topo_args, streams, **cfg):
+    cfg.setdefault("tick_interval", TICK)
+    cluster = DesisCluster(
+        QUERIES[kind], three_tier(*topo_args), config=ClusterConfig(**cfg)
+    )
+    result = cluster.run({k: list(v) for k, v in streams.items()})
+    return cluster, result
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return make_streams(3, 3000)
+
+
+@pytest.fixture(scope="module")
+def baselines(streams):
+    """Fault-free reference rows per query kind and topology width."""
+    return {
+        (kind, width): rows(run_desis(kind, (3, width), streams)[1])
+        for kind in QUERIES
+        for width in (1, 2)
+    }
+
+
+class TestCheckpointStores:
+    def test_in_memory_roundtrip_keeps_latest_only(self):
+        store = InMemoryCheckpointStore()
+        assert store.load_latest("mid-0") is None
+        store.save("mid-0", 1, [b"one"])
+        store.save("mid-0", 2, [b"two", b"three"])
+        store.save("other", 9, [b"x"])
+        assert store.load_latest("mid-0") == (2, [b"two", b"three"])
+        assert store.saves == 3
+        assert store.bytes_written == len(b"one") + len(b"twothree") + 1
+
+    def test_dir_store_roundtrip(self, tmp_path):
+        store = DirCheckpointStore(str(tmp_path))
+        assert store.load_latest("root") is None
+        store.save("root", 3, [b"alpha", b"", b"beta"])
+        assert store.load_latest("root") == (3, [b"alpha", b"", b"beta"])
+        # latest-only: a second save replaces the file
+        store.save("root", 4, [b"gamma"])
+        assert store.load_latest("root") == (4, [b"gamma"])
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["root.ckpt"]
+
+    def test_dir_store_corrupt_file_raises(self, tmp_path):
+        store = DirCheckpointStore(str(tmp_path))
+        (tmp_path / "mid-0.ckpt").write_bytes(b"\x00\x00")
+        with pytest.raises(ClusterError):
+            store.load_latest("mid-0")
+        # truncated chunk table
+        store.save("mid-1", 1, [b"payload"])
+        blob = (tmp_path / "mid-1.ckpt").read_bytes()
+        (tmp_path / "mid-1.ckpt").write_bytes(blob[:-3])
+        with pytest.raises(ClusterError):
+            store.load_latest("mid-1")
+
+    def test_decode_checkpoint_validates_shape(self):
+        header = CheckpointMessage(sender="mid-0", checkpoint_id=1, at=0)
+        chunk = SnapshotChunk(
+            sender="mid-0", checkpoint_id=1, group_id=0, kind="pending"
+        )
+        blobs = encode_checkpoint([header, chunk])
+        decoded_header, decoded_chunks = decode_checkpoint(blobs)
+        assert decoded_header == header
+        assert decoded_chunks == [chunk]
+        with pytest.raises(ClusterError):
+            decode_checkpoint([])
+        with pytest.raises(ClusterError):
+            decode_checkpoint(list(reversed(blobs)))  # chunk before header
+
+
+class TestIntermediateRecovery:
+    def test_checkpointed_restore_is_byte_identical(self, streams, baselines):
+        plan = FaultPlan(
+            seed=2,
+            crashes=(CrashWindow("mid-0", 8_000, 12_000, lose_state=True),),
+        )
+        _, result = run_desis(
+            "mixed",
+            (3, 1),
+            streams,
+            fault_plan=plan,
+            node_timeout=NEVER,
+            checkpoint_interval=3_000,
+        )
+        assert rows(result) == baselines[("mixed", 1)]
+        assert result.recoveries == 1
+        assert result.checkpoints > 0
+
+    def test_scratch_restore_is_byte_identical(self, streams, baselines):
+        """No checkpointing at all: recovery replays the full retained
+        suffix from the children and still converges byte-identically."""
+        plan = FaultPlan(
+            seed=2,
+            crashes=(CrashWindow("mid-0", 8_000, 12_000, lose_state=True),),
+        )
+        _, result = run_desis(
+            "mixed", (3, 1), streams, fault_plan=plan, node_timeout=NEVER
+        )
+        assert rows(result) == baselines[("mixed", 1)]
+        assert result.recoveries == 1
+        assert result.checkpoints == 0
+
+    def test_checkpointing_reships_fewer_bytes_than_scratch(self, streams):
+        plan = lambda: FaultPlan(  # noqa: E731 — fresh plan per run
+            seed=2,
+            crashes=(CrashWindow("mid-0", 8_000, 12_000, lose_state=True),),
+        )
+        _, with_ckpt = run_desis(
+            "mixed",
+            (3, 1),
+            streams,
+            fault_plan=plan(),
+            node_timeout=NEVER,
+            checkpoint_interval=3_000,
+        )
+        _, scratch = run_desis(
+            "mixed", (3, 1), streams, fault_plan=plan(), node_timeout=NEVER
+        )
+        # Scratch recovery re-ships the children's full retained history;
+        # a checkpoint restores the merge cursors so only the suffix past
+        # them travels again.
+        assert with_ckpt.network.data_bytes < scratch.network.data_bytes
+
+
+class TestRootRecovery:
+    def test_restore_is_exactly_once(self, streams, baselines):
+        plan = FaultPlan(
+            seed=2,
+            crashes=(CrashWindow("root", 9_000, 13_000, lose_state=True),),
+        )
+        _, result = run_desis(
+            "mixed",
+            (3, 1),
+            streams,
+            fault_plan=plan,
+            node_timeout=NEVER,
+            checkpoint_interval=3_000,
+        )
+        assert rows(result) == baselines[("mixed", 1)]
+        assert result.recoveries == 1
+        # Windows emitted before the crash are regenerated during replay;
+        # the emit-sequence ledger must have kept them out of the sink.
+        assert result.duplicates_suppressed > 0
+
+    def test_scratch_restore_is_exactly_once(self, streams, baselines):
+        plan = FaultPlan(
+            seed=2,
+            crashes=(CrashWindow("root", 9_000, 13_000, lose_state=True),),
+        )
+        _, result = run_desis(
+            "mixed", (3, 1), streams, fault_plan=plan, node_timeout=NEVER
+        )
+        assert rows(result) == baselines[("mixed", 1)]
+        assert result.checkpoints == 0
+
+
+class TestCombinedCrashSchedule:
+    @pytest.mark.parametrize("kind", ["mixed", "count"])
+    def test_every_role_crashes_once(self, kind, streams, baselines):
+        """One schedule that loses state on an intermediate *and* the root
+        (disjoint windows) still emits the fault-free rows exactly once."""
+        plan = FaultPlan(
+            seed=2,
+            crashes=(
+                CrashWindow("mid-0", 6_000, 9_000, lose_state=True),
+                CrashWindow("root", 10_000, 13_000, lose_state=True),
+            ),
+        )
+        _, result = run_desis(
+            kind,
+            (3, 1),
+            streams,
+            fault_plan=plan,
+            node_timeout=NEVER,
+            checkpoint_interval=3_000,
+        )
+        assert rows(result) == baselines[(kind, 1)]
+        assert result.recoveries == 2
+
+
+class TestIntermediateFailover:
+    @pytest.mark.parametrize("kind", ["mixed", "count"])
+    def test_permanent_death_reroutes_children(self, kind, streams, baselines):
+        plan = FaultPlan(seed=2, crashes=(CrashWindow("mid-0", 8_000, None),))
+        _, result = run_desis(
+            kind,
+            (3, 2),
+            streams,
+            fault_plan=plan,
+            node_timeout=6_000,
+            heartbeat_interval=2_000,
+            checkpoint_interval=3_000,
+        )
+        assert rows(result) == baselines[(kind, 2)]
+        assert result.reroutes > 0
+
+    def test_failover_without_checkpoints(self, streams, baselines):
+        plan = FaultPlan(seed=2, crashes=(CrashWindow("mid-0", 8_000, None),))
+        _, result = run_desis(
+            "mixed",
+            (3, 2),
+            streams,
+            fault_plan=plan,
+            node_timeout=6_000,
+            heartbeat_interval=2_000,
+        )
+        assert rows(result) == baselines[("mixed", 2)]
+        assert result.reroutes > 0
+        assert result.checkpoints == 0
+
+
+class TestDirStoreEndToEnd:
+    def test_checkpoint_dir_survives_crash(self, tmp_path, streams, baselines):
+        plan = FaultPlan(
+            seed=2,
+            crashes=(CrashWindow("mid-0", 8_000, 12_000, lose_state=True),),
+        )
+        cluster, result = run_desis(
+            "mixed",
+            (3, 1),
+            streams,
+            fault_plan=plan,
+            node_timeout=NEVER,
+            checkpoint_interval=3_000,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert isinstance(cluster.checkpoint_store, DirCheckpointStore)
+        assert rows(result) == baselines[("mixed", 1)]
+        assert (tmp_path / "mid-0.ckpt").exists()
+
+
+class TestRecoveryErrors:
+    def test_lose_state_on_local_is_rejected(self, streams):
+        plan = FaultPlan(
+            seed=2,
+            crashes=(CrashWindow("local-0", 8_000, 12_000, lose_state=True),),
+        )
+        with pytest.raises(ClusterError, match="local"):
+            run_desis(
+                "mixed", (3, 1), streams, fault_plan=plan, node_timeout=NEVER
+            )
+
+
+class TestRecoveryObservability:
+    def test_counters_reach_the_registry(self, streams):
+        plan = FaultPlan(
+            seed=2,
+            crashes=(CrashWindow("mid-0", 8_000, 12_000, lose_state=True),),
+        )
+        _, result = run_desis(
+            "mixed",
+            (3, 1),
+            streams,
+            fault_plan=plan,
+            node_timeout=NEVER,
+            checkpoint_interval=3_000,
+        )
+        registry = MetricsRegistry()
+        publish_cluster_result(registry, result)
+        assert registry.value("cluster.checkpoints") == result.checkpoints > 0
+        assert registry.value("cluster.recoveries") == 1
+        assert registry.value("net.reroutes") == 0
+        assert (
+            registry.value("cluster.duplicates_suppressed")
+            == result.duplicates_suppressed
+        )
+
+    def test_trace_events_cover_the_lifecycle(self, streams):
+        plan = FaultPlan(
+            seed=2,
+            crashes=(
+                CrashWindow("mid-0", 8_000, 12_000, lose_state=True),
+                CrashWindow("mid-1", 8_000, None),
+            ),
+        )
+        _, result = run_desis(
+            "mixed",
+            (3, 2),
+            streams,
+            fault_plan=plan,
+            node_timeout=6_000,
+            heartbeat_interval=2_000,
+            checkpoint_interval=3_000,
+            trace=True,
+        )
+        saves = list(result.recorder.events("checkpoint.save"))
+        recovers = list(result.recorder.events("node.recover"))
+        reroutes = list(result.recorder.events("child.reroute"))
+        assert saves and recovers and reroutes
+        assert any(e.node == "mid-0" for e in recovers)
+        assert all(e.data["new_parent"] == "root" for e in reroutes)
+
+    def test_zero_overhead_when_disabled(self, streams):
+        cluster, result = run_desis("mixed", (3, 1), streams)
+        assert cluster.checkpoint_store is None
+        assert result.checkpoints == 0
+        assert result.recoveries == 0
+        assert result.reroutes == 0
+        assert result.duplicates_suppressed == 0
+        assert not any(n._retain for n in cluster.locals.values())
+        assert not any(n._retain for n in cluster.intermediates.values())
+        assert not any(n._retained for n in cluster.locals.values())

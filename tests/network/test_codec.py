@@ -12,6 +12,7 @@ from repro.core.types import OperatorKind
 from repro.network.codec import BinaryCodec, StringCodec
 from repro.network.messages import (
     AckMessage,
+    CheckpointMessage,
     ContextPartial,
     ControlMessage,
     EventBatchMessage,
@@ -19,6 +20,7 @@ from repro.network.messages import (
     ResyncMessage,
     SequencedMessage,
     SliceRecord,
+    SnapshotChunk,
     WindowPartialMessage,
 )
 
@@ -119,6 +121,49 @@ resync_msg_strategy = st.builds(
         st.tuples(seqs, times),
         max_size=6,
     ),
+    recover=st.booleans(),
+    new_parent=st.one_of(st.just(""), st.text(min_size=1, max_size=12)),
+)
+
+group_ids = st.integers(0, 2**16 - 1)
+
+checkpoint_msg_strategy = st.builds(
+    CheckpointMessage,
+    sender=st.text(min_size=1, max_size=12),
+    checkpoint_id=st.integers(0, 2**40),
+    at=times,
+    emit_seq=st.integers(0, 2**40),
+    groups=st.dictionaries(group_ids, st.tuples(seqs, times, times), max_size=5),
+    cursors=st.lists(
+        st.tuples(group_ids, st.text(min_size=1, max_size=10), seqs, times),
+        max_size=6,
+    ),
+    safe_to=st.dictionaries(group_ids, times, max_size=5),
+)
+
+# ``state`` must survive canonical-JSON round-tripping, so the strategy
+# only produces jsonable shapes (string keys, lists not tuples).
+jsonable = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(-(2**40), 2**40), floats,
+              st.text(max_size=8)),
+    lambda leaf: st.one_of(
+        st.lists(leaf, max_size=4),
+        st.dictionaries(st.text(max_size=6), leaf, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+snapshot_msg_strategy = st.builds(
+    SnapshotChunk,
+    sender=st.text(min_size=1, max_size=12),
+    checkpoint_id=st.integers(0, 2**40),
+    group_id=group_ids,
+    kind=st.sampled_from(["pending", "retained", "assembler"]),
+    child=st.one_of(st.just(""), st.text(min_size=1, max_size=10)),
+    seq=seqs,
+    covered=times,
+    records=st.lists(record_strategy, max_size=3),
+    state=st.one_of(st.none(), st.dictionaries(st.text(max_size=6), jsonable, max_size=4)),
 )
 
 sequenced_msg_strategy = st.builds(
@@ -160,6 +205,59 @@ class TestRoundtrip:
     @given(message=sequenced_msg_strategy)
     def test_sequenced(self, codec, message):
         assert codec.decode(codec.encode(message)) == message
+
+    @given(message=checkpoint_msg_strategy)
+    def test_checkpoint(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    @given(message=snapshot_msg_strategy)
+    def test_snapshot(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_checkpoint_empty_state_edge(self, codec):
+        """A virgin node's checkpoint — no groups, cursors, or floors."""
+        message = CheckpointMessage(sender="mid-0", checkpoint_id=1, at=0)
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_snapshot_empty_state_edge(self, codec):
+        message = SnapshotChunk(
+            sender="root", checkpoint_id=1, group_id=0, kind="assembler"
+        )
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_checkpoint_max_group_count_edge(self, codec):
+        """The binary wire counts groups in a u16: the maximum load —
+        65535 groups, including id 0xFFFF — must round-trip exactly."""
+        n = 2**16 - 1
+        message = CheckpointMessage(
+            sender="root",
+            checkpoint_id=7,
+            at=10_000,
+            emit_seq=123,
+            groups={g: (g, g + 1, g + 2) for g in range(n)},
+            safe_to={0: 1_000, n - 1: 2_000},
+        )
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_snapshot_max_group_id_edge(self, codec):
+        message = SnapshotChunk(
+            sender="mid-0",
+            checkpoint_id=2,
+            group_id=2**16 - 1,
+            kind="pending",
+            child="local-9",
+            seq=2**40,
+            covered=2**40,
+        )
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_snapshot_unjsonable_state_raises(self, codec):
+        message = SnapshotChunk(
+            sender="root", checkpoint_id=1, group_id=0, kind="assembler",
+            state={"bad": {1, 2}},
+        )
+        with pytest.raises(CodecError):
+            codec.encode(message)
 
     def test_sequenced_frames_do_not_nest(self, codec):
         inner = SequencedMessage(

@@ -100,3 +100,62 @@ def test_truncated_reliability_frames_fail_cleanly(data):
         except CodecError:
             continue
         assert type(decoded) is type(message)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=1, max_size=300))
+def test_truncated_checkpoint_messages_fail_cleanly(data):
+    """Checkpoint headers and snapshot chunks — the persisted recovery
+    format — get the same truncation guarantee as the wire."""
+    from repro.network.messages import (
+        CheckpointMessage,
+        ContextPartial,
+        SliceRecord,
+        SnapshotChunk,
+    )
+    from repro.core.types import OperatorKind
+
+    codec = BinaryCodec()
+    frames = [
+        CheckpointMessage(
+            sender="mid-0",
+            checkpoint_id=4,
+            at=9_000,
+            emit_seq=12,
+            groups={0: (5, 0, 8_000), 1: (2, 1_000, 7_000)},
+            cursors=[(0, "local-0", 5, 8_000), (1, "local-1", 2, 7_000)],
+            safe_to={0: 6_000},
+        ),
+        SnapshotChunk(
+            sender="mid-0",
+            checkpoint_id=4,
+            group_id=0,
+            kind="pending",
+            child="local-0",
+            records=[
+                SliceRecord(
+                    start=0,
+                    end=500,
+                    contexts={0: ContextPartial(count=3, ops={OperatorKind.SUM: 4.5})},
+                )
+            ],
+        ),
+        SnapshotChunk(
+            sender="root",
+            checkpoint_id=4,
+            group_id=1,
+            kind="assembler",
+            covered=8_000,
+            state={"covered": 8_000, "fixed": [["q", 7_000]]},
+        ),
+    ]
+    for message in frames:
+        encoded = codec.encode(message)
+        cut = len(data) % len(encoded)
+        if cut == 0:
+            continue
+        try:
+            decoded = codec.decode(encoded[:cut])
+        except CodecError:
+            continue
+        assert type(decoded) is type(message)

@@ -16,6 +16,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import bench_faults  # noqa: E402
 import bench_hot_path  # noqa: E402
+import bench_recovery  # noqa: E402
 
 
 def test_bench_hot_path_tiny_scale():
@@ -56,3 +57,17 @@ def test_bench_faults_tiny_scale():
         assert row["events_per_s"] > 0
         assert row["results"] == zero["results"]
         assert row["total_bytes"] >= zero["total_bytes"]
+
+
+def test_bench_recovery_tiny_scale():
+    # Byte-identical recovery in both modes and the strictly-fewer-bytes
+    # claim are asserted inside ``run``; this pins the report shape too.
+    report = bench_recovery.run(bench_recovery.QUICK_EVENTS)
+    assert set(report["modes"]) == {"scratch", "checkpointed"}
+    scratch = report["modes"]["scratch"]
+    ckpt = report["modes"]["checkpointed"]
+    assert scratch["checkpoints"] == 0
+    assert ckpt["checkpoints"] > 0
+    assert ckpt["checkpoint_bytes"] > 0
+    assert ckpt["data_bytes"] < scratch["data_bytes"]
+    assert report["savings"]["reship_bytes_saved"] > 0
