@@ -1,0 +1,220 @@
+"""Sliding-overlap micro-benchmark: exact vs incremental window merging.
+
+Replays one high-rate stream through a single sliding AVERAGE query at
+overlap factors {1, 8, 64} (window length = overlap x slide), once with
+``merge_mode="exact"`` (the plain full-range merge at every window close)
+and once with ``merge_mode="incremental"`` (the Two-Stacks layer of
+``repro.core.incmerge``).  For every overlap the two runs are asserted to
+produce the same windows — identical bounds, counts, and query ids, float
+values within 1e-9 relative — so the report only measures cost:
+
+* ``merge_ops``: merge operator executions at window close
+  (:class:`~repro.core.engine.EngineStats.merge_ops`), the O(windows x
+  overlap) -> O(slices) drop the layer exists for;
+* ``windows_per_s``: closed windows per wall-clock second.
+
+Overlap 1 is tumbling: both modes take the identical plain scan there
+(the zero-regression guard).  At overlap 64 the full-scale run asserts
+the >= 5x merge-op reduction the layer promises.
+
+Run standalone to (re)generate ``BENCH_sliding.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_sliding_overlap.py
+
+``tests/test_bench_smoke.py`` runs the same harness at tiny scale so CI
+catches parity drift between the merge modes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time as _time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # standalone execution
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.engine import AggregationEngine  # noqa: E402
+from repro.core.query import Query, WindowSpec  # noqa: E402
+from repro.core.types import AggFunction  # noqa: E402
+from repro.datagen import DataGenerator, DataGeneratorConfig  # noqa: E402
+
+DEFAULT_EVENTS = 200_000
+DEFAULT_REPEATS = 3
+OUTPUT_NAME = "BENCH_sliding.json"
+
+#: window slide (ms); the stream rate gives ~100 events per slice, so
+#: window-close merging is a visible share of the work at high overlap
+SLIDE_MS = 2
+OVERLAPS = (1, 8, 64)
+#: acceptance bar: merge-op reduction at the highest overlap, full scale
+MIN_REDUCTION = 5.0
+#: below this event count (the CI smoke), skip the full-scale bars
+FULL_SCALE = 50_000
+
+
+def _stream(n: int, *, seed: int = 1):
+    config = DataGeneratorConfig(
+        keys=tuple(f"k{i}" for i in range(4)), rate=50_000.0
+    )
+    return list(DataGenerator(config, seed=seed).events(n))
+
+
+def _replay(events, overlap: int, merge_mode: str):
+    """Replay ``events`` through a fresh engine; return (stats, results,
+    elapsed seconds)."""
+    if overlap == 1:
+        spec = WindowSpec.tumbling(SLIDE_MS)
+    else:
+        spec = WindowSpec.sliding(SLIDE_MS * overlap, SLIDE_MS)
+    engine = AggregationEngine(
+        [Query.of("q", spec, AggFunction.AVERAGE)], merge_mode=merge_mode
+    )
+    started = _time.perf_counter()
+    engine.process_batch(events)
+    engine.close()
+    elapsed = _time.perf_counter() - started
+    results = [
+        (r.query_id, r.start, r.end, r.value, r.event_count, r.emitted_at)
+        for r in engine.sink.results
+    ]
+    return engine.stats, results, elapsed
+
+
+def _assert_parity(overlap: int, exact, incremental) -> None:
+    if len(exact) != len(incremental):
+        raise AssertionError(
+            f"overlap {overlap}: {len(exact)} exact vs "
+            f"{len(incremental)} incremental results"
+        )
+    for left, right in zip(exact, incremental):
+        if left[:3] != right[:3] or left[4:] != right[4:]:
+            raise AssertionError(
+                f"overlap {overlap}: window mismatch {left} vs {right}"
+            )
+        if not math.isclose(left[3], right[3], rel_tol=1e-9, abs_tol=1e-9):
+            raise AssertionError(
+                f"overlap {overlap}: value drift beyond 1e-9 relative: "
+                f"{left[3]!r} vs {right[3]!r} in window {left[:3]}"
+            )
+
+
+def run(n_events: int = DEFAULT_EVENTS, *, repeats: int = DEFAULT_REPEATS) -> dict:
+    """Run all overlap factors; return the report dict written to JSON."""
+    events = _stream(n_events)
+    full_scale = n_events >= FULL_SCALE
+    report: dict = {
+        "benchmark": "sliding_overlap_merge",
+        "events": n_events,
+        "repeats": repeats,
+        "slide_ms": SLIDE_MS,
+        "overlaps": {},
+    }
+    for overlap in OVERLAPS:
+        rows: dict = {}
+        for mode in ("exact", "incremental"):
+            best = float("inf")
+            stats = results = None
+            for _ in range(repeats):
+                stats, results, elapsed = _replay(events, overlap, mode)
+                best = min(best, elapsed)
+            rows[mode] = {
+                "elapsed_s": round(best, 4),
+                "events_per_s": round(n_events / best),
+                "windows_closed": stats.windows_closed,
+                "windows_per_s": round(stats.windows_closed / best),
+                "merge_ops": stats.merge_ops,
+                "results": results,
+            }
+        _assert_parity(overlap, rows["exact"]["results"],
+                       rows["incremental"]["results"])
+        for row in rows.values():
+            del row["results"]
+        if overlap == 1 and rows["exact"]["merge_ops"] != rows["incremental"]["merge_ops"]:
+            raise AssertionError(
+                "tumbling windows must take the identical plain scan in "
+                f"both modes, got {rows['exact']['merge_ops']} vs "
+                f"{rows['incremental']['merge_ops']} merge ops"
+            )
+        reduction = (
+            rows["exact"]["merge_ops"] / rows["incremental"]["merge_ops"]
+            if rows["incremental"]["merge_ops"]
+            else 1.0
+        )
+        speedup = (
+            rows["incremental"]["windows_per_s"] / rows["exact"]["windows_per_s"]
+            if rows["exact"]["windows_per_s"]
+            else 1.0
+        )
+        if overlap > 1 and reduction < 1.0:
+            raise AssertionError(
+                f"overlap {overlap}: incremental did MORE merge work "
+                f"({rows['incremental']['merge_ops']} vs "
+                f"{rows['exact']['merge_ops']})"
+            )
+        if full_scale and overlap == max(OVERLAPS):
+            if reduction < MIN_REDUCTION:
+                raise AssertionError(
+                    f"overlap {overlap}: merge-op reduction {reduction:.1f}x "
+                    f"is below the {MIN_REDUCTION}x bar"
+                )
+            if repeats >= 2 and speedup <= 1.0:
+                raise AssertionError(
+                    f"overlap {overlap}: windows/sec did not improve "
+                    f"({speedup:.2f}x)"
+                )
+        report["overlaps"][str(overlap)] = {
+            "exact": rows["exact"],
+            "incremental": rows["incremental"],
+            "merge_op_reduction": round(reduction, 2),
+            "windows_per_s_speedup": round(speedup, 2),
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("events", nargs="?", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--metrics-out", default=None, dest="metrics_out",
+                        metavar="PATH",
+                        help="also write the rates as registry metrics "
+                             "(.json, or .prom/.txt for Prometheus text)")
+    args = parser.parse_args(argv)
+    report = run(args.events)
+    out = REPO_ROOT / OUTPUT_NAME
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for overlap, row in report["overlaps"].items():
+        print(
+            f"overlap {overlap:>3}: merge ops "
+            f"{row['exact']['merge_ops']:>9,} -> "
+            f"{row['incremental']['merge_ops']:>8,} "
+            f"({row['merge_op_reduction']}x)  windows/s "
+            f"{row['exact']['windows_per_s']:>8,} -> "
+            f"{row['incremental']['windows_per_s']:>8,} "
+            f"({row['windows_per_s_speedup']}x)"
+        )
+    print(f"wrote {out}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, write_metrics
+
+        registry = MetricsRegistry()
+        for overlap, row in report["overlaps"].items():
+            for mode in ("exact", "incremental"):
+                registry.gauge("bench.sliding.merge_ops", overlap=overlap,
+                               mode=mode).set(row[mode]["merge_ops"])
+                registry.gauge("bench.sliding.windows_per_s", overlap=overlap,
+                               mode=mode).set(row[mode]["windows_per_s"])
+            registry.gauge("bench.sliding.merge_op_reduction",
+                           overlap=overlap).set(row["merge_op_reduction"])
+        write_metrics(registry, args.metrics_out, benchmark=report["benchmark"],
+                      events=report["events"])
+        print(f"metrics -> {args.metrics_out}")
+
+
+if __name__ == "__main__":
+    main()

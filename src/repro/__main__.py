@@ -58,7 +58,7 @@ def _events(args, n_keys: int = 4):
 
 def cmd_run(args) -> int:
     recorder = TraceRecorder() if (args.trace or args.trace_out) else None
-    session = DesisSession(recorder=recorder)
+    session = DesisSession(recorder=recorder, merge_mode=args.merge_mode)
     for text in args.query:
         session.submit(text)
     session.process_many(_events(args).events(args.events))
@@ -120,7 +120,9 @@ def cmd_cluster(args) -> int:
     topology = three_tier(args.locals, 1)
     streams = _events(args).streams(args.locals, args.events)
     trace = bool(args.trace or args.trace_out)
-    config = ClusterConfig(tick_interval=1_000, trace=trace)
+    config = ClusterConfig(
+        tick_interval=1_000, trace=trace, merge_mode=args.merge_mode
+    )
     desis = DesisCluster(queries, topology, config=config).run(
         {k: list(v) for k, v in streams.items()}
     )
@@ -187,6 +189,7 @@ def cmd_report(args) -> int:
     config = ClusterConfig(
         tick_interval=1_000,
         trace=True,
+        merge_mode=args.merge_mode,
         fault_plan=fault_plan,
         checkpoint_interval=args.checkpoint_interval,
         checkpoint_dir=args.checkpoint_dir,
@@ -239,6 +242,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_merge_mode(cmd) -> None:
+        cmd.add_argument("--merge-mode", choices=("incremental", "exact"),
+                         default="incremental", dest="merge_mode",
+                         help="window-close merging: 'incremental' reuses "
+                              "shared-slice merges across overlapping "
+                              "windows (default), 'exact' keeps the plain "
+                              "full-range scan")
+
     def add_obs_flags(cmd) -> None:
         cmd.add_argument("--trace", action="store_true",
                          help="record slice-lifecycle traces")
@@ -258,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max results to print")
     run_cmd.add_argument("--gap-every", type=int, default=None, dest="gap_every")
     run_cmd.add_argument("--marker", default=None)
+    add_merge_mode(run_cmd)
     add_obs_flags(run_cmd)
     run_cmd.set_defaults(handler=cmd_run)
 
@@ -281,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=[fn.value for fn in AggFunction
                                   if fn is not AggFunction.QUANTILE])
     cluster.add_argument("--window-ms", type=int, default=1_000)
+    add_merge_mode(cluster)
     add_obs_flags(cluster)
     cluster.set_defaults(handler=cmd_cluster)
 
@@ -296,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=[fn.value for fn in AggFunction
                                  if fn is not AggFunction.QUANTILE])
     report.add_argument("--window-ms", type=int, default=1_000)
+    add_merge_mode(report)
     report.add_argument("--drop-rate", type=float, default=0.0,
                         dest="drop_rate",
                         help="run under a seeded fault plan with this "

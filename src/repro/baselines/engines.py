@@ -30,12 +30,14 @@ class DesisProcessor(AggregationEngine):
 
     name = "Desis"
 
-    def __init__(self, queries: Iterable[Query], sink: ResultSink | None = None):
+    def __init__(self, queries: Iterable[Query], sink: ResultSink | None = None,
+                 merge_mode: str = "incremental"):
         super().__init__(
             queries,
             policy=SharingPolicy.FULL,
             punctuation_mode="heap",
             sink=sink,
+            merge_mode=merge_mode,
         )
 
 

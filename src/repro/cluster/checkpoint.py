@@ -362,6 +362,11 @@ def restore_assembler(assembler, chunk: SnapshotChunk) -> None:
     assembler.covered = state.get("covered", assembler.origin)
     assembler.base = state.get("base", 0)
     fixed = {s.query.query_id: s for s in assembler.fixed}
+    for state_ in assembler.fixed:
+        # The incremental merge aggregate is a derived cache over consumed
+        # records; drop it so it rebuilds lazily from the restored records.
+        state_.agg = None
+        state_.next_abs = assembler.base
     for query_id, next_close_start in state.get("fixed", []):
         found = fixed.get(query_id)
         if found is not None:

@@ -38,6 +38,12 @@ class ClusterConfig:
         punctuation_mode: how local engine runtimes find the next window
             punctuation: ``"heap"`` (default) or ``"scan"`` (see
             :class:`~repro.core.engine.GroupRuntime`).
+        merge_mode: how the root assembles overlapping fixed windows from
+            slice records: ``"incremental"`` (default) reuses shared-slice
+            merges via the Two-Stacks layer (float aggregates within 1e-9
+            relative of the plain fold, everything else identical);
+            ``"exact"`` keeps the byte-identical full interval scan.  See
+            :mod:`repro.core.incmerge`.
         fault_plan: seeded description of link faults and node crashes
             (see :class:`~repro.network.simnet.FaultPlan`).  ``None`` (the
             default) keeps the lossless network byte-for-byte; any plan —
@@ -79,6 +85,7 @@ class ClusterConfig:
     node_timeout: int = 15_000
     batch_ms: int | None = None
     punctuation_mode: str = "heap"
+    merge_mode: str = "incremental"
     fault_plan: FaultPlan | None = None
     retransmit_timeout: float = 100.0
     max_retries: int = 8

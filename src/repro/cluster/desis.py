@@ -67,6 +67,10 @@ class ClusterRunResult:
     recoveries: int = 0
     reroutes: int = 0
     duplicates_suppressed: int = 0
+    #: merge operator executions during root window assembly — the work
+    #: the incremental merge layer (``config.merge_mode``) shrinks for
+    #: overlapping fixed windows (see repro.core.incmerge)
+    root_merge_ops: int = 0
 
     @property
     def throughput(self) -> float:
@@ -238,9 +242,14 @@ class DesisCluster:
         self.root.mergers.append(
             GroupMerger(group, self.topology.children(self.topology.root), origin)
         )
-        shifted = ClusterConfig(origin=origin, tick_interval=self.config.tick_interval)
+        shifted = ClusterConfig(
+            origin=origin,
+            tick_interval=self.config.tick_interval,
+            merge_mode=self.config.merge_mode,
+        )
         self.root.assemblers.append(
-            RootAssembler(group, origin, self.root._emit, shifted)
+            RootAssembler(group, origin, self.root._emit, shifted,
+                          recorder=self.root.recorder)
         )
 
     def remove_query(self, query_id: str) -> None:
@@ -505,4 +514,5 @@ class DesisCluster:
             + sum(n.recoveries for n in self._dead_intermediates),
             reroutes=self.reroutes,
             duplicates_suppressed=self.root.duplicates_suppressed,
+            root_merge_ops=self.root.root_merge_ops,
         )

@@ -30,6 +30,7 @@ from repro.core.analyzer import QueryGroup, QueryPlan
 from repro.core.engine import required_kinds
 from repro.core.errors import ClusterError
 from repro.core.functions import finalize, operators_for
+from repro.core.incmerge import DECOMPOSABLE_MERGE_KINDS, FifoAggregator
 from repro.core.operators import (
     OperatorSetState,
     merge_many_partials,
@@ -68,7 +69,8 @@ __all__ = ["RootNode", "RootAssembler"]
 
 
 class _FixedState:
-    __slots__ = ("query", "ctx", "kinds", "length", "slide", "next_close_start")
+    __slots__ = ("query", "ctx", "kinds", "length", "slide",
+                 "next_close_start", "agg", "next_abs")
 
     def __init__(self, query: Query, ctx: int, kinds, origin: int) -> None:
         self.query = query
@@ -77,6 +79,12 @@ class _FixedState:
         self.length = query.window.length
         self.slide = query.window.effective_slide
         self.next_close_start = origin
+        #: Two-Stacks FIFO aggregate over consumed records, created lazily
+        #: at the first incremental close; ``None`` on the plain-scan path
+        #: and after a checkpoint restore (it is a derived cache).
+        self.agg: FifoAggregator | None = None
+        #: absolute index of the next record to push into ``agg``
+        self.next_abs = 0
 
 
 class _SessionState:
@@ -153,7 +161,8 @@ def derive_ops_from_timed(record: SliceRecord, planned) -> None:
 class RootAssembler:
     """Turns covered slice records of one query-group into window results."""
 
-    def __init__(self, group: QueryGroup, origin: int, emit, config: ClusterConfig):
+    def __init__(self, group: QueryGroup, origin: int, emit,
+                 config: ClusterConfig, recorder=None):
         self.group = group
         self.origin = origin
         self.emit = emit  # emit(query, start, end, merged_ops, count, now)
@@ -161,6 +170,11 @@ class RootAssembler:
         self.records: list[SliceRecord] = []
         self.ends: list[int] = []
         self.base = 0  # absolute index of records[0]
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: merge operator executions during window assembly (partials
+        #: consumed by the plain scans plus ``merge_partials`` calls on
+        #: the incremental path) — surfaced as ``cluster.root_merge_ops``
+        self.merge_ops = 0
 
         self.fixed: list[_FixedState] = []
         self.sessions: list[_SessionState] = []
@@ -179,6 +193,19 @@ class RootAssembler:
                 self.sessions.append(_SessionState(query, ctx, kinds))
             else:
                 self.userdef.append(_UserDefState(query, ctx, kinds, origin))
+        #: Incremental merging is only safe when the whole group windows on
+        #: fixed time boundaries: then every child cuts at every fixed
+        #: punctuation, the merger releases non-overlapping aligned records
+        #: in start order, and each state's closes follow the FIFO
+        #: discipline the Two-Stacks structure needs.  Sessions, marker
+        #: windows, and count replays produce data-driven (overlapping or
+        #: unaligned) records, so their groups keep the plain scans.
+        self._inc_enabled = (
+            config.merge_mode == "incremental"
+            and not self.sessions
+            and not self.userdef
+            and not self.counts
+        )
 
     # -- record access ----------------------------------------------------------------
 
@@ -199,11 +226,63 @@ class RootAssembler:
             for kind, bucket in collected.items():
                 if kind in part.ops:
                     bucket.append(part.ops[kind])
-        merged = {
-            kind: merge_many_partials(kind, bucket)
-            for kind, bucket in collected.items()
-            if bucket
-        }
+        merged = {}
+        for kind, bucket in collected.items():
+            if bucket:
+                merged[kind] = merge_many_partials(kind, bucket)
+                self.merge_ops += len(bucket)
+        return merged, count
+
+    def _merge_fixed_window(self, state: _FixedState, start: int, end: int):
+        """Merge ``[start, end)`` for one fixed state, incrementally when
+        the window overlaps its predecessor (``slide < length``); tumbling
+        states and gated groups take the plain interval scan."""
+        if (
+            not self._inc_enabled
+            or state.slide >= state.length
+            or not any(k in DECOMPOSABLE_MERGE_KINDS for k in state.kinds)
+        ):
+            return self._merge_interval(start, end, state.ctx, state.kinds)
+        agg = state.agg
+        if agg is None:
+            agg = state.agg = FifoAggregator(state.kinds)
+            state.next_abs = self.base
+        ops_before = agg.merge_ops
+        pushed = 0
+        index = max(state.next_abs - self.base, 0)
+        while index < len(self.records) and self.ends[index] <= end:
+            record = self.records[index]
+            index += 1
+            part = record.contexts.get(state.ctx)
+            if part is None:
+                continue
+            # Pushed in start order (aligned records sort equally by end
+            # and start); anything before the window start is evicted
+            # before the query below ever sees it.
+            agg.push(record.start, part.ops, part.count)
+            pushed += 1
+        state.next_abs = self.base + index
+        agg.evict_below(start)
+        merged, count = agg.query()
+        merge_ops = agg.merge_ops - ops_before
+        self.merge_ops += merge_ops
+        rest = tuple(k for k in state.kinds if k not in DECOMPOSABLE_MERGE_KINDS)
+        if rest:
+            extra, extra_count = self._merge_interval(start, end, state.ctx, rest)
+            merged.update(extra)
+            count = max(count, extra_count)
+        if self.recorder.enabled:
+            self.recorder.record(
+                "merge.reuse",
+                end,
+                node="root",
+                group=self.group.group_id,
+                ctx=state.ctx,
+                query_id=state.query.query_id,
+                start=start,
+                pushed=pushed,
+                merge_ops=merge_ops,
+            )
         return merged, count
 
     # -- consumption --------------------------------------------------------------------
@@ -237,7 +316,7 @@ class RootAssembler:
             while state.next_close_start + state.length <= self.covered:
                 start = state.next_close_start
                 end = start + state.length
-                merged, count = self._merge_interval(start, end, state.ctx, state.kinds)
+                merged, count = self._merge_fixed_window(state, start, end)
                 if count:
                     self.emit(state.query, start, end, merged, count, now)
                 state.next_close_start += state.slide
@@ -308,11 +387,11 @@ class RootAssembler:
                 if kind in part.ops:
                     bucket.append(part.ops[kind])
         state.pointer = self.base + index
-        merged = {
-            kind: merge_many_partials(kind, bucket)
-            for kind, bucket in collected.items()
-            if bucket
-        }
+        merged = {}
+        for kind, bucket in collected.items():
+            if bucket:
+                merged[kind] = merge_many_partials(kind, bucket)
+                self.merge_ops += len(bucket)
         return merged, count
 
     def _close_userdef(self, now: int) -> None:
@@ -387,8 +466,8 @@ class RootAssembler:
             while state.next_close_start < self.covered:
                 start = state.next_close_start
                 end = start + state.length
-                merged, count = self._merge_interval(
-                    start, min(end, self.covered), state.ctx, state.kinds
+                merged, count = self._merge_fixed_window(
+                    state, start, min(end, self.covered)
                 )
                 if count:
                     self.emit(state.query, start, end, merged, count, now)
@@ -435,10 +514,14 @@ class RootNode(SimNode):
             GroupMerger(group, children, config.origin) for group in plan.groups
         ]
         self.assemblers = [
-            RootAssembler(group, config.origin, self._emit, config)
+            RootAssembler(group, config.origin, self._emit, config,
+                          recorder=self.recorder)
             for group in plan.groups
         ]
         self.last_seen: dict[str, int] = {}
+        #: merge-op counts of assemblers discarded by crash recovery (the
+        #: replacement assemblers restart their counters at zero)
+        self.merge_ops_carried = 0
         # Soft-eviction state, only active under a fault plan: without one
         # the network is lossless and partitions cannot happen.
         self.liveness = (
@@ -626,13 +709,15 @@ class RootNode(SimNode):
         """
         self.recoveries += 1
         pre_crash_emits = self._emit_seq
+        self.merge_ops_carried += sum(a.merge_ops for a in self.assemblers)
         config = self.config
         self.mergers = [
             GroupMerger(group, self.children, config.origin)
             for group in self.plan.groups
         ]
         self.assemblers = [
-            RootAssembler(group, config.origin, self._emit, config)
+            RootAssembler(group, config.origin, self._emit, config,
+                          recorder=self.recorder)
             for group in self.plan.groups
         ]
         self.last_seen = {}
@@ -699,6 +784,13 @@ class RootNode(SimNode):
     def finish(self, now: int) -> None:
         for assembler in self.assemblers:
             assembler.finish(now)
+
+    @property
+    def root_merge_ops(self) -> int:
+        """Total merge operator executions during window assembly."""
+        return self.merge_ops_carried + sum(
+            assembler.merge_ops for assembler in self.assemblers
+        )
 
     # -- membership (Sec 3.2) ----------------------------------------------------------------
 

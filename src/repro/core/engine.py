@@ -30,6 +30,7 @@ from repro.core.analyzer import QueryGroup, QueryPlan, analyze
 from repro.core.errors import EngineError, OutOfOrderError, QueryError
 from repro.core.event import Event
 from repro.core.functions import finalize, operators_for
+from repro.core.incmerge import DECOMPOSABLE_MERGE_KINDS, IncrementalMergeLayer
 from repro.core.operators import merge_many_partials
 from repro.core.query import Query
 from repro.core.results import ResultSink, WindowResult
@@ -94,6 +95,10 @@ class EngineStats:
     windows_closed: int = 0
     results: int = 0
     duplicates_dropped: int = 0
+    #: merge operator executions at window close — the work the
+    #: incremental merge layer exists to shrink (partials consumed by the
+    #: plain scan, ``merge_partials`` calls on the incremental path)
+    merge_ops: int = 0
     #: memory high-water marks (Sec 2.3's motivation for slicing)
     peak_live_slices: int = 0
     peak_open_windows: int = 0
@@ -108,6 +113,7 @@ class EngineStats:
         self.windows_closed += other.windows_closed
         self.results += other.results
         self.duplicates_dropped += other.duplicates_dropped
+        self.merge_ops += other.merge_ops
         self.peak_live_slices = max(self.peak_live_slices, other.peak_live_slices)
         self.peak_open_windows = max(
             self.peak_open_windows, other.peak_open_windows
@@ -139,9 +145,12 @@ class GroupRuntime:
         track_spans: bool = False,
         recorder=None,
         node_id: str = "",
+        merge_mode: str = "incremental",
     ) -> None:
         if punctuation_mode not in ("heap", "scan"):
             raise EngineError(f"unknown punctuation mode: {punctuation_mode!r}")
+        if merge_mode not in ("incremental", "exact"):
+            raise EngineError(f"unknown merge mode: {merge_mode!r}")
         self.group = group
         self.sink = sink
         self.stats = stats
@@ -152,6 +161,16 @@ class GroupRuntime:
         self.mode = punctuation_mode
         self.emit_empty = emit_empty
         self.assemble = assemble
+        self.merge_mode = merge_mode
+        #: Two-Stacks running aggregates over closed slices, shared by all
+        #: overlapping fixed windows of a (ctx, kinds, length) stream;
+        #: ``None`` keeps every close on the plain full-range scan
+        #: (``merge_mode="exact"``, byte-identical to the pre-layer path).
+        self.incmerge: IncrementalMergeLayer | None = (
+            IncrementalMergeLayer()
+            if assemble and merge_mode == "incremental"
+            else None
+        )
         #: called at every cut with (closed_slice, eps, spans); eps are
         #: (window, end_time) pairs and spans maps ctx -> [first, last]
         #: matching-event times inside the closed slice (when track_spans).
@@ -330,7 +349,7 @@ class GroupRuntime:
 
     def _open_window(
         self, queries: tuple[Query, ...], ctx: int, start: int,
-        end: int | None, start_count: int = 0
+        end: int | None, start_count: int = 0, slide: int | None = None
     ) -> WindowInstance:
         self._uid += 1
         window = WindowInstance(
@@ -341,6 +360,7 @@ class GroupRuntime:
             end=end,
             first_slice=self.current.index,
             start_count=start_count,
+            slide=slide,
         )
         self.open_windows[window.uid] = window
         self.stats.windows_opened += 1
@@ -366,9 +386,15 @@ class GroupRuntime:
             for query in window.queries:
                 union.update(needed[query.query_id])
             kinds = tuple(kind for kind in self.operators if kind in union)
-        merged, events = self.store.merge_context_partials(
-            window.first_slice, last_slice, window.ctx, kinds, merge_many_partials
-        )
+        merged = self._merge_window(window, end, last_slice, kinds)
+        if merged is None:
+            merged, events, merge_ops = self.store.merge_context_partials(
+                window.first_slice, last_slice, window.ctx, kinds,
+                merge_many_partials,
+            )
+            self.stats.merge_ops += merge_ops
+        else:
+            merged, events = merged
         self.store.release(window.first_slice, last_slice)
         if self.window_sink is not None:
             self.window_sink(window, merged, events, end)
@@ -400,6 +426,69 @@ class GroupRuntime:
                     emitted_at=emitted_at,
                 )
             )
+
+    def _merge_window(
+        self,
+        window: WindowInstance,
+        end: int,
+        last_slice: int,
+        kinds: tuple[OperatorKind, ...],
+    ) -> tuple[dict, int] | None:
+        """Try the incremental merge layer; ``None`` means plain scan.
+
+        Only *overlapping* fixed windows qualify: tumbling windows
+        (``slide == length``) share no slices between instances, so the
+        plain scan already touches each slice once and the Two-Stacks
+        machinery would be pure overhead; data-driven windows
+        (``slide is None``) lack the deterministic close order the
+        structure's FIFO discipline requires.  ``NON_DECOMPOSABLE_SORT``
+        partials stay on the plain k-way merge and are combined with the
+        incremental result (see repro.core.incmerge).
+        """
+        incmerge = self.incmerge
+        if (
+            incmerge is None
+            or window.slide is None
+            or end - window.start <= window.slide
+        ):
+            return None
+        decomposable = tuple(k for k in kinds if k in DECOMPOSABLE_MERGE_KINDS)
+        if not decomposable:
+            return None
+        ops_before = incmerge.merge_ops
+        got = incmerge.merge_window(
+            self.store, window.first_slice, last_slice, window.ctx,
+            decomposable, end - window.start,
+        )
+        if got is None:  # regressed behind the stream's eviction floor
+            return None
+        merged, events, pushed = got
+        merge_ops = incmerge.merge_ops - ops_before
+        rest = tuple(k for k in kinds if k not in DECOMPOSABLE_MERGE_KINDS)
+        if rest:
+            extra, extra_events, extra_ops = self.store.merge_context_partials(
+                window.first_slice, last_slice, window.ctx, rest,
+                merge_many_partials,
+            )
+            merged.update(extra)
+            merge_ops += extra_ops
+            # The k-way scan sees the same slices, so counts must agree.
+            events = max(events, extra_events)
+        self.stats.merge_ops += merge_ops
+        if self.recorder.enabled:
+            self.recorder.record(
+                "merge.reuse",
+                end,
+                node=self.node_id,
+                group=self.group.group_id,
+                ctx=window.ctx,
+                first_slice=window.first_slice,
+                last_slice=last_slice,
+                pushed=pushed,
+                reused=(last_slice - window.first_slice + 1) - pushed,
+                merge_ops=merge_ops,
+            )
+        return merged, events
 
     # -- slice cutting --------------------------------------------------------
 
@@ -494,7 +583,8 @@ class GroupRuntime:
     def _make_fixed_opener(self, tracker: FixedWindowTracker, time: int):
         def open_fixed() -> None:
             window = self._open_window(
-                tracker.snapshot(), tracker.ctx, time, time + tracker.length
+                tracker.snapshot(), tracker.ctx, time, time + tracker.length,
+                slide=tracker.slide,
             )
             if self.mode == "heap":
                 self._push(window.end, _EP, window)
@@ -869,6 +959,10 @@ class AggregationEngine:
             model); see the module docstring.
         emit_empty: also emit results for windows without matching events.
         sink: custom result sink (default: an in-memory :class:`ResultSink`).
+        merge_mode: ``"incremental"`` (default) reuses shared-slice merges
+            across overlapping fixed windows via the Two-Stacks layer
+            (float aggregates within 1e-9 relative of the plain fold);
+            ``"exact"`` keeps the byte-identical full-range scan.
     """
 
     def __init__(
@@ -881,11 +975,15 @@ class AggregationEngine:
         sink: ResultSink | None = None,
         plan: QueryPlan | None = None,
         recorder=None,
+        merge_mode: str = "incremental",
     ) -> None:
+        if merge_mode not in ("incremental", "exact"):
+            raise EngineError(f"unknown merge mode: {merge_mode!r}")
         self.sink = sink if sink is not None else ResultSink()
         self.stats = EngineStats()
         self.plan = plan if plan is not None else analyze(queries, policy=policy)
         self.policy = self.plan.policy
+        self.merge_mode = merge_mode
         #: opt-in slice-lifecycle tracing (repro.obs.tracing.TraceRecorder)
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.groups: list[GroupRuntime] = [
@@ -897,6 +995,7 @@ class AggregationEngine:
                 emit_empty=emit_empty,
                 recorder=self.recorder,
                 node_id="engine",
+                merge_mode=merge_mode,
             )
             for group in self.plan.groups
         ]
@@ -1056,6 +1155,7 @@ class AggregationEngine:
                 punctuation_mode=self.groups[0].mode if self.groups else "heap",
                 recorder=self.recorder,
                 node_id="engine",
+                merge_mode=self.merge_mode,
             )
             self.groups.append(target)
             # Bootstrap the new group at the current stream time so its

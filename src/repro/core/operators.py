@@ -279,11 +279,17 @@ def merge_many_partials(kind: OperatorKind, parts: Iterable[Any]) -> Any:
     """Merge an iterable of partial results of the same kind.
 
     For the non-decomposable sort this performs one k-way merge of all sorted
-    runs instead of repeated pairwise merges.
+    runs instead of repeated pairwise merges.  Single-element lists skip the
+    fold entirely (``x + 0.0`` is bit-identical to ``sum([x], 0.0)``,
+    including for ``-0.0``), the common case for tumbling windows.
     """
     if kind is OperatorKind.SUM or kind is OperatorKind.SUM_OF_SQUARES:
+        if isinstance(parts, list) and len(parts) == 1:
+            return parts[0] + 0.0
         return sum(parts, 0.0)
     if kind is OperatorKind.COUNT:
+        if isinstance(parts, list) and len(parts) == 1:
+            return parts[0] + 0
         return sum(parts, 0)
     if kind is OperatorKind.MULTIPLICATION:
         product = 1.0
@@ -291,10 +297,21 @@ def merge_many_partials(kind: OperatorKind, parts: Iterable[Any]) -> Any:
             product *= part
         return product
     if kind is OperatorKind.DECOMPOSABLE_SORT:
-        merged = None
+        # Inline (min, max) fold — same comparisons as the pairwise
+        # ``merge_partials`` chain, without the per-pair dispatch.
+        lo = hi = None
         for part in parts:
-            merged = merge_partials(kind, merged, part)
-        return merged
+            if part is None:
+                continue
+            if lo is None:
+                lo, hi = part
+            else:
+                plo, phi = part
+                if plo < lo:
+                    lo = plo
+                if phi > hi:
+                    hi = phi
+        return None if lo is None else (lo, hi)
     if kind is OperatorKind.NON_DECOMPOSABLE_SORT:
         runs = [part for part in parts if part]
         if not runs:

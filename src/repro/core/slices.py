@@ -154,11 +154,13 @@ class SliceStore:
         ctx: int,
         kinds: Iterable[OperatorKind],
         merge: Callable[[OperatorKind, Iterable[Any]], Any],
-    ) -> tuple[dict[OperatorKind, Any], int]:
+    ) -> tuple[dict[OperatorKind, Any], int, int]:
         """Merge context ``ctx``'s partials across slices ``first..last``.
 
-        Returns the merged per-kind partials and the total event count.
-        Slices without activity for the context contribute nothing (their
+        Returns the merged per-kind partials, the total event count, and
+        the number of partials fed to the merge (the scan's work measure,
+        comparable with the incremental layer's ``merge_ops``).  Slices
+        without activity for the context contribute nothing (their
         partials are the operator identities).
         """
         collected: dict[OperatorKind, list[Any]] = {kind: [] for kind in kinds}
@@ -171,7 +173,10 @@ class SliceStore:
             for kind, bucket in collected.items():
                 if kind in parts:
                     bucket.append(parts[kind])
-        merged = {
-            kind: merge(kind, bucket) for kind, bucket in collected.items() if bucket
-        }
-        return merged, events
+        merged = {}
+        merge_ops = 0
+        for kind, bucket in collected.items():
+            if bucket:
+                merged[kind] = merge(kind, bucket)
+                merge_ops += len(bucket)
+        return merged, events, merge_ops

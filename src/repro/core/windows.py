@@ -48,7 +48,7 @@ class WindowInstance:
     """One concrete open window, subscribed to by one or more queries."""
 
     __slots__ = ("uid", "queries", "ctx", "start", "end", "first_slice",
-                 "start_count")
+                 "start_count", "slide")
 
     def __init__(
         self,
@@ -59,6 +59,7 @@ class WindowInstance:
         end: int | None,
         first_slice: int,
         start_count: int = 0,
+        slide: int | None = None,
     ) -> None:
         self.uid = uid
         #: snapshot of the tracker's subscribers at window open; queries
@@ -72,6 +73,10 @@ class WindowInstance:
         self.first_slice = first_slice
         #: for count-based windows: matching-event index at window start
         self.start_count = start_count
+        #: the tracker's slide for fixed time windows, ``None`` for
+        #: data-driven windows — the signal the incremental merge layer
+        #: keys off (overlapping fixed windows reuse shared-slice merges)
+        self.slide = slide
 
     def __repr__(self) -> str:
         ids = ",".join(q.query_id for q in self.queries[:3])

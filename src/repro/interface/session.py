@@ -35,11 +35,14 @@ class DesisSession:
     """A centralized Desis instance accepting textual or built queries."""
 
     def __init__(self, *, policy: SharingPolicy = SharingPolicy.FULL,
-                 recorder=None) -> None:
+                 recorder=None, merge_mode: str = "incremental") -> None:
         self.policy = policy
         #: optional slice-lifecycle trace recorder handed to the engine
         #: (see :mod:`repro.obs.tracing`); ``None`` keeps tracing off
         self.recorder = recorder
+        #: window-close merging: ``"incremental"`` (default) or ``"exact"``
+        #: (see :class:`~repro.core.engine.AggregationEngine`)
+        self.merge_mode = merge_mode
         self._engine: AggregationEngine | None = None
         self._pending: list[Query] = []
         self._counter = 0
@@ -93,7 +96,10 @@ class DesisSession:
     def _ensure_engine(self) -> AggregationEngine:
         if self._engine is None:
             self._engine = AggregationEngine(
-                self._pending, policy=self.policy, recorder=self.recorder
+                self._pending,
+                policy=self.policy,
+                recorder=self.recorder,
+                merge_mode=self.merge_mode,
             )
             self._pending = []
         return self._engine

@@ -220,8 +220,11 @@ def publish_engine_stats(registry: MetricsRegistry, stats,
         "windows_closed",
         "results",
         "duplicates_dropped",
+        "merge_ops",
     ):
-        registry.counter(f"engine.{name}", **labels).inc(getattr(stats, name))
+        registry.counter(f"engine.{name}", **labels).inc(
+            getattr(stats, name, 0)
+        )
     registry.gauge("engine.peak_live_slices", **labels).set(
         stats.peak_live_slices
     )
@@ -280,6 +283,9 @@ def publish_cluster_result(registry: MetricsRegistry, result) -> None:
     registry.counter("net.reroutes").inc(getattr(result, "reroutes", 0))
     registry.counter("cluster.duplicates_suppressed").inc(
         getattr(result, "duplicates_suppressed", 0)
+    )
+    registry.counter("cluster.root_merge_ops").inc(
+        getattr(result, "root_merge_ops", 0)
     )
     publish_network_stats(registry, result.network)
     for role, seconds in result.cpu_by_role.items():

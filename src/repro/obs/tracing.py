@@ -14,6 +14,9 @@ kind                      recorded when / by
 ``merge.release``         an intermediate releases covered records upward
 ``root.consume``          the root's merger hands covered records to assembly
 ``window.emit``           a window result reaches the sink
+``merge.reuse``           a window close is served by the incremental merge
+                          layer instead of a full slice/record scan (engine
+                          and root; see repro.core.incmerge)
 ``net.retransmit``        the reliable channel re-sends an unacked frame
 ``checkpoint.save``       a node persists a state snapshot (DESIGN.md §8)
 ``node.recover``          a node restores after a state-losing restart

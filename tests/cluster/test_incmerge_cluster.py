@@ -1,0 +1,145 @@
+"""Cluster-level merge-mode parity and root merge-op accounting.
+
+Same-seed runs of one workload through ``merge_mode="exact"`` and
+``merge_mode="incremental"`` must emit the same windows (values within
+1e-9, everything else identical), while the incremental mode does strictly
+less merge work at the root on overlapping sliding windows — the cluster
+half of the contract tested per-engine in
+``tests/core/test_incmerge_parity.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    DesisCluster,
+    InMemoryCheckpointStore,
+)
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+from repro.network.simnet import CrashWindow, FaultPlan
+from repro.network.topology import star, three_tier
+
+from tests.cluster.test_desis_parity import (
+    TICK,
+    centralized_reference,
+    make_streams,
+    signature,
+)
+
+SLIDING = [
+    # 8x overlap: every root window close covers 8 slide intervals
+    Query.of("sum", WindowSpec.sliding(4_000, 500), AggFunction.SUM),
+    Query.of("avg", WindowSpec.sliding(4_000, 500), AggFunction.AVERAGE),
+]
+
+
+def run_mode(queries, streams, topology, merge_mode, **cfg):
+    cfg.setdefault("tick_interval", TICK)
+    cluster = DesisCluster(
+        queries,
+        topology,
+        config=ClusterConfig(merge_mode=merge_mode, **cfg),
+    )
+    result = cluster.run({k: list(v) for k, v in streams.items()})
+    return result
+
+
+def exact_rows(result):
+    """Full-precision rows (no rounding): byte-identity comparisons."""
+    return [
+        (r.query_id, r.start, r.end, r.event_count, repr(r.value))
+        for r in result.sink
+    ]
+
+
+class TestModeParity:
+    def test_same_seed_sliding_parity(self):
+        streams = make_streams(3, 400)
+        exact = run_mode(SLIDING, streams, three_tier(3, 1), "exact")
+        inc = run_mode(SLIDING, streams, three_tier(3, 1), "incremental")
+        assert signature(exact.sink) == signature(inc.sink)
+        # Both modes agree with the centralized engine on the merged stream.
+        assert signature(inc.sink) == signature(
+            centralized_reference(SLIDING, streams)
+        )
+
+    def test_root_merge_ops_reduced_on_overlap(self):
+        streams = make_streams(4, 400)
+        exact = run_mode(SLIDING, streams, star(4), "exact")
+        inc = run_mode(SLIDING, streams, star(4), "incremental")
+        assert exact.root_merge_ops > 0
+        assert inc.root_merge_ops * 2 <= exact.root_merge_ops
+
+    def test_tumbling_root_work_is_identical(self):
+        """Zero-regression guard: tumbling windows share no records, so
+        the root does the same plain merge in both modes."""
+        queries = [Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)]
+        streams = make_streams(3, 300)
+        exact = run_mode(queries, streams, three_tier(3, 1), "exact")
+        inc = run_mode(queries, streams, three_tier(3, 1), "incremental")
+        assert exact_rows(exact) == exact_rows(inc)
+        assert exact.root_merge_ops == inc.root_merge_ops
+
+    def test_exact_mode_is_deterministic(self):
+        """Two exact-mode runs are byte-identical — the reference the
+        seed-parity CI check pins."""
+        streams = make_streams(3, 300)
+        first = run_mode(SLIDING, streams, three_tier(3, 1), "exact")
+        second = run_mode(SLIDING, streams, three_tier(3, 1), "exact")
+        assert exact_rows(first) == exact_rows(second)
+
+    def test_mixed_group_with_sessions_stays_correct(self):
+        """Session queries disable the root's incremental path for their
+        group (data-driven closes break the FIFO discipline); results must
+        still match between modes."""
+        queries = SLIDING + [
+            Query.of("sess", WindowSpec.session(gap=300), AggFunction.COUNT),
+        ]
+        streams = make_streams(3, 300)
+        exact = run_mode(queries, streams, three_tier(3, 1), "exact")
+        inc = run_mode(queries, streams, three_tier(3, 1), "incremental")
+        assert signature(exact.sink) == signature(inc.sink)
+
+
+class TestModeParityUnderFaults:
+    def test_same_seed_parity_with_drops(self):
+        """The merge mode never touches what goes over the wire, so a
+        faulty same-seed run sees identical traffic in both modes."""
+        plan = lambda: FaultPlan(seed=3, drop_rate=0.05, duplicate_rate=0.02)
+        streams = make_streams(3, 250)
+        exact = run_mode(
+            SLIDING, streams, three_tier(3, 1), "exact", fault_plan=plan()
+        )
+        inc = run_mode(
+            SLIDING, streams, three_tier(3, 1), "incremental",
+            fault_plan=plan(),
+        )
+        assert signature(exact.sink) == signature(inc.sink)
+
+    @pytest.mark.parametrize("merge_mode", ["exact", "incremental"])
+    def test_root_crash_recovery_keeps_parity(self, merge_mode):
+        """A state-losing root crash restores from checkpoint; the
+        incremental aggregates are derived caches that must rebuild
+        cleanly (restore resets them), so the recovered run matches the
+        fault-free one."""
+        streams = make_streams(3, 1500)
+        fault_free = run_mode(SLIDING, streams, three_tier(3, 1), merge_mode)
+        plan = FaultPlan(
+            seed=1,
+            crashes=(CrashWindow("root", 9_000, 13_000, lose_state=True),),
+        )
+        crashed = run_mode(
+            SLIDING,
+            streams,
+            three_tier(3, 1),
+            merge_mode,
+            fault_plan=plan,
+            checkpoint_store=InMemoryCheckpointStore(),
+            checkpoint_interval=3_000,
+            node_timeout=10**9,
+        )
+        assert signature(crashed.sink) == signature(fault_free.sink)
+        assert crashed.root_merge_ops > 0

@@ -1,0 +1,475 @@
+"""Parity tests for the incremental slice-merge layer (repro.core.incmerge).
+
+Three layers of evidence for the ``merge_mode`` contract (DESIGN.md §9):
+
+* :class:`FifoAggregator` against a brute-force fold over the live items,
+  under randomized push/evict/query schedules;
+* seeded randomized query mixes (length, slide, function, key selection)
+  driven through ``merge_mode="exact"`` and ``merge_mode="incremental"``
+  and compared with the naive oracle — identical bounds/counts/ids,
+  exact equality for COUNT/extrema/sorted results, 1e-9 relative for
+  float accumulators;
+* a seed-replica test: ``merge_mode="exact"`` must stay *byte-identical*
+  to the pre-layer merge path (an independent fold of the closed slices'
+  partials with ``merge_many_partials``, exactly what the seed engine's
+  ``_close_window`` did).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+import pytest
+
+from repro.core.engine import AggregationEngine, EngineStats, GroupRuntime
+from repro.core.analyzer import analyze
+from repro.core.functions import finalize
+from repro.core.incmerge import (
+    DECOMPOSABLE_MERGE_KINDS,
+    FifoAggregator,
+    IncrementalMergeLayer,
+)
+from repro.core.operators import merge_many_partials, merge_partials
+from repro.core.predicates import Selection
+from repro.core.query import Query, WindowSpec
+from repro.core.results import ResultSink
+from repro.core.types import AggFunction, OperatorKind, SharingPolicy
+
+from tests.conftest import make_stream
+from tests.oracle import naive_results
+
+# -- helpers ------------------------------------------------------------------------
+
+#: functions whose finalized result rides only comparison/integer operators
+#: and must therefore be *exactly* equal in both merge modes
+EXACT_FUNCTIONS = (AggFunction.COUNT, AggFunction.MAX, AggFunction.MIN,
+                   AggFunction.MEDIAN)
+#: float-accumulator functions: 1e-9 relative between merge modes
+FLOAT_FUNCTIONS = (AggFunction.SUM, AggFunction.AVERAGE, AggFunction.VARIANCE,
+                   AggFunction.STDDEV)
+
+
+def run_engine(queries, events, *, merge_mode, close_at=None):
+    engine = AggregationEngine(list(queries), merge_mode=merge_mode)
+    engine.process_batch(list(events))
+    engine.close(close_at)
+    return engine
+
+
+def rows(engine, query_id):
+    return [
+        (r.start, r.end, r.value, r.event_count)
+        for r in engine.sink.for_query(query_id)
+    ]
+
+
+def assert_mode_parity(queries, events, *, close_at=None):
+    """Exact vs incremental: same windows, values within the contract.
+
+    Returns the two engines for extra assertions.
+    """
+    exact = run_engine(queries, events, merge_mode="exact", close_at=close_at)
+    inc = run_engine(queries, events, merge_mode="incremental",
+                     close_at=close_at)
+    for query in queries:
+        left = rows(exact, query.query_id)
+        right = rows(inc, query.query_id)
+        assert len(left) == len(right), query.query_id
+        strict = query.function.fn in EXACT_FUNCTIONS or (
+            query.function.fn is AggFunction.QUANTILE
+        )
+        for (ls, le, lv, ln), (rs, re_, rv, rn) in zip(left, right):
+            assert (ls, le, ln) == (rs, re_, rn), query.query_id
+            if strict or lv is None:
+                assert lv == rv, query.query_id
+            else:
+                assert math.isclose(lv, rv, rel_tol=1e-9, abs_tol=1e-9), (
+                    f"{query.query_id}: {lv!r} vs {rv!r} in [{ls}..{le})"
+                )
+    return exact, inc
+
+
+def assert_matches_oracle(engine, queries, events):
+    for query in queries:
+        expected = naive_results(query, events)
+        got = rows(engine, query.query_id)
+        assert len(got) == len(expected), query.query_id
+        for (gs, ge, gv, gn), (es, ee, ev_, en) in zip(got, expected):
+            assert (gs, ge, gn) == (es, ee, en), query.query_id
+            if ev_ is None:
+                assert gv is None, query.query_id
+            else:
+                assert gv == pytest.approx(ev_), query.query_id
+
+
+# -- FifoAggregator vs brute force --------------------------------------------------
+
+
+def brute_force(items, kinds):
+    """Oldest-to-newest fold of ``(pos, ops, count)`` items, the spec the
+    Two-Stacks structure must match."""
+    merged: dict[OperatorKind, object] = {}
+    count = 0
+    for _, ops, item_count in items:
+        count += item_count
+        for kind in kinds:
+            part = ops.get(kind)
+            if part is None and kind is not OperatorKind.DECOMPOSABLE_SORT:
+                continue
+            if kind in merged:
+                merged[kind] = merge_partials(kind, merged[kind], part)
+            else:
+                merged[kind] = part
+    return merged, count
+
+
+def random_item(rng, pos, kinds):
+    ops = {}
+    for kind in kinds:
+        if kind is OperatorKind.SUM:
+            ops[kind] = float(rng.randrange(-50, 50))
+        elif kind is OperatorKind.COUNT:
+            ops[kind] = rng.randrange(0, 9)
+        elif kind is OperatorKind.MULTIPLICATION:
+            ops[kind] = 1.0 + rng.randrange(0, 4) / 16.0
+        elif kind is OperatorKind.SUM_OF_SQUARES:
+            ops[kind] = float(rng.randrange(0, 100))
+        elif kind is OperatorKind.DECOMPOSABLE_SORT:
+            if rng.random() < 0.2:
+                ops[kind] = None
+            else:
+                lo = float(rng.randrange(-30, 30))
+                ops[kind] = (lo, lo + rng.randrange(0, 10))
+    return pos, ops, rng.randrange(0, 5)
+
+
+class TestFifoAggregator:
+    KINDS = (
+        OperatorKind.SUM,
+        OperatorKind.COUNT,
+        OperatorKind.MULTIPLICATION,
+        OperatorKind.SUM_OF_SQUARES,
+        OperatorKind.DECOMPOSABLE_SORT,
+    )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_schedule_matches_brute_force(self, seed):
+        """Integer-valued partials make the fold exact, so any divergence
+        from the brute force is a structural bug, not float noise."""
+        rng = random.Random(seed)
+        agg = FifoAggregator(self.KINDS)
+        live: list[tuple] = []
+        pos = 0
+        for _ in range(400):
+            action = rng.random()
+            if action < 0.55 or not live:
+                pos += rng.randrange(1, 4)
+                item = random_item(rng, pos, self.KINDS)
+                live.append(item)
+                agg.push(*item)
+            elif action < 0.8:
+                cut = rng.randrange(0, len(live))
+                bound = live[cut][0] + rng.choice((0, 1))
+                agg.evict_below(bound)
+                live = [item for item in live if item[0] >= bound]
+            else:
+                got_ops, got_count = agg.query()
+                want_ops, want_count = brute_force(live, self.KINDS)
+                assert got_count == want_count
+                assert got_ops == want_ops
+            assert len(agg) == len(live)
+        got_ops, got_count = agg.query()
+        want_ops, want_count = brute_force(live, self.KINDS)
+        assert (got_ops, got_count) == (want_ops, want_count)
+
+    def test_query_is_amortized_constant(self):
+        """Total merge work over N pushes + N queries + N evictions stays
+        O(N): the whole point of the structure."""
+        kinds = (OperatorKind.SUM,)
+        agg = FifoAggregator(kinds)
+        n, window = 2_000, 64
+        for pos in range(n):
+            agg.evict_below(pos - window + 1)
+            agg.push(pos, {OperatorKind.SUM: 1.0}, 1)
+            merged, count = agg.query()
+            assert count == min(pos + 1, window)
+            assert merged[OperatorKind.SUM] == float(count)
+        # push ≤1, flip ≤1 (amortized), query ≤1 merge per item
+        assert agg.merge_ops <= 3 * n
+
+    def test_evict_everything_then_query_empty(self):
+        agg = FifoAggregator((OperatorKind.SUM, OperatorKind.COUNT))
+        for pos in range(5):
+            agg.push(pos, {OperatorKind.SUM: 2.0, OperatorKind.COUNT: 1}, 1)
+        agg.evict_below(10)
+        merged, count = agg.query()
+        assert merged == {} and count == 0
+        assert agg.floor == 10
+
+    def test_non_decomposable_kinds_are_ignored(self):
+        agg = FifoAggregator(
+            (OperatorKind.SUM, OperatorKind.NON_DECOMPOSABLE_SORT)
+        )
+        assert agg.kinds == (OperatorKind.SUM,)
+
+    def test_merge_window_refuses_behind_floor(self):
+        """A window starting before the eviction floor must return None
+        (plain-scan fallback), never a silently wrong aggregate."""
+
+        class FakeSlice:
+            def __init__(self, index):
+                self.partials = {0: {OperatorKind.SUM: 1.0}}
+                self.insert_counts = {0: 1}
+
+        class FakeStore:
+            def get(self, index):
+                return FakeSlice(index)
+
+        layer = IncrementalMergeLayer()
+        kinds = (OperatorKind.SUM,)
+        got = layer.merge_window(FakeStore(), 4, 7, 0, kinds, 40)
+        assert got is not None and got[0][OperatorKind.SUM] == 4.0
+        assert layer.merge_window(FakeStore(), 2, 8, 0, kinds, 40) is None
+
+
+# -- randomized engine parity -------------------------------------------------------
+
+RANDOM_FUNCTIONS = EXACT_FUNCTIONS + FLOAT_FUNCTIONS
+
+
+def random_queries(rng, keys):
+    queries = []
+    for index in range(rng.randrange(3, 7)):
+        slide = rng.choice((25, 50, 100, 200))
+        overlap = rng.choice((1, 2, 4, 8, 16))
+        if overlap == 1:
+            spec = WindowSpec.tumbling(slide)
+        else:
+            spec = WindowSpec.sliding(slide * overlap, slide)
+        selection = Selection()
+        if rng.random() < 0.5:
+            selection = Selection(key=rng.choice(keys))
+        queries.append(
+            Query.of(
+                f"q{index}",
+                spec,
+                rng.choice(RANDOM_FUNCTIONS),
+                selection=selection,
+            )
+        )
+    return queries
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_query_mixes(self, seed):
+        rng = random.Random(1000 + seed)
+        keys = ("a", "b", "c")
+        events = make_stream(
+            rng.randrange(600, 1200), seed=seed, keys=keys,
+            value_mod=rng.choice((89, 101)),
+        )
+        queries = random_queries(rng, keys)
+        exact, inc = assert_mode_parity(queries, events)
+        assert_matches_oracle(inc, queries, events)
+        assert_matches_oracle(exact, queries, events)
+
+    def test_high_overlap_many_functions(self):
+        events = make_stream(1500, keys=("a", "b"), dt_choices=(2, 5))
+        queries = [
+            Query.of(f"q_{fn.name.lower()}", WindowSpec.sliding(640, 10), fn)
+            for fn in (AggFunction.SUM, AggFunction.AVERAGE, AggFunction.COUNT,
+                       AggFunction.MAX, AggFunction.MIN, AggFunction.VARIANCE)
+        ]
+        exact, inc = assert_mode_parity(queries, events)
+        assert_matches_oracle(inc, queries, events)
+        # 64x overlap, all-decomposable operators: the layer must cut the
+        # merge work by a wide margin.
+        assert inc.stats.merge_ops * 5 <= exact.stats.merge_ops
+
+    def test_hybrid_median_keeps_kway_merge(self):
+        """MEDIAN forces NON_DECOMPOSABLE_SORT onto the plain k-way scan
+        while the decomposable kinds ride the layer; the combination must
+        still match the oracle and still save work overall."""
+        events = make_stream(1000, dt_choices=(2, 5))
+        queries = [
+            Query.of("med", WindowSpec.sliding(400, 25), AggFunction.MEDIAN),
+            Query.of("avg", WindowSpec.sliding(400, 25), AggFunction.AVERAGE),
+        ]
+        exact, inc = assert_mode_parity(queries, events)
+        assert_matches_oracle(inc, queries, events)
+        assert inc.stats.merge_ops < exact.stats.merge_ops
+
+    def test_multiplication_and_geomean(self):
+        base = make_stream(900, dt_choices=(3, 7))
+        # Values in [1, 2): products stay finite, relative error visible.
+        events = [
+            dataclasses.replace(e, value=1.0 + (e.value % 16.0) / 16.0)
+            for e in base
+        ]
+        queries = [
+            Query.of("prod", WindowSpec.sliding(400, 25), AggFunction.PRODUCT),
+            Query.of("geo", WindowSpec.sliding(400, 50),
+                     AggFunction.GEOMETRIC_MEAN),
+        ]
+        _, inc = assert_mode_parity(queries, events)
+        assert_matches_oracle(inc, queries, events)
+
+    def test_tumbling_takes_identical_plain_path(self):
+        """Zero-regression guard: tumbling merge work is the same in both
+        modes, and the incremental layer never engages."""
+        events = make_stream(800)
+        queries = [
+            Query.of("q", WindowSpec.tumbling(250), AggFunction.AVERAGE)
+        ]
+        exact, inc = assert_mode_parity(queries, events)
+        assert exact.stats.merge_ops == inc.stats.merge_ops
+        for runtime in inc.groups:
+            assert runtime.incmerge is not None
+            assert runtime.incmerge.windows == 0
+
+    def test_sliding_with_runtime_add_and_remove(self):
+        """Queries attached at stream time and removed mid-stream exercise
+        the layer's late-start floor and drop_context paths."""
+        events = make_stream(1200, keys=("a", "b"))
+        first = Query.of("early", WindowSpec.sliding(300, 25),
+                         AggFunction.SUM)
+        late = Query.of("late", WindowSpec.sliding(200, 25),
+                        AggFunction.AVERAGE, selection=Selection(key="a"))
+        results = {}
+        for mode in ("exact", "incremental"):
+            engine = AggregationEngine([first], merge_mode=mode)
+            cut = len(events) // 3
+            engine.process_batch(events[:cut])
+            engine.add_query(late)
+            engine.process_batch(events[cut : 2 * cut])
+            engine.remove_query("early")
+            engine.process_batch(events[2 * cut :])
+            engine.close()
+            results[mode] = {
+                q: rows(engine, q) for q in ("early", "late")
+            }
+        for qid in ("early", "late"):
+            left, right = results["exact"][qid], results["incremental"][qid]
+            assert len(left) == len(right), qid
+            for (ls, le, lv, ln), (rs, re_, rv, rn) in zip(left, right):
+                assert (ls, le, ln) == (rs, re_, rn), qid
+                assert math.isclose(lv, rv, rel_tol=1e-9, abs_tol=1e-9), qid
+
+    def test_merge_reuse_trace_recorded(self):
+        from repro.obs.tracing import TraceRecorder
+
+        recorder = TraceRecorder()
+        events = make_stream(600)
+        engine = AggregationEngine(
+            [Query.of("q", WindowSpec.sliding(200, 25), AggFunction.SUM)],
+            recorder=recorder,
+            merge_mode="incremental",
+        )
+        engine.process_batch(events)
+        engine.close()
+        reuses = list(recorder.events("merge.reuse"))
+        assert reuses, "overlapping closes must record merge.reuse"
+        event = reuses[-1]
+        for field in ("ctx", "first_slice", "last_slice", "pushed",
+                      "reused", "merge_ops"):
+            assert field in event.data
+        assert event.data["reused"] >= 0
+
+
+# -- seed replica: exact mode is byte-identical to the pre-layer path ---------------
+
+
+def seed_reference(queries, events, close_at=None):
+    """Replicate the seed engine's merge path independently.
+
+    A slicing-only :class:`GroupRuntime` (``assemble=False``) yields the
+    closed slices and window punctuations; each window is then folded with
+    ``merge_many_partials`` over its covered slice range — operator
+    buckets in slice order, exactly the pre-layer ``_close_window`` — and
+    finalized per subscribed query.  Returns rows in emit order.
+    """
+    plan = analyze(queries, policy=SharingPolicy.FULL)
+    out: dict[str, list[tuple]] = {q.query_id: [] for q in queries}
+    for group in plan.groups:
+        slices: dict[int, object] = {}
+        closes: list[tuple] = []
+
+        def slice_sink(closing, eps, spans, slices=slices, closes=closes):
+            slices[closing.index] = closing
+            for window, end_time in eps:
+                closes.append((window, end_time, closing.index))
+
+        runtime = GroupRuntime(
+            group,
+            ResultSink(),
+            EngineStats(),
+            assemble=False,
+            slice_sink=slice_sink,
+        )
+        for event in events:
+            runtime.process(event)
+        runtime.close(close_at)
+        for window, end, last in closes:
+            if len(window.queries) == 1:
+                kinds = runtime.needed[window.queries[0].query_id]
+            else:
+                union = set()
+                for query in window.queries:
+                    union.update(runtime.needed[query.query_id])
+                kinds = tuple(k for k in runtime.operators if k in union)
+            buckets = {kind: [] for kind in kinds}
+            total = 0
+            for index in range(window.first_slice, last + 1):
+                slice_ = slices.get(index)
+                if slice_ is None:
+                    continue
+                parts = slice_.partials.get(window.ctx)
+                if parts is None:
+                    continue
+                total += slice_.insert_counts.get(window.ctx, 0)
+                for kind in kinds:
+                    if kind in parts:
+                        buckets[kind].append(parts[kind])
+            merged = {
+                kind: merge_many_partials(kind, bucket)
+                for kind, bucket in buckets.items()
+                if bucket
+            }
+            if total == 0:
+                continue
+            for query in window.queries:
+                out[query.query_id].append(
+                    (window.start, end, repr(finalize(query.function, merged)),
+                     total)
+                )
+    return out
+
+
+class TestExactModeIsSeed:
+    """``merge_mode="exact"`` must reproduce the seed merge bit-for-bit
+    (``repr`` equality on float values, not just tolerance)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_byte_identical_results(self, seed):
+        rng = random.Random(7000 + seed)
+        keys = ("a", "b", "c")
+        events = make_stream(900, seed=seed, keys=keys)
+        queries = random_queries(rng, keys)
+        expected = seed_reference(queries, events)
+        engine = run_engine(queries, events, merge_mode="exact")
+        for query in queries:
+            got = [
+                (r.start, r.end, repr(r.value), r.event_count)
+                for r in engine.sink.for_query(query.query_id)
+            ]
+            assert got == expected[query.query_id], query.query_id
+
+    def test_decomposable_kinds_cover_the_operator_set(self):
+        """Every operator kind is either decomposable (rides the layer) or
+        explicitly excluded; a new kind must make a choice."""
+        assert DECOMPOSABLE_MERGE_KINDS | {
+            OperatorKind.NON_DECOMPOSABLE_SORT
+        } == set(OperatorKind)

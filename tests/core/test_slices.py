@@ -87,27 +87,31 @@ class TestSliceStore:
         store.add(closed_slice(0, {0: [1.0, 2.0]}), refcount=1)
         store.add(closed_slice(1, {1: [9.0]}), refcount=1)  # other context
         store.add(closed_slice(2, {0: [3.0]}), refcount=1)
-        merged, events = store.merge_context_partials(
+        merged, events, merge_ops = store.merge_context_partials(
             0, 2, ctx=0, kinds=KINDS, merge=merge_many_partials
         )
         assert merged[K.SUM] == 6.0
         assert merged[K.COUNT] == 3
         assert events == 3
+        # two contributing slices, one partial each per kind
+        assert merge_ops == 2 * len(KINDS)
 
     def test_merge_skips_missing_slices(self):
         store = SliceStore()
         store.add(closed_slice(5, {0: [4.0]}), refcount=1)
-        merged, events = store.merge_context_partials(
+        merged, events, merge_ops = store.merge_context_partials(
             0, 9, ctx=0, kinds=(K.SUM,), merge=merge_many_partials
         )
         assert merged[K.SUM] == 4.0
         assert events == 1
+        assert merge_ops == 1
 
     def test_merge_empty_context_returns_nothing(self):
         store = SliceStore()
         store.add(closed_slice(0, {1: [4.0]}), refcount=1)
-        merged, events = store.merge_context_partials(
+        merged, events, merge_ops = store.merge_context_partials(
             0, 0, ctx=0, kinds=KINDS, merge=merge_many_partials
         )
         assert merged == {}
         assert events == 0
+        assert merge_ops == 0

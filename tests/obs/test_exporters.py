@@ -71,6 +71,16 @@ class TestPrometheus:
         assert 'net_bytes{link="a->b"} 42' in text
         assert "cluster_wall_seconds 1.5" in text
 
+    def test_merge_op_counters_render(self):
+        """The merge-work counters the bridges publish (engine.merge_ops,
+        cluster.root_merge_ops) survive the name mangling."""
+        registry = MetricsRegistry()
+        registry.counter("engine.merge_ops").inc(7)
+        registry.counter("cluster.root_merge_ops").inc(3)
+        text = render_prometheus(registry)
+        assert "engine_merge_ops 7" in text
+        assert "cluster_root_merge_ops 3" in text
+
     def test_histogram_expansion(self):
         lines = render_prometheus(small_registry()).splitlines()
         assert 'latency_ms_bucket{le="1"} 1' in lines

@@ -106,6 +106,18 @@ class TestBridges:
         assert registry.value("engine.calculations") == stats.calculations
         assert registry.value("engine.peak_live_slices") == stats.peak_live_slices
 
+    def test_engine_merge_ops_published(self):
+        queries = [
+            Query.of("q", WindowSpec.sliding(800, 100), AggFunction.AVERAGE)
+        ]
+        engine = AggregationEngine(queries)
+        engine.process_batch(make_stream(400))
+        engine.close()
+        assert engine.stats.merge_ops > 0
+        registry = MetricsRegistry()
+        publish_engine_stats(registry, engine.stats)
+        assert registry.value("engine.merge_ops") == engine.stats.merge_ops
+
     def test_engine_stats_labels_pass_through(self):
         stats = self._engine_stats()
         registry = MetricsRegistry()
@@ -134,6 +146,19 @@ class TestBridges:
             s.labels["link"] for s in registry.collect() if s.name == "net.bytes"
         }
         assert "local-0->mid-0" in links
+
+    def test_cluster_root_merge_ops_published(self):
+        queries = [
+            Query.of("q", WindowSpec.sliding(4_000, 500), AggFunction.SUM)
+        ]
+        streams = make_streams(2, 300)
+        result = DesisCluster(
+            queries, three_tier(2, 1), config=ClusterConfig(tick_interval=TICK)
+        ).run(streams)
+        assert result.root_merge_ops > 0
+        registry = MetricsRegistry()
+        publish_cluster_result(registry, result)
+        assert registry.value("cluster.root_merge_ops") == result.root_merge_ops
 
     def test_network_reliability_counters_published(self):
         queries = [Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)]

@@ -17,6 +17,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 import bench_faults  # noqa: E402
 import bench_hot_path  # noqa: E402
 import bench_recovery  # noqa: E402
+import bench_sliding_overlap  # noqa: E402
 
 
 def test_bench_hot_path_tiny_scale():
@@ -57,6 +58,27 @@ def test_bench_faults_tiny_scale():
         assert row["events_per_s"] > 0
         assert row["results"] == zero["results"]
         assert row["total_bytes"] >= zero["total_bytes"]
+
+
+def test_bench_sliding_overlap_tiny_scale():
+    # Exact-vs-incremental window parity is asserted inside ``run`` for
+    # every overlap, as is the tumbling both-modes-identical merge-op
+    # guard; the >= 5x reduction bar only applies at full scale.
+    report = bench_sliding_overlap.run(2_000, repeats=1)
+    assert report["events"] == 2_000
+    assert set(report["overlaps"]) == {"1", "8", "64"}
+    tumbling = report["overlaps"]["1"]
+    assert tumbling["exact"]["merge_ops"] == tumbling["incremental"]["merge_ops"]
+    for overlap, row in report["overlaps"].items():
+        assert set(row) == {
+            "exact", "incremental", "merge_op_reduction",
+            "windows_per_s_speedup",
+        }
+        for mode in ("exact", "incremental"):
+            assert row[mode]["windows_per_s"] > 0
+            assert row[mode]["windows_closed"] > 0
+        if overlap != "1":
+            assert row["merge_op_reduction"] >= 1.0
 
 
 def test_bench_recovery_tiny_scale():
