@@ -11,11 +11,14 @@ Examples::
         --trace --trace-out trace.jsonl --metrics-out metrics.json
 
     python -m repro report --locals 4 --events 20000 --drop-rate 0.01
+
+    python -m repro conformance --seed 7 --runs 25 --out conformance-out
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 
 from repro.baselines import CENTRALIZED_SYSTEMS
@@ -229,8 +232,68 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_conformance(args) -> int:
+    """Run the differential-fuzzing campaign and print its summary."""
+    from repro.conformance import (
+        publish_conformance_counters,  # noqa: F401  (re-export sanity)
+        render_conformance_summary,
+        run_conformance,
+    )
+
+    registry = MetricsRegistry()
+    report = run_conformance(
+        seed=args.seed,
+        runs=args.runs,
+        out=args.out,
+        shrink=not args.no_shrink,
+        metamorphic=not args.no_metamorphic,
+        max_events_per_node=args.max_events,
+        registry=registry,
+    )
+    print(render_conformance_summary(report))
+    if args.out:
+        print(f"report -> {args.out}/report.json")
+    if args.metrics_out:
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    return 0 if report["ok"] else 1
+
+
+#: one-line description per subcommand, shared by --help and the
+#: unknown-subcommand hint
+COMMANDS: dict[str, str] = {
+    "run": "execute textual queries on the single-node engine",
+    "compare": "compare all centralized systems on one workload",
+    "cluster": "run decentralized (Desis) vs centralized deployments",
+    "report": "run Desis and print the observability report",
+    "conformance": "differential fuzzing across engines, clusters, and faults",
+}
+
+
+class _Parser(argparse.ArgumentParser):
+    """Argparse with a friendlier unknown-subcommand error.
+
+    ``repro bogus`` exits 2 with the list of valid subcommands and a
+    did-you-mean hint instead of argparse's bare invalid-choice message.
+    """
+
+    def error(self, message: str) -> None:  # noqa: D401 - argparse hook
+        if "invalid choice" in message and self.prog == "repro":
+            bad = message.split("invalid choice: ", 1)[1].split("'")[1]
+            lines = [f"repro: error: unknown command {bad!r}"]
+            close = difflib.get_close_matches(bad, COMMANDS, n=1)
+            if close:
+                lines.append(f"hint: did you mean {close[0]!r}?")
+            lines.append("valid commands:")
+            lines.extend(
+                f"  {name:<12} {blurb}" for name, blurb in COMMANDS.items()
+            )
+            self.exit(2, "\n".join(lines) + "\n")
+        super().error(message)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="Desis reproduction: multi-query window aggregation",
     )
@@ -260,7 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write run metrics (.json, or .prom/.txt for "
                               "Prometheus text)")
 
-    run_cmd = sub.add_parser("run", help="execute textual queries")
+    run_cmd = sub.add_parser("run", help=COMMANDS["run"])
     run_cmd.add_argument("query", nargs="+", help="query strings")
     run_cmd.add_argument("--events", type=int, default=50_000)
     run_cmd.add_argument("--rate", type=float, default=2_000.0)
@@ -273,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(run_cmd)
     run_cmd.set_defaults(handler=cmd_run)
 
-    compare = sub.add_parser("compare", help="compare all systems")
+    compare = sub.add_parser("compare", help=COMMANDS["compare"])
     compare.add_argument("--queries", type=int, default=100)
     compare.add_argument("--events", type=int, default=100_000)
     compare.add_argument("--rate", type=float, default=50_000.0)
@@ -283,7 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.set_defaults(handler=cmd_compare)
 
-    cluster = sub.add_parser("cluster", help="decentralized vs centralized")
+    cluster = sub.add_parser("cluster", help=COMMANDS["cluster"])
     cluster.add_argument("--locals", type=int, default=4)
     cluster.add_argument("--events", type=int, default=20_000,
                          help="events per local node")
@@ -297,9 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(cluster)
     cluster.set_defaults(handler=cmd_cluster)
 
-    report = sub.add_parser(
-        "report", help="run Desis and print the observability report"
-    )
+    report = sub.add_parser("report", help=COMMANDS["report"])
     report.add_argument("--locals", type=int, default=4)
     report.add_argument("--events", type=int, default=20_000,
                         help="events per local node")
@@ -339,6 +400,31 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--metrics-out", default=None, dest="metrics_out",
                         metavar="PATH")
     report.set_defaults(handler=cmd_report)
+
+    conformance = sub.add_parser("conformance", help=COMMANDS["conformance"])
+    conformance.add_argument("--seed", type=int, default=0,
+                             help="campaign seed (same seed -> same report)")
+    conformance.add_argument("--runs", type=int, default=10,
+                             help="number of generated scenarios")
+    conformance.add_argument("--out", default=None, metavar="DIR",
+                             help="write report.json plus a minimized "
+                                  "repro-<digest>.py/.json per failure")
+    conformance.add_argument("--no-shrink", action="store_true",
+                             dest="no_shrink",
+                             help="report failures without delta-debugging "
+                                  "them to a minimal repro")
+    conformance.add_argument("--no-metamorphic", action="store_true",
+                             dest="no_metamorphic",
+                             help="skip the metamorphic relations (reshard, "
+                                  "duplicate-query, goodput)")
+    conformance.add_argument("--max-events", type=int, default=160,
+                             dest="max_events", metavar="N",
+                             help="cap on generated events per node")
+    conformance.add_argument("--metrics-out", default=None,
+                             dest="metrics_out", metavar="PATH",
+                             help="write conformance.* counters "
+                                  "(.json, or .prom/.txt for Prometheus text)")
+    conformance.set_defaults(handler=cmd_conformance)
     return parser
 
 

@@ -82,11 +82,17 @@ class _SlicedLocalGroup:
             for query in window.queries
             if query.query_id in self._userdef_ids
         ]
+        # A marker cut closes *after* inserting the marker event, so the
+        # slice contains an event stamped exactly ``closed.end``.  Ship it
+        # with its truthful exclusive end (``end + 1``) — otherwise a
+        # marker landing on a fixed-window boundary leaks its event into
+        # the windows *ending* there instead of the ones *starting* there.
+        inclusive = any(end == closed.end for _, end in userdef_eps)
         if contexts or userdef_eps:
             self.pending.append(
                 SliceRecord(
                     start=closed.start,
-                    end=closed.end,
+                    end=closed.end + 1 if inclusive else closed.end,
                     contexts=contexts,
                     userdef_eps=userdef_eps,
                 )
@@ -231,11 +237,15 @@ class _RootEvalLocalGroup:
                     ops={OperatorKind.NON_DECOMPOSABLE_SORT: values},
                     span=span,
                 )
+        # Inclusive (post-insert) marker cuts contain an event stamped at
+        # the boundary itself; label them with the exclusive end so root
+        # interval assembly never misattributes the marker event.
+        shipped_end = at + 1 if inclusive else at
         if contexts or self.pending_eps:
             self.pending.append(
                 SliceRecord(
                     start=self.window_start,
-                    end=at,
+                    end=shipped_end,
                     contexts=contexts,
                     userdef_eps=self.pending_eps,
                 )
@@ -250,9 +260,9 @@ class _RootEvalLocalGroup:
                     group=self.group.group_id,
                     index=self.ship_seq + len(self.pending) - 1,
                     start=self.window_start,
-                    end=at,
+                    end=shipped_end,
                 )
-        self.window_start = at
+        self.window_start = shipped_end
 
     def on_event(self, event: Event) -> None:
         # Pre-insert cuts: fixed punctuations passed by this event, and

@@ -396,9 +396,12 @@ class RootAssembler:
 
     def _close_userdef(self, now: int) -> None:
         for state in self.userdef:
-            while state.eps and state.eps[0] <= self.covered:
+            # The marker event belongs to the trip it ends, and its slice
+            # is labeled with the exclusive end ``marker + 1`` — so wait
+            # for coverage strictly past the marker and consume through it.
+            while state.eps and state.eps[0] < self.covered:
                 marker = state.eps.pop(0)
-                merged, count = self._consume_until(state, marker)
+                merged, count = self._consume_until(state, marker + 1)
                 if count:
                     self.emit(
                         state.query, state.prev_end, marker, merged, count, now

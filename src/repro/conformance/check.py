@@ -1,0 +1,344 @@
+"""Equivalence checkers and metamorphic relations.
+
+Two layers of checking:
+
+1. **Differential**: every executor configuration of a scenario is
+   compared against the reference (``engine-exact``), plus a handful of
+   *byte-identical* pairs where the contract is exact (alternate
+   punctuation mode, batched ingestion under ``merge_mode="exact"``, and
+   fault-plan runs vs their clean twin).  Value comparison is governed by
+   the per-operator-kind :func:`~repro.conformance.oracle.tolerance_for`
+   policy — exact for count/extrema/sorted functions, 1e-9 relative for
+   float folds whenever the two sides fold in different orders.
+
+2. **Metamorphic**: properties that need no reference implementation —
+   re-sharding the same global event multiset over a different number of
+   local nodes must not change results; submitting the same query twice
+   must yield twice the identical rows; a recoverable fault plan must
+   leave both the results and the *goodput* (unique delivered payload
+   bytes) of the clean reliable run unchanged.
+
+:func:`evaluate_scenario` drives all of it and returns the flat list of
+failure descriptions the runner and the shrinker share as their predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cluster import ClusterConfig, DesisCluster
+from repro.core.engine import AggregationEngine
+from repro.core.event import Event, merge_streams
+from repro.core.query import Query
+from repro.network.simnet import FaultPlan
+from repro.network.topology import star
+from repro.conformance.executors import (
+    ExecutionResult,
+    Row,
+    canonical_rows,
+    executor_matrix,
+    in_order_streams,
+    _final_time,
+    _merged,
+)
+from repro.conformance.oracle import TolerancePolicy, tolerance_for, values_match
+from repro.conformance.scenario import NEVER, Scenario
+
+__all__ = [
+    "compare_results",
+    "evaluate_scenario",
+    "check_duplicate_query_invariance",
+    "check_reshard_invariance",
+    "check_fault_goodput",
+]
+
+_MAX_REPORTED = 5  # mismatch lines reported per comparison
+
+
+# -- row comparison ----------------------------------------------------------
+
+
+def _drop_queries(rows: list[Row], excluded: frozenset[str]) -> list[Row]:
+    if not excluded:
+        return rows
+    return [row for row in rows if row[0] not in excluded]
+
+
+def _policies(scenario: Scenario, *, merge_mode: str,
+              cross_fold: bool) -> dict[str, TolerancePolicy]:
+    return {
+        query.query_id: tolerance_for(query, merge_mode=merge_mode,
+                                      cross_fold=cross_fold)
+        for query in scenario.build_queries()
+    }
+
+
+def compare_results(
+    scenario: Scenario,
+    left: ExecutionResult,
+    right: ExecutionResult,
+    *,
+    merge_mode: str = "exact",
+    cross_fold: bool = False,
+) -> list[str]:
+    """Mismatch descriptions between two executions (empty = equivalent).
+
+    Queries flagged incomparable by exactly one side (user-defined windows
+    under decentralized, watermark-granular termination) are skipped; when
+    both sides flag them (two cluster runs over the same sharding) their
+    rows are compared like any other.
+    """
+    excluded = left.incomparable_queries ^ right.incomparable_queries
+    left_rows = _drop_queries(left.rows, excluded)
+    right_rows = _drop_queries(right.rows, excluded)
+    policies = _policies(scenario, merge_mode=merge_mode,
+                         cross_fold=cross_fold)
+    label = f"{right.name} vs {left.name}"
+    failures: list[str] = []
+    if len(left_rows) != len(right_rows):
+        failures.append(
+            f"{label}: {len(right_rows)} rows, expected {len(left_rows)}"
+        )
+    for lrow, rrow in zip(left_rows, right_rows):
+        lq, ls, le, ln, lv = lrow
+        rq, rs, re_, rn, rv = rrow
+        policy = policies.get(lq, TolerancePolicy())
+        if (lq, ls, le, ln) != (rq, rs, re_, rn):
+            failures.append(f"{label}: window {rrow!r}, expected {lrow!r}")
+        elif not values_match(lv, rv, policy):
+            failures.append(
+                f"{label}: {lq}[{ls}..{le}) value {rv!r}, expected {lv!r}"
+                f" (rel_tol={policy.rel_tol})"
+            )
+        if len(failures) >= _MAX_REPORTED:
+            failures.append(f"{label}: ... further mismatches suppressed")
+            break
+    return failures
+
+
+# -- metamorphic relations ---------------------------------------------------
+
+
+def check_duplicate_query_invariance(
+    scenario: Scenario, streams: dict[str, list[Event]]
+) -> list[str]:
+    """Submitting the first query twice must not change anything.
+
+    The clone's rows must be byte-identical to the original's, and every
+    pre-existing query's rows must match the reference run exactly.
+    """
+    queries = scenario.build_queries()
+    if not queries:
+        return []
+    original = queries[0]
+    clone = Query(
+        query_id="__dup__",
+        window=original.window,
+        function=original.function,
+        selection=original.selection,
+    )
+    merged = _merged(streams)
+    engine = AggregationEngine(queries + [clone], merge_mode="exact")
+    engine.advance(0)
+    for event in merged:
+        engine.process(event)
+    sink = engine.close(_final_time(scenario, merged))
+    original_rows = [
+        (r.start, r.end, r.event_count, r.value)
+        for r in sink.for_query(original.query_id)
+    ]
+    clone_rows = [
+        (r.start, r.end, r.event_count, r.value)
+        for r in sink.for_query("__dup__")
+    ]
+    if original_rows != clone_rows:
+        return [
+            "duplicate-query: clone of "
+            f"{original.query_id!r} produced {len(clone_rows)} rows vs "
+            f"{len(original_rows)}, or differing values"
+        ]
+    return []
+
+
+def check_reshard_invariance(
+    scenario: Scenario,
+    streams: dict[str, list[Event]],
+    baseline: ExecutionResult,
+) -> list[str]:
+    """Re-dealing the same global events over more locals is invisible.
+
+    The global event multiset is redistributed round-robin (preserving
+    time order within each node) over ``n_nodes + 1`` locals on a star
+    topology; the clean Desis run over that sharding must match the
+    scenario's own clean Desis run, float folds within tolerance.
+    """
+    merged = _merged(streams)
+    n = scenario.n_nodes + 1
+    resharded: dict[str, list[Event]] = {f"local-{i}": [] for i in range(n)}
+    for index, event in enumerate(merged):
+        resharded[f"local-{index % n}"].append(event)
+    config = ClusterConfig(
+        tick_interval=scenario.tick_interval,
+        batch_ms=scenario.batch_ms,
+        punctuation_mode=scenario.punctuation_mode,
+        merge_mode=scenario.merge_mode,
+        checkpoint_interval=scenario.checkpoint_interval,
+    )
+    result = DesisCluster(
+        scenario.build_queries(), star(n), config=config
+    ).run(resharded)
+    # user-defined windows open per-node, so their rows are legitimately
+    # shard-dependent: flag them on this side only, which excludes them
+    # from the comparison against the baseline cluster run
+    resharded_result = ExecutionResult(
+        "cluster-desis-resharded",
+        canonical_rows(result.sink),
+        incomparable_queries=frozenset(),
+    )
+    if baseline.incomparable_queries:
+        resharded_result = ExecutionResult(
+            resharded_result.name,
+            _drop_queries(resharded_result.rows,
+                          baseline.incomparable_queries),
+            incomparable_queries=frozenset(),
+        )
+        baseline = ExecutionResult(
+            baseline.name,
+            _drop_queries(baseline.rows, baseline.incomparable_queries),
+            incomparable_queries=frozenset(),
+            meta=baseline.meta,
+        )
+    return compare_results(
+        scenario, baseline, resharded_result,
+        merge_mode=scenario.merge_mode, cross_fold=True,
+    )
+
+
+def check_fault_goodput(
+    scenario: Scenario,
+    faulty: ExecutionResult,
+    clean: ExecutionResult,
+) -> list[str]:
+    """A recoverable link-fault plan must not change goodput.
+
+    Both runs use the reliable channel (the clean twin runs an all-zero
+    plan so envelopes are identical); the faulty run's goodput — data
+    bytes minus retransmitted and duplicated copies — must equal the
+    clean run's, and the clean run must waste nothing.
+    """
+    failures = []
+    clean_goodput = clean.meta.get("goodput_data_bytes")
+    clean_data = clean.meta.get("data_bytes")
+    faulty_goodput = faulty.meta.get("goodput_data_bytes")
+    if clean_goodput != clean_data:
+        failures.append(
+            f"goodput: clean reliable run wasted bytes "
+            f"(goodput {clean_goodput} != data {clean_data})"
+        )
+    if faulty_goodput != clean_goodput:
+        failures.append(
+            f"goodput: faulty run goodput {faulty_goodput} != clean "
+            f"{clean_goodput}"
+        )
+    return failures
+
+
+def _run_zero_plan_twin(scenario: Scenario,
+                        streams: dict[str, list[Event]]) -> ExecutionResult:
+    from repro.conformance.executors import _run_cluster
+
+    zero = replace(scenario, fault=None)
+    return _run_cluster(
+        zero, streams, name="cluster-desis-zeroplan", deployment="desis",
+        fault=FaultPlan(seed=0),
+    )
+
+
+# -- the full evaluation -----------------------------------------------------
+
+
+def evaluate_scenario(
+    scenario: Scenario, *, metamorphic: bool = True
+) -> tuple[list[str], dict[str, ExecutionResult]]:
+    """Run every applicable executor and checker; return the failures.
+
+    Returns ``(failures, executions)`` where ``executions`` maps executor
+    name to its :class:`ExecutionResult` (for reporting/digesting).
+    """
+    streams = in_order_streams(scenario)
+    executions: dict[str, ExecutionResult] = {}
+    failures: list[str] = []
+    for name, fn in executor_matrix(scenario):
+        try:
+            executions[name] = fn(scenario, streams)
+        except Exception as exc:  # a crash is a conformance failure too
+            failures.append(f"{name}: raised {type(exc).__name__}: {exc}")
+    reference = executions.get("engine-exact")
+    if reference is None:
+        return failures, executions
+
+    def against_reference(name: str, *, merge_mode: str, cross_fold: bool):
+        execution = executions.get(name)
+        if execution is not None:
+            failures.extend(
+                compare_results(scenario, reference, execution,
+                                merge_mode=merge_mode, cross_fold=cross_fold)
+            )
+
+    # byte-identical contracts
+    against_reference("engine-alt", merge_mode="exact", cross_fold=False)
+    against_reference("engine-batch", merge_mode=scenario.merge_mode,
+                      cross_fold=False)
+    # independently-ordered folds: tolerance on float folds only
+    against_reference("oracle", merge_mode="exact", cross_fold=True)
+    against_reference("baseline-scotty", merge_mode="exact", cross_fold=True)
+    against_reference("cluster-desis", merge_mode=scenario.merge_mode,
+                      cross_fold=True)
+    against_reference("cluster-centralized", merge_mode=scenario.merge_mode,
+                      cross_fold=True)
+    against_reference("cluster-disco", merge_mode=scenario.merge_mode,
+                      cross_fold=True)
+    # the faulty run must be byte-identical to its clean twin
+    clean = executions.get("cluster-desis")
+    faulty = executions.get("cluster-desis-faulty")
+    if clean is not None and faulty is not None:
+        failures.extend(
+            compare_results(scenario, clean, faulty,
+                            merge_mode="exact", cross_fold=False)
+        )
+
+    if metamorphic:
+        try:
+            failures.extend(
+                check_duplicate_query_invariance(scenario, streams)
+            )
+        except Exception as exc:
+            failures.append(
+                f"duplicate-query: raised {type(exc).__name__}: {exc}"
+            )
+        if clean is not None:
+            try:
+                failures.extend(
+                    check_reshard_invariance(scenario, streams, clean)
+                )
+            except Exception as exc:
+                failures.append(
+                    f"reshard: raised {type(exc).__name__}: {exc}"
+                )
+        if (
+            faulty is not None
+            and scenario.fault is not None
+            and scenario.fault.link_faults_only
+        ):
+            try:
+                twin = _run_zero_plan_twin(scenario, streams)
+                failures.extend(
+                    compare_results(scenario, twin, faulty,
+                                    merge_mode="exact", cross_fold=False)
+                )
+                failures.extend(check_fault_goodput(scenario, faulty, twin))
+            except Exception as exc:
+                failures.append(
+                    f"goodput: raised {type(exc).__name__}: {exc}"
+                )
+    return failures, executions

@@ -13,6 +13,7 @@ from repro.obs.registry import (
     MetricSample,
     MetricsRegistry,
     publish_cluster_result,
+    publish_conformance_counters,
     publish_engine_stats,
     publish_latency_summary,
     publish_network_stats,
@@ -41,6 +42,7 @@ __all__ = [
     "MetricSample",
     "MetricsRegistry",
     "publish_cluster_result",
+    "publish_conformance_counters",
     "publish_engine_stats",
     "publish_latency_summary",
     "publish_network_stats",

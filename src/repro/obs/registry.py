@@ -38,6 +38,7 @@ __all__ = [
     "publish_network_stats",
     "publish_cluster_result",
     "publish_latency_summary",
+    "publish_conformance_counters",
 ]
 
 #: default histogram buckets (ms): tuned for event-time result latency
@@ -307,3 +308,33 @@ def publish_latency_summary(registry: MetricsRegistry, summary,
         registry.gauge(f"latency.{name}", **labels).set(
             getattr(summary, name)
         )
+
+
+def publish_conformance_counters(registry: MetricsRegistry, report: dict,
+                                 *, shrink_runs: int = 0) -> None:
+    """Publish a conformance report's roll-up under ``conformance.*``.
+
+    ``report`` is the dict returned by
+    :func:`repro.conformance.run_conformance`; stable names:
+
+    * ``conformance.scenarios`` — scenarios evaluated
+    * ``conformance.executions`` — executor configurations run
+    * ``conformance.comparisons`` — row-set comparisons performed
+    * ``conformance.failures`` — scenarios with at least one mismatch
+    * ``conformance.mismatches`` — individual mismatch lines
+    * ``conformance.shrink_runs`` — predicate evaluations spent shrinking
+    """
+    scenarios = report.get("scenarios", ())
+    registry.counter("conformance.scenarios").inc(len(scenarios))
+    registry.counter("conformance.executions").inc(
+        sum(len(v.get("executors", {})) for v in scenarios)
+    )
+    registry.counter("conformance.comparisons").inc(
+        # every non-reference executor is compared at least once
+        sum(max(len(v.get("executors", {})) - 1, 0) for v in scenarios)
+    )
+    registry.counter("conformance.failures").inc(report.get("failed", 0))
+    registry.counter("conformance.mismatches").inc(
+        sum(len(v.get("failures", ())) for v in scenarios)
+    )
+    registry.counter("conformance.shrink_runs").inc(shrink_runs)

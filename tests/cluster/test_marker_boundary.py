@@ -1,0 +1,98 @@
+"""Regression: a marker event landing exactly on a fixed-window boundary.
+
+Found by the conformance fuzzer (and shrunk to this one-event case): the
+local's post-insert marker cut used to ship a slice labeled ``end=T`` that
+*contained* the event stamped ``T``, so when ``T`` coincided with a fixed
+punctuation the root attributed the marker event to the sliding windows
+ending at ``T`` instead of the ones starting there.  Marker-inclusive
+slices now carry their truthful exclusive end ``T + 1``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterConfig, DesisCluster
+from repro.core.engine import AggregationEngine
+from repro.core.event import Event
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+from repro.network.topology import three_tier
+
+
+def build_queries():
+    return [
+        Query.of("slide", WindowSpec.sliding(1_000, 100), AggFunction.AVERAGE),
+        Query.of("trip", WindowSpec.user_defined("end"), AggFunction.MIN),
+    ]
+
+
+def run_cluster(streams):
+    config = ClusterConfig(tick_interval=500)
+    result = DesisCluster(build_queries(), three_tier(3, 1), config=config).run(
+        {node: list(events) for node, events in streams.items()}
+    )
+    return sorted(
+        (r.query_id, r.start, r.end, r.event_count, r.value)
+        for r in result.sink
+    )
+
+
+def run_engine(streams, final):
+    engine = AggregationEngine(build_queries())
+    engine.advance(0)
+    merged = sorted(
+        (e for events in streams.values() for e in events),
+        key=lambda e: e.time,
+    )
+    for event in merged:
+        engine.process(event)
+    return sorted(
+        (r.query_id, r.start, r.end, r.event_count, r.value)
+        for r in engine.close(final)
+    )
+
+
+def slide_only(rows):
+    # user-defined trips open at watermark granularity in decentralized
+    # deployments (Sec 5.1.2), so only the fixed windows are comparable
+    # across deployments
+    return [row for row in rows if row[0] == "slide"]
+
+
+def test_marker_on_slide_boundary_counts_into_opening_windows():
+    # t=8400 is a slide-grid punctuation (multiple of 100): the marker
+    # event must land in windows [7500,8500)..[8400,9400), never [7400,8400)
+    streams = {
+        "local-0": [Event(8400, "k0", 95.0, "end")],
+        "local-1": [],
+        "local-2": [],
+    }
+    rows = slide_only(run_cluster(streams))
+    assert rows == slide_only(run_engine(streams, final=8500))
+    assert rows
+    assert all(start <= 8400 < end for _, start, end, _, _ in rows)
+
+
+def test_marker_off_the_grid_unchanged():
+    streams = {
+        "local-0": [Event(8433, "k0", 95.0, "end")],
+        "local-1": [],
+        "local-2": [],
+    }
+    assert slide_only(run_cluster(streams)) == slide_only(
+        run_engine(streams, final=8500)
+    )
+
+
+def test_marker_trip_still_includes_its_marker_event():
+    streams = {
+        "local-0": [Event(100, "k0", 5.0, None), Event(8400, "k0", 3.0, "end")],
+        "local-1": [Event(301, "k1", 9.0, None)],
+        "local-2": [],
+    }
+    rows = run_cluster(streams)
+    trips = [row for row in rows if row[0] == "trip"]
+    assert len(trips) == 1
+    _, _, end, count, value = trips[0]
+    assert end == 8400
+    assert count == 3  # the t=8400 marker event belongs to the trip it ends
+    assert value == 3.0

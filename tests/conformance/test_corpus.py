@@ -1,0 +1,62 @@
+"""Tier-1 replay of the committed conformance seed corpus.
+
+Each ``corpus/*.json`` file is one interesting hand-picked scenario —
+maximum query-group pressure, empty windows, a crash opening exactly on a
+slice boundary, 64-fold sliding overlap, heavy link faults, and so on.
+They replay bit-for-bit from their JSON alone, so any behavioral drift in
+the engines shows up here as a differential failure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.conformance import Scenario, evaluate_scenario, executor_matrix
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(
+    name for name in os.listdir(CORPUS_DIR) if name.endswith(".json")
+)
+
+
+def load(name: str) -> Scenario:
+    with open(os.path.join(CORPUS_DIR, name), encoding="utf-8") as handle:
+        return Scenario.from_json(handle.read())
+
+
+def test_corpus_is_big_enough():
+    assert len(CORPUS) >= 10
+
+
+def test_corpus_covers_the_interesting_cases():
+    names = {name.removesuffix(".json") for name in CORPUS}
+    for required in ("max-group-count", "empty-windows",
+                     "crash-at-slice-boundary", "overlap-64-sliding"):
+        assert required in names, required
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_corpus_scenario_conforms(name):
+    scenario = load(name)
+    assert len(executor_matrix(scenario)) >= 4
+    failures, executions = evaluate_scenario(scenario)
+    assert not failures, failures
+    assert "engine-exact" in executions
+
+
+def test_overlap_64_actually_overlaps_64():
+    scenario = load("overlap-64-sliding.json")
+    q = scenario.queries[0]
+    assert q.length // q.slide == 64
+
+
+def test_crash_scenario_recovers_from_checkpoint():
+    scenario = load("crash-at-slice-boundary.json")
+    assert scenario.fault is not None and scenario.fault.crashes
+    assert scenario.fault.crashes[0].start % scenario.tick_interval == 0
+    _, executions = evaluate_scenario(scenario, metamorphic=False)
+    faulty = executions["cluster-desis-faulty"]
+    assert faulty.meta["recoveries"] >= 1
+    assert faulty.meta["checkpoints"] >= 1

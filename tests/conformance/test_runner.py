@@ -1,0 +1,82 @@
+"""The campaign runner: determinism, reporting, and obs counters."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.conformance import (
+    ScenarioGenerator,
+    render_conformance_summary,
+    run_conformance,
+    run_scenario,
+)
+from repro.obs import MetricsRegistry
+
+
+class TestDeterminism:
+    def test_same_seed_two_invocations_identical_report(self):
+        first = run_conformance(seed=5, runs=3)
+        second = run_conformance(seed=5, runs=3)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_report_on_disk_matches_in_memory(self, tmp_path):
+        report = run_conformance(seed=2, runs=2, out=str(tmp_path))
+        with open(tmp_path / "report.json", encoding="utf-8") as handle:
+            on_disk = json.load(handle)
+        assert on_disk == report
+
+    def test_every_scenario_runs_at_least_four_executors(self):
+        report = run_conformance(seed=5, runs=4)
+        for verdict in report["scenarios"]:
+            assert len(verdict["executors"]) >= 4, verdict["name"]
+
+
+class TestVerdicts:
+    def test_clean_scenario_verdict_shape(self):
+        scenario = ScenarioGenerator(11).generate(0)
+        verdict = run_scenario(scenario)
+        assert verdict["ok"] is True
+        assert verdict["failures"] == []
+        assert verdict["digest"] == scenario.digest
+        assert verdict["total_events"] == scenario.total_events
+        for entry in verdict["executors"].values():
+            assert set(entry) == {"rows", "rows_digest"}
+
+    def test_summary_mentions_every_scenario(self):
+        report = run_conformance(seed=4, runs=3)
+        summary = render_conformance_summary(report)
+        for verdict in report["scenarios"]:
+            assert verdict["name"] in summary
+        assert "failed=0" in summary
+
+
+class TestCounters:
+    def test_counters_published_into_registry(self):
+        registry = MetricsRegistry()
+        report = run_conformance(seed=3, runs=2, registry=registry)
+        values = {s.name: s.value for s in registry.collect()}
+        assert values["conformance.scenarios"] == 2
+        assert values["conformance.failures"] == 0
+        executions = sum(
+            len(v["executors"]) for v in report["scenarios"]
+        )
+        assert values["conformance.executions"] == executions
+        assert values["conformance.comparisons"] == executions - 2
+
+
+@pytest.mark.conformance
+class TestNightlySweep:
+    """The large randomized campaign the nightly CI job runs."""
+
+    def test_forty_scenario_sweep_is_clean(self, tmp_path):
+        report = run_conformance(
+            seed=int(os.environ.get("CONFORMANCE_SEED", "0")),
+            runs=40,
+            out=str(tmp_path),
+        )
+        assert report["ok"], render_conformance_summary(report)

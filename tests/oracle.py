@@ -1,199 +1,32 @@
-"""A naive reference implementation ("oracle") for window aggregation.
+"""Compatibility shim: the naive reference oracle moved into the package.
 
-The oracle computes window results directly from the full event list with
-no slicing, no sharing, and no incremental state — the most obviously
-correct implementation possible.  Engine tests compare against it.
-
-Semantics mirrored from the engine:
-
-* Tumbling/sliding time windows align to the first event's timestamp and
-  fire when stream time passes their end; windows still open at close time
-  are emitted with their declared end but only the observed events.
-* Session windows close ``gap`` ms after their last matching event (an
-  event exactly at ``last + gap`` starts a new session).
-* User-defined windows (no start marker) open at the first key-relevant
-  event after the previous window closed and close with the end-marker
-  event inclusive.
-* Count windows cover ``length`` matching events, advancing every
-  ``slide`` matching events.
-* Empty windows are not emitted.
+It now lives at :mod:`repro.conformance.oracle` so the conformance harness
+can use it as its independent reference implementation.  Test modules keep
+importing from ``tests.oracle``.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
+from repro.conformance.oracle import (  # noqa: F401
+    EXACT,
+    FLOAT_FOLD_FUNCTIONS,
+    OracleWindow,
+    TolerancePolicy,
+    naive_results,
+    naive_value,
+    naive_windows,
+    tolerance_for,
+    values_match,
+)
 
-from repro.core.event import Event
-from repro.core.query import Query
-from repro.core.types import AggFunction, WindowMeasure, WindowType
-
-
-@dataclass
-class OracleWindow:
-    start: int
-    end: int
-    values: list[float]
-
-
-def naive_value(query: Query, values: list[float]):
-    """Directly compute the aggregation function over ``values``."""
-    fn = query.function.fn
-    if fn is AggFunction.SUM:
-        return sum(values)
-    if fn is AggFunction.COUNT:
-        return len(values)
-    if fn is AggFunction.AVERAGE:
-        return sum(values) / len(values) if values else None
-    if fn is AggFunction.PRODUCT:
-        return math.prod(values)
-    if fn is AggFunction.GEOMETRIC_MEAN:
-        if not values:
-            return None
-        return math.prod(values) ** (1.0 / len(values))
-    if fn is AggFunction.MAX:
-        return max(values) if values else None
-    if fn is AggFunction.MIN:
-        return min(values) if values else None
-    if fn in (AggFunction.VARIANCE, AggFunction.STDDEV):
-        if not values:
-            return None
-        mean = sum(values) / len(values)
-        variance = max(
-            sum(v * v for v in values) / len(values) - mean * mean, 0.0
-        )
-        return variance if fn is AggFunction.VARIANCE else variance**0.5
-    if not values:
-        return None
-    q = 0.5 if fn is AggFunction.MEDIAN else query.function.quantile
-    ordered = sorted(values)
-    position = q * (len(ordered) - 1)
-    lower = int(position)
-    upper = min(lower + 1, len(ordered) - 1)
-    fraction = position - lower
-    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
-
-
-def _matching(query: Query, events: list[Event]) -> list[Event]:
-    return [event for event in events if query.selection.matches(event)]
-
-
-def _fixed_windows(query: Query, events: list[Event], final: int) -> list[OracleWindow]:
-    origin = events[0].time
-    length = query.window.length
-    slide = query.window.effective_slide
-    matching = _matching(query, events)
-    windows = []
-    start = origin
-    while start <= final:
-        end = start + length
-        if end <= final:
-            values = [e.value for e in matching if start <= e.time < end]
-        else:
-            values = [e.value for e in matching if start <= e.time <= final]
-        windows.append(OracleWindow(start, end, values))
-        start += slide
-    return windows
-
-
-def _session_windows(query: Query, events: list[Event], final: int) -> list[OracleWindow]:
-    gap = query.window.gap
-    matching = _matching(query, events)
-    windows: list[OracleWindow] = []
-    current: OracleWindow | None = None
-    last = None
-    for event in matching:
-        if current is None:
-            current = OracleWindow(event.time, event.time, [event.value])
-        elif event.time - last >= gap:
-            current.end = last + gap
-            windows.append(current)
-            current = OracleWindow(event.time, event.time, [event.value])
-        else:
-            current.values.append(event.value)
-        last = event.time
-    if current is not None:
-        current.end = min(last + gap, final)
-        windows.append(current)
-    return windows
-
-
-def _userdef_windows(query: Query, events: list[Event], final: int) -> list[OracleWindow]:
-    spec = query.window
-    key = query.selection.key
-    windows: list[OracleWindow] = []
-    current: OracleWindow | None = None
-    for event in events:
-        relevant = key is None or event.key == key
-        if not relevant:
-            continue
-        if current is None:
-            opens = (
-                spec.start_marker is None or event.marker == spec.start_marker
-            )
-            if not opens:
-                continue
-            current = OracleWindow(event.time, event.time, [])
-        if query.selection.matches(event):
-            current.values.append(event.value)
-        if event.marker == spec.end_marker:
-            current.end = event.time
-            windows.append(current)
-            current = None
-    if current is not None:
-        current.end = final
-        windows.append(current)
-    return windows
-
-
-def _count_windows(query: Query, events: list[Event], final: int) -> list[OracleWindow]:
-    length = query.window.length
-    slide = query.window.effective_slide
-    matching = _matching(query, events)
-    windows = []
-    start_index = 0
-    while start_index < len(matching):
-        chunk = matching[start_index : start_index + length]
-        if not chunk:
-            break
-        end = chunk[-1].time if len(chunk) == length else final
-        windows.append(
-            OracleWindow(chunk[0].time, end, [e.value for e in chunk])
-        )
-        start_index += slide
-    return windows
-
-
-def naive_windows(
-    query: Query, events: list[Event], final: int | None = None
-) -> list[OracleWindow]:
-    """All (possibly empty) windows of ``query`` over ``events``."""
-    if not events:
-        return []
-    if final is None:
-        final = events[-1].time
-    if query.window.measure is WindowMeasure.COUNT:
-        return _count_windows(query, events, final)
-    kind = query.window.window_type
-    if kind in (WindowType.TUMBLING, WindowType.SLIDING):
-        return _fixed_windows(query, events, final)
-    if kind is WindowType.SESSION:
-        return _session_windows(query, events, final)
-    return _userdef_windows(query, events, final)
-
-
-def naive_results(
-    query: Query, events: list[Event], final: int | None = None
-) -> list[tuple[int, int, object, int]]:
-    """Emitted results: ``(start, end, value, event_count)`` per window.
-
-    Empty windows are skipped, matching the engine's default.
-    """
-    out = []
-    for window in naive_windows(query, events, final):
-        if not window.values:
-            continue
-        out.append(
-            (window.start, window.end, naive_value(query, window.values), len(window.values))
-        )
-    return out
+__all__ = [
+    "EXACT",
+    "FLOAT_FOLD_FUNCTIONS",
+    "OracleWindow",
+    "TolerancePolicy",
+    "naive_results",
+    "naive_value",
+    "naive_windows",
+    "tolerance_for",
+    "values_match",
+]

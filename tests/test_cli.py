@@ -185,3 +185,70 @@ class TestReport:
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+class TestHelpAndUnknownCommands:
+    ALL_COMMANDS = ("run", "compare", "cluster", "report", "conformance")
+
+    def test_help_lists_every_subcommand_with_a_description(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        from repro.__main__ import COMMANDS
+
+        assert set(COMMANDS) == set(self.ALL_COMMANDS)
+        flat = " ".join(out.split())  # argparse wraps long help lines
+        for name in self.ALL_COMMANDS:
+            assert name in flat
+            assert COMMANDS[name] in flat
+
+    def test_unknown_command_exits_nonzero_with_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["conformence"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'conformence'" in err
+        assert "did you mean 'conformance'?" in err
+        assert "Traceback" not in err
+
+    def test_unknown_command_without_close_match_lists_commands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'bogus'" in err
+        for name in self.ALL_COMMANDS:
+            assert name in err
+
+
+class TestConformanceCommand:
+    def test_clean_run_prints_summary_and_exits_zero(self, capsys):
+        code = main(["conformance", "--seed", "3", "--runs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conformance: seed=3 runs=2 failed=0" in out
+        assert "executors: ok" in out
+
+    def test_out_dir_gets_the_report(self, capsys, tmp_path):
+        out_dir = tmp_path / "conf"
+        code = main(
+            ["conformance", "--seed", "1", "--runs", "1",
+             "--out", str(out_dir), "--no-metamorphic"]
+        )
+        assert code == 0
+        report = json.loads((out_dir / "report.json").read_text())
+        assert report["ok"] is True
+        assert report["seed"] == 1
+
+    def test_metrics_out_carries_conformance_counters(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["conformance", "--seed", "2", "--runs", "1",
+             "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        document = json.loads(metrics.read_text())
+        names = {m["name"] for m in document["metrics"]}
+        assert "conformance.scenarios" in names
+        assert "conformance.failures" in names
