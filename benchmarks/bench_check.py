@@ -1,0 +1,92 @@
+"""Benchmark regression gate CLI (see repro.obs.regress).
+
+Compares the repo's current ``BENCH_*.json`` reports against the
+committed baseline manifest and exits non-zero when any gated metric
+regressed past its tolerance band or disappeared.  CI runs this before
+anything overwrites the committed reports (the tier-1 bench smokes
+rewrite ``BENCH_sliding.json``/``BENCH_recovery.json`` at reduced
+scale) and again in the weekly job after the full-scale benches.
+
+    python benchmarks/bench_check.py                 # gate, exit 1 on fail
+    python benchmarks/bench_check.py --json out.json # also dump verdicts
+    python benchmarks/bench_check.py --update        # re-pin the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.regress import (  # noqa: E402
+    BaselineManifest,
+    check_benchmarks,
+    render_regression_report,
+)
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_check", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline manifest path (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=str(REPO_ROOT),
+        help="directory holding the BENCH_*.json reports (default: repo root)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full verdict document as JSON",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="re-pin the baseline from the current reports and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        manifest = BaselineManifest.from_reports(args.bench_dir)
+        manifest.save(args.baseline)
+        pinned = sum(len(m) for m in manifest.benchmarks.values())
+        print(
+            f"pinned {pinned} metric(s) from "
+            f"{len(manifest.benchmarks)} report(s) -> {args.baseline}"
+        )
+        return 0
+
+    try:
+        manifest = BaselineManifest.load(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"no baseline manifest at {args.baseline}; "
+            "run with --update to create one",
+            file=sys.stderr,
+        )
+        return 2
+    report = check_benchmarks(manifest, args.bench_dir)
+    print(render_regression_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

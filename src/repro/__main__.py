@@ -38,13 +38,22 @@ from repro.metrics import breakdown, fmt_bytes
 from repro.network.simnet import CrashWindow, FaultPlan
 from repro.network.topology import three_tier
 from repro.obs import (
+    STAGES,
     MetricsRegistry,
     TraceRecorder,
+    build_window_traces,
+    compute_critical_path,
+    compute_critical_paths,
     configure_logging,
     publish_cluster_result,
     publish_engine_stats,
+    publish_span_metrics,
     render_report,
+    render_waterfall,
+    top_slowest,
+    write_chrome_trace,
     write_metrics,
+    write_spans_jsonl,
     write_trace_jsonl,
 )
 
@@ -177,8 +186,8 @@ def _parse_crash(spec: str) -> CrashWindow:
     raise SystemExit(f"bad --crash spec {spec!r}: want node:start[:end]")
 
 
-def cmd_report(args) -> int:
-    """Run a Desis deployment and render its full observability report."""
+def _run_traced_desis(args):
+    """One traced Desis run from the shared report/profile flag set."""
     fn = AggFunction(args.function)
     queries = [Query.of("q", WindowSpec.tumbling(args.window_ms), fn)]
     topology = three_tier(args.locals, 1)
@@ -200,9 +209,14 @@ def cmd_report(args) -> int:
         # heartbeats must outpace the timeout for the sweep to see silence
         heartbeat_interval=max(1, min(5_000, args.node_timeout // 3)),
     )
-    result = DesisCluster(queries, topology, config=config).run(
+    return DesisCluster(queries, topology, config=config).run(
         {k: list(v) for k, v in streams.items()}
     )
+
+
+def cmd_report(args) -> int:
+    """Run a Desis deployment and render its full observability report."""
+    result = _run_traced_desis(args)
     registry = MetricsRegistry()
     publish_cluster_result(registry, result)
     print(render_report(
@@ -223,10 +237,65 @@ def cmd_report(args) -> int:
         for hop in provenance.hops:
             print(f"    t={hop.at} {hop.kind} @ {hop.node}")
         print(f"  retransmits before emit: {provenance.total_retransmits}")
+        path = compute_critical_path(
+            result.recorder, result.sink.results[-1]
+        )
+        print("critical path:")
+        for line in render_waterfall(path).splitlines():
+            print(f"  {line}")
     if args.trace_out:
         written = write_trace_jsonl(result.recorder, args.trace_out)
         print(f"trace: {written} events -> {args.trace_out}")
     if args.metrics_out:
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Profile a Desis run: top-N slowest windows, stage attribution."""
+    result = _run_traced_desis(args)
+    results = list(result.sink.results)
+    paths = compute_critical_paths(result.recorder, results)
+    print(
+        f"{len(results)} windows emitted; "
+        f"{len(paths)} explainable from the trace ring"
+    )
+    if result.recorder.dropped:
+        print(
+            f"warning: {result.recorder.dropped} trace events evicted — "
+            "the oldest windows have no spans"
+        )
+    for rank, path in enumerate(top_slowest(result.recorder, results, args.top), 1):
+        print(f"\n#{rank} {render_waterfall(path)}")
+    totals: dict[str, int] = {}
+    for path in paths:
+        for stage, ms in path.stage_totals().items():
+            totals[stage] = totals.get(stage, 0) + ms
+    grand = sum(totals.values())
+    if grand:
+        print("\nstage totals across explainable windows:")
+        for stage in STAGES:
+            ms = totals.get(stage, 0)
+            if ms:
+                print(
+                    f"  {stage:<14} {ms:>10} ms  {100.0 * ms / grand:5.1f}%"
+                )
+    if args.chrome_out or args.spans_out:
+        traces = build_window_traces(result.recorder, results)
+        if args.chrome_out:
+            write_chrome_trace(traces, args.chrome_out)
+            print(
+                f"chrome trace -> {args.chrome_out} "
+                "(open in Perfetto or chrome://tracing)"
+            )
+        if args.spans_out:
+            written = write_spans_jsonl(traces, args.spans_out)
+            print(f"spans: {written} window traces -> {args.spans_out}")
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        publish_cluster_result(registry, result)
+        publish_span_metrics(registry, paths)
         write_metrics(registry, args.metrics_out)
         print(f"metrics -> {args.metrics_out}")
     return 0
@@ -266,6 +335,7 @@ COMMANDS: dict[str, str] = {
     "compare": "compare all centralized systems on one workload",
     "cluster": "run decentralized (Desis) vs centralized deployments",
     "report": "run Desis and print the observability report",
+    "profile": "run Desis and attribute per-window latency to stages",
     "conformance": "differential fuzzing across engines, clusters, and faults",
 }
 
@@ -360,46 +430,67 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(cluster)
     cluster.set_defaults(handler=cmd_cluster)
 
+    def add_deployment_flags(cmd) -> None:
+        """The shared traced-deployment knobs behind report and profile."""
+        cmd.add_argument("--locals", type=int, default=4)
+        cmd.add_argument("--events", type=int, default=20_000,
+                         help="events per local node")
+        cmd.add_argument("--rate", type=float, default=10_000.0)
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--function", default="average",
+                         choices=[fn.value for fn in AggFunction
+                                  if fn is not AggFunction.QUANTILE])
+        cmd.add_argument("--window-ms", type=int, default=1_000)
+        add_merge_mode(cmd)
+        cmd.add_argument("--drop-rate", type=float, default=0.0,
+                         dest="drop_rate",
+                         help="run under a seeded fault plan with this "
+                              "per-link drop probability")
+        cmd.add_argument("--crash", action="append",
+                         metavar="NODE:START[:END]",
+                         help="inject a crash window (sim ms); with END the "
+                              "node loses state and restarts from its latest "
+                              "checkpoint, without END it dies permanently "
+                              "and its children fail over (repeatable)")
+        cmd.add_argument("--checkpoint-interval", type=int, default=None,
+                         dest="checkpoint_interval", metavar="MS",
+                         help="persist intermediate/root state snapshots at "
+                              "this sim-time cadence (default: off)")
+        cmd.add_argument("--checkpoint-dir", default=None,
+                         dest="checkpoint_dir", metavar="DIR",
+                         help="write checkpoints as on-disk .ckpt files "
+                              "instead of the in-memory store")
+        cmd.add_argument("--node-timeout", type=int, default=15_000,
+                         dest="node_timeout", metavar="MS",
+                         help="heartbeat silence before a parent declares a "
+                              "child dead (drives failover of permanent "
+                              "--crash windows)")
+        cmd.add_argument("--metrics-out", default=None, dest="metrics_out",
+                         metavar="PATH")
+
     report = sub.add_parser("report", help=COMMANDS["report"])
-    report.add_argument("--locals", type=int, default=4)
-    report.add_argument("--events", type=int, default=20_000,
-                        help="events per local node")
-    report.add_argument("--rate", type=float, default=10_000.0)
-    report.add_argument("--seed", type=int, default=0)
-    report.add_argument("--function", default="average",
-                        choices=[fn.value for fn in AggFunction
-                                 if fn is not AggFunction.QUANTILE])
-    report.add_argument("--window-ms", type=int, default=1_000)
-    add_merge_mode(report)
-    report.add_argument("--drop-rate", type=float, default=0.0,
-                        dest="drop_rate",
-                        help="run under a seeded fault plan with this "
-                             "per-link drop probability")
-    report.add_argument("--crash", action="append", metavar="NODE:START[:END]",
-                        help="inject a crash window (sim ms); with END the "
-                             "node loses state and restarts from its latest "
-                             "checkpoint, without END it dies permanently "
-                             "and its children fail over (repeatable)")
-    report.add_argument("--checkpoint-interval", type=int, default=None,
-                        dest="checkpoint_interval", metavar="MS",
-                        help="persist intermediate/root state snapshots at "
-                             "this sim-time cadence (default: off)")
-    report.add_argument("--checkpoint-dir", default=None,
-                        dest="checkpoint_dir", metavar="DIR",
-                        help="write checkpoints as on-disk .ckpt files "
-                             "instead of the in-memory store")
-    report.add_argument("--node-timeout", type=int, default=15_000,
-                        dest="node_timeout", metavar="MS",
-                        help="heartbeat silence before a parent declares a "
-                             "child dead (drives failover of permanent "
-                             "--crash windows)")
+    add_deployment_flags(report)
     report.add_argument("--explain", action="store_true",
-                        help="print the last window's slice provenance")
+                        help="print the last window's slice provenance and "
+                             "critical-path waterfall")
     report.add_argument("--trace-out", default=None, dest="trace_out",
                         metavar="PATH")
-    report.add_argument("--metrics-out", default=None, dest="metrics_out",
-                        metavar="PATH")
     report.set_defaults(handler=cmd_report)
+
+    profile = sub.add_parser("profile", help=COMMANDS["profile"])
+    add_deployment_flags(profile)
+    profile.add_argument("--top", type=int, default=5,
+                         help="how many slowest windows to waterfall "
+                              "(default: 5)")
+    profile.add_argument("--chrome-out", default=None, dest="chrome_out",
+                         metavar="PATH",
+                         help="write the span trees as a Chrome-trace / "
+                              "Perfetto JSON document")
+    profile.add_argument("--spans-out", default=None, dest="spans_out",
+                         metavar="PATH",
+                         help="write the span trees as JSON-lines (one "
+                              "window trace per line)")
+    profile.set_defaults(handler=cmd_profile)
 
     conformance = sub.add_parser("conformance", help=COMMANDS["conformance"])
     conformance.add_argument("--seed", type=int, default=0,

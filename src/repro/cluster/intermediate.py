@@ -186,6 +186,7 @@ class IntermediateNode(SimNode):
                 now,
                 node=self.node_id,
                 group=message.group_id,
+                first_seq=self.ship_seq[message.group_id],
                 records=len(records),
                 start=records[0].start,
                 end=records[-1].end,

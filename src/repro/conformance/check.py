@@ -16,7 +16,9 @@ Two layers of checking:
    local nodes must not change results; submitting the same query twice
    must yield twice the identical rows; a recoverable fault plan must
    leave both the results and the *goodput* (unique delivered payload
-   bytes) of the clean reliable run unchanged.
+   bytes) of the clean reliable run unchanged; and on a traced run every
+   window's critical-path stage breakdown must sum *exactly* to its
+   end-to-end emission latency in sim-ms (see repro.obs.critical_path).
 
 :func:`evaluate_scenario` drives all of it and returns the flat list of
 failure descriptions the runner and the shrinker share as their predicate.
@@ -43,6 +45,7 @@ from repro.conformance.executors import (
 )
 from repro.conformance.oracle import TolerancePolicy, tolerance_for, values_match
 from repro.conformance.scenario import NEVER, Scenario
+from repro.obs import compute_critical_path
 
 __all__ = [
     "compare_results",
@@ -50,6 +53,7 @@ __all__ = [
     "check_duplicate_query_invariance",
     "check_reshard_invariance",
     "check_fault_goodput",
+    "check_span_stage_sum",
 ]
 
 _MAX_REPORTED = 5  # mismatch lines reported per comparison
@@ -243,6 +247,56 @@ def check_fault_goodput(
     return failures
 
 
+def check_span_stage_sum(
+    scenario: Scenario, streams: dict[str, list[Event]]
+) -> list[str]:
+    """Critical-path stages must sum exactly to each window's latency.
+
+    A traced clean Desis run of the scenario; for every emitted window
+    the stage segments must be positive, contiguous, and telescope to
+    ``emitted_at - first ingest`` in integer sim-ms.  Windows evicted
+    from the trace ring are skipped only when eviction actually happened.
+    """
+    config = ClusterConfig(
+        tick_interval=scenario.tick_interval,
+        batch_ms=scenario.batch_ms,
+        punctuation_mode=scenario.punctuation_mode,
+        merge_mode=scenario.merge_mode,
+        checkpoint_interval=scenario.checkpoint_interval,
+        trace=True,
+    )
+    result = DesisCluster(
+        scenario.build_queries(), scenario.build_topology(), config=config
+    ).run({k: list(v) for k, v in streams.items()})
+    failures: list[str] = []
+    for row in result.sink.results:
+        label = f"span-sum: {row.query_id}[{row.start}..{row.end})"
+        try:
+            path = compute_critical_path(result.recorder, row)
+        except KeyError:
+            if result.recorder.dropped:
+                continue  # evicted from the ring: legitimately gone
+            failures.append(f"{label} has no window.emit trace")
+            continue
+        total = sum(segment.duration for segment in path.segments)
+        if total != path.latency:
+            failures.append(
+                f"{label} stages sum to {total} ms, emission latency is "
+                f"{path.latency} ms"
+            )
+        elif any(segment.duration <= 0 for segment in path.segments):
+            failures.append(f"{label} has a non-positive stage segment")
+        elif any(
+            a.end != b.start
+            for a, b in zip(path.segments, path.segments[1:])
+        ):
+            failures.append(f"{label} stage segments are not contiguous")
+        if len(failures) >= _MAX_REPORTED:
+            failures.append("span-sum: ... further failures suppressed")
+            break
+    return failures
+
+
 def _run_zero_plan_twin(scenario: Scenario,
                         streams: dict[str, list[Event]]) -> ExecutionResult:
     from repro.conformance.executors import _run_cluster
@@ -325,6 +379,12 @@ def evaluate_scenario(
                 failures.append(
                     f"reshard: raised {type(exc).__name__}: {exc}"
                 )
+        try:
+            failures.extend(check_span_stage_sum(scenario, streams))
+        except Exception as exc:
+            failures.append(
+                f"span-sum: raised {type(exc).__name__}: {exc}"
+            )
         if (
             faulty is not None
             and scenario.fault is not None

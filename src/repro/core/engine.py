@@ -415,6 +415,8 @@ class GroupRuntime:
                     start=window.start,
                     end=end,
                     event_count=events,
+                    first_slice=window.first_slice,
+                    last_slice=last_slice,
                 )
             self.sink.emit(
                 WindowResult(

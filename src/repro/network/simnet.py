@@ -46,6 +46,7 @@ from repro.network.messages import (
     CheckpointMessage,
     ControlMessage,
     Message,
+    PartialBatchMessage,
     ResyncMessage,
     SequencedMessage,
 )
@@ -552,6 +553,23 @@ class SimNetwork:
             SequencedMessage(epoch=channel.epoch, seq=seq, inner=message)
         )
         channel.unacked[seq] = (data, control)
+        if (
+            self.recorder.enabled
+            and isinstance(message, PartialBatchMessage)
+            and message.records
+        ):
+            self.recorder.record(
+                "net.send",
+                self.now,
+                group=message.group_id,
+                link=f"{src}->{dst}",
+                seq=seq,
+                epoch=channel.epoch,
+                first_seq=message.first_slice_seq,
+                records=len(message.records),
+                start=message.records[0].start,
+                end=message.records[-1].end,
+            )
         if not plan.crashed(src, self.now):
             self._transmit(link, data, control=control)
         self._push(
@@ -690,6 +708,16 @@ class SimNetwork:
         channel = self._send_channels.get((receiver, ack.sender))
         if channel is None or channel.epoch != ack.epoch:
             return
+        if self.recorder.enabled:
+            # The data flowed receiver -> ack.sender; the ack rides the
+            # reverse link back to the channel we are clearing here.
+            self.recorder.record(
+                "net.ack",
+                self.now,
+                link=f"{receiver}->{ack.sender}",
+                epoch=ack.epoch,
+                cumulative=ack.cumulative,
+            )
         for seq in [s for s in channel.unacked if s < ack.cumulative]:
             del channel.unacked[seq]
             channel.retries.pop(seq, None)
@@ -697,6 +725,26 @@ class SimNetwork:
             if seq in channel.unacked:
                 del channel.unacked[seq]
                 channel.retries.pop(seq, None)
+
+    def _record_transit(
+        self, link: Link, message: PartialBatchMessage, at: int
+    ) -> None:
+        """Trace a partial batch finishing its hop, just before delivery.
+
+        Recorded ahead of ``node.on_message`` so a window's ``net.transit``
+        always sequences before the ``merge.release`` / ``root.consume`` it
+        enables — the span builder relies on that ordering.
+        """
+        self.recorder.record(
+            "net.transit",
+            at,
+            group=message.group_id,
+            link=f"{link.src}->{link.dst}",
+            first_seq=message.first_slice_seq,
+            records=len(message.records),
+            start=message.records[0].start,
+            end=message.records[-1].end,
+        )
 
     def _deliver_frame(
         self, node: "SimNode", link: Link, frame: SequencedMessage
@@ -715,6 +763,12 @@ class SimNetwork:
         while channel.next_deliver in channel.buffer:
             inner = channel.buffer.pop(channel.next_deliver)
             channel.next_deliver += 1
+            if (
+                self.recorder.enabled
+                and isinstance(inner, PartialBatchMessage)
+                and inner.records
+            ):
+                self._record_transit(link, inner, now)
             node.on_message(inner, now, self)
             node.messages_handled += 1
             self.delivered += 1
@@ -779,6 +833,12 @@ class SimNetwork:
                     self._deliver_frame(node, link, message)
                     node.cpu_time += _time.perf_counter() - started
                 else:
+                    if (
+                        self.recorder.enabled
+                        and isinstance(message, PartialBatchMessage)
+                        and message.records
+                    ):
+                        self._record_transit(link, message, int(self.now))
                     node.on_message(message, int(self.now), self)
                     node.cpu_time += _time.perf_counter() - started
                     node.messages_handled += 1

@@ -24,6 +24,26 @@ from repro.obs.tracing import (
     TraceRecorder,
     WindowProvenance,
 )
+from repro.obs.spans import (
+    Span,
+    WindowTrace,
+    build_window_trace,
+    build_window_traces,
+    render_spans_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.critical_path import (
+    STAGES,
+    CriticalPath,
+    StageSegment,
+    compute_critical_path,
+    compute_critical_paths,
+    publish_span_metrics,
+    render_chrome_trace,
+    render_waterfall,
+    top_slowest,
+    write_chrome_trace,
+)
 from repro.obs.exporters import (
     metrics_to_dict,
     render_metrics_json,
@@ -34,6 +54,12 @@ from repro.obs.exporters import (
     write_trace_jsonl,
 )
 from repro.obs.log import configure_logging, get_logger, kv
+from repro.obs.regress import (
+    BaselineManifest,
+    RegressionReport,
+    check_benchmarks,
+    render_regression_report,
+)
 
 __all__ = [
     "Counter",
@@ -50,6 +76,26 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "WindowProvenance",
+    "Span",
+    "WindowTrace",
+    "build_window_trace",
+    "build_window_traces",
+    "render_spans_jsonl",
+    "write_spans_jsonl",
+    "STAGES",
+    "CriticalPath",
+    "StageSegment",
+    "compute_critical_path",
+    "compute_critical_paths",
+    "publish_span_metrics",
+    "render_chrome_trace",
+    "render_waterfall",
+    "top_slowest",
+    "write_chrome_trace",
+    "BaselineManifest",
+    "RegressionReport",
+    "check_benchmarks",
+    "render_regression_report",
     "metrics_to_dict",
     "render_metrics_json",
     "render_prometheus",

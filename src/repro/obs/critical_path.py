@@ -1,0 +1,371 @@
+"""Critical-path extraction: where did this window's latency come from?
+
+Given one emitted window, walk its causal events *backwards* from the
+emit — each step asks "what was the last thing that had to happen before
+this one could?" — and bucket the end-to-end latency into named stages:
+
+==================  ==========================================================
+stage               the time between ...
+==================  ==========================================================
+``ingest-wait``     first contributing ingest → the gating slice opens/cuts
+``slicing``         the gating slice's span (its start → its cut)
+``queue``           the gating slice's cut → its batch ships off the node
+``network``         a batch enters a link → it is delivered (post-fault)
+``retransmit``      the share of a hop spent re-sending lost frames
+``merge``           a delivery → the intermediate (or root merger) releases it
+``root-assembly``   the root's last consume → the window reaches the sink
+==================  ==========================================================
+
+The walk maintains a monotone anchor chain from the emit time down to
+the first ingest: every candidate anchor is clamped into the remaining
+``[t0, bound]`` interval, so the stage durations are non-negative and
+**telescope to exactly the window's emission latency** in integer sim-ms
+— the invariant the conformance harness checks on every corpus scenario.
+Clamping matters because recorder timestamps are not monotone in
+sequence order (a punctuation can cut a slice after later hops were
+recorded; a force-closed window can emit past its last consume).
+
+Zero-length stages are dropped from the segment list; the telescoping
+sum is unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import WindowTrace, collect_window_events
+from repro.obs.tracing import TraceEvent, TraceRecorder
+
+__all__ = [
+    "STAGES",
+    "StageSegment",
+    "CriticalPath",
+    "compute_critical_path",
+    "compute_critical_paths",
+    "publish_span_metrics",
+    "render_waterfall",
+    "render_chrome_trace",
+    "write_chrome_trace",
+    "top_slowest",
+]
+
+#: the stage taxonomy, in pipeline order
+STAGES = (
+    "ingest-wait",
+    "slicing",
+    "queue",
+    "network",
+    "retransmit",
+    "merge",
+    "root-assembly",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class StageSegment:
+    """One contiguous stretch of the critical path, in simulated ms."""
+
+    stage: str
+    start: int
+    end: int
+    node: str = ""
+    link: str = ""
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "stage": self.stage,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+        }
+        if self.node:
+            out["node"] = self.node
+        if self.link:
+            out["link"] = self.link
+        return out
+
+
+@dataclass(slots=True)
+class CriticalPath:
+    """The latency attribution of one emitted window."""
+
+    trace_id: str
+    query_id: str
+    start: int
+    end: int
+    group: int
+    ingested_at: int
+    emitted_at: int
+    #: earliest-first, contiguous over ``[ingested_at, emitted_at]``
+    #: modulo dropped zero-length stages
+    segments: list[StageSegment] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        """End-to-end emission latency; equals the stage sum exactly."""
+        return self.emitted_at - self.ingested_at
+
+    def stage_totals(self) -> dict[str, int]:
+        """Per-stage totals over every named stage (zeros included)."""
+        totals = {stage: 0 for stage in STAGES}
+        for segment in self.segments:
+            totals[segment.stage] += segment.duration
+        return totals
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "query_id": self.query_id,
+            "start": self.start,
+            "end": self.end,
+            "group": self.group,
+            "ingested_at": self.ingested_at,
+            "emitted_at": self.emitted_at,
+            "latency": self.latency,
+            "stages": {
+                stage: total
+                for stage, total in self.stage_totals().items()
+                if total
+            },
+            "segments": [segment.to_dict() for segment in self.segments],
+        }
+
+
+def _latest_seq(events: list[TraceEvent], before: int, **match: Any):
+    best = None
+    for event in events:
+        if event.seq >= before:
+            continue
+        ok = True
+        for key, want in match.items():
+            if key == "node":
+                got = event.node
+            elif key == "link_dst":
+                link = event.data.get("link", "")
+                got = link.split("->", 1)[1] if "->" in link else ""
+            else:
+                got = event.data.get(key)
+            if got != want:
+                ok = False
+                break
+        if ok and (best is None or event.seq > best.seq):
+            best = event
+    return best
+
+
+def compute_critical_path(recorder: TraceRecorder, result) -> CriticalPath:
+    """Attribute one window's emission latency to pipeline stages.
+
+    Raises ``KeyError`` when the window's emit event is not in the ring
+    (same contract as :meth:`TraceRecorder.explain_window`).
+    """
+    ev = collect_window_events(recorder, result)
+    emit = ev.emit
+    t0 = ev.ingested_at
+    path = CriticalPath(
+        trace_id=f"{result.query_id}:{result.start}:{result.end}",
+        query_id=result.query_id,
+        start=result.start,
+        end=result.end,
+        group=ev.group,
+        ingested_at=t0,
+        emitted_at=emit.at,
+    )
+    backwards: list[StageSegment] = []
+    bound = emit.at
+
+    def push(stage: str, at: int | float, node: str = "", link: str = "") -> None:
+        nonlocal bound
+        anchor = max(t0, min(int(at), bound))
+        if anchor < bound:
+            backwards.append(StageSegment(stage, anchor, bound, node, link))
+        bound = anchor
+
+    def hop(transit: TraceEvent, sender: TraceEvent, link: str) -> None:
+        """Split sender → delivery into retransmit + network time."""
+        last_resend = max(
+            (
+                r.at
+                for r in ev.retransmits
+                if r.data.get("link") == link
+                and r.seq < transit.seq
+                and sender.at <= r.at
+            ),
+            default=None,
+        )
+        if last_resend is not None and last_resend > sender.at:
+            push("network", last_resend, link=link)
+            push("retransmit", sender.at, link=link)
+        else:
+            push("network", sender.at, link=link)
+
+    consume = _latest_seq(ev.consumes, emit.seq)
+    if consume is not None:
+        # Cluster path: emit ← root assembly ← consume ← ... hops ... ←
+        # ship ← slice cut ← slice open ← first ingest.
+        push("root-assembly", consume.at, node=emit.node)
+        cur = consume
+        while True:
+            transit = _latest_seq(ev.transits, cur.seq, link_dst=cur.node)
+            if transit is None:
+                break
+            push("merge", transit.at, node=cur.node)
+            link = transit.data.get("link", "")
+            src = link.split("->", 1)[0]
+            sender = _latest_seq(
+                ev.ships + ev.releases,
+                transit.seq,
+                node=src,
+                first_seq=transit.data.get("first_seq"),
+            ) or _latest_seq(ev.ships + ev.releases, transit.seq, node=src)
+            if sender is None:
+                break
+            hop(transit, sender, link)
+            if sender.kind == "merge.release":
+                cur = sender  # descend another tier; seq strictly shrinks
+                continue
+            gating_slice = _latest_seq(ev.slices, sender.seq, node=sender.node)
+            if gating_slice is not None:
+                push("queue", gating_slice.at, node=sender.node)
+                push("slicing", gating_slice.data["start"], node=sender.node)
+            break
+    else:
+        # Single-engine path: no network hops; the last cut gates the emit.
+        gating_slice = _latest_seq(ev.slices, emit.seq)
+        if gating_slice is not None:
+            push("merge", gating_slice.at, node=emit.node)
+            push("slicing", gating_slice.data["start"], node=gating_slice.node)
+    push("ingest-wait", t0)
+    path.segments = list(reversed(backwards))
+    return path
+
+
+def compute_critical_paths(
+    recorder: TraceRecorder, results
+) -> list[CriticalPath]:
+    """Critical paths for every result still explainable from the ring."""
+    paths: list[CriticalPath] = []
+    for result in results:
+        try:
+            paths.append(compute_critical_path(recorder, result))
+        except KeyError:
+            continue
+    return paths
+
+
+def top_slowest(
+    recorder: TraceRecorder, results, n: int = 5
+) -> list[CriticalPath]:
+    """The ``n`` highest-latency windows, slowest first (ties by id)."""
+    paths = compute_critical_paths(recorder, results)
+    paths.sort(key=lambda p: (-p.latency, p.trace_id))
+    return paths[:n]
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+def publish_span_metrics(
+    registry: MetricsRegistry, paths: Iterable[CriticalPath]
+) -> None:
+    """Per-stage / per-node / per-link aggregates under ``span.*``."""
+    for path in paths:
+        registry.counter("span.windows").inc()
+        registry.histogram("span.latency_ms").observe(float(path.latency))
+        for segment in path.segments:
+            ms = float(segment.duration)
+            registry.counter("span.stage_ms", stage=segment.stage).inc(ms)
+            if segment.node:
+                registry.counter("span.node_ms", node=segment.node).inc(ms)
+            if segment.link:
+                registry.counter("span.link_ms", link=segment.link).inc(ms)
+
+
+# -- text waterfall ------------------------------------------------------------
+
+
+def render_waterfall(path: CriticalPath, width: int = 40) -> str:
+    """The critical path as the indented text waterfall humans read."""
+    header = (
+        f"{path.query_id} [{path.start}..{path.end}) group {path.group}: "
+        f"{path.latency} ms (ingest {path.ingested_at} -> "
+        f"emit {path.emitted_at})"
+    )
+    lines = [header]
+    span = max(path.latency, 1)
+    for segment in path.segments:
+        offset = round((segment.start - path.ingested_at) * width / span)
+        length = max(1, round(segment.duration * width / span))
+        length = min(length, width - min(offset, width - 1))
+        bar = " " * offset + "#" * length
+        where = segment.node or segment.link
+        label = f"{segment.stage} ({where})" if where else segment.stage
+        lines.append(
+            f"  {label:<28} {segment.start:>8} ..{segment.end:>8} "
+            f"{segment.duration:>7} ms  |{bar:<{width}}|"
+        )
+    return "\n".join(lines)
+
+
+# -- Perfetto / Chrome trace export --------------------------------------------
+
+
+def render_chrome_trace(traces: Iterable[WindowTrace]) -> str:
+    """Span trees as a Chrome-trace / Perfetto JSON document.
+
+    Every node becomes a named thread; every span a complete ("X")
+    event with microsecond timestamps (sim-ms × 1000).  Output is
+    deterministic: thread ids follow first appearance, events follow
+    (trace, span id) order, keys are fixed.
+    """
+    tids: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for trace in traces:
+        for span in trace.spans:
+            node = span.node or "net"
+            tid = tids.setdefault(node, len(tids) + 1)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": span.start * 1000,
+                    "dur": span.duration * 1000,
+                    "args": {
+                        "trace_id": span.trace_id,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        **span.attrs,
+                    },
+                }
+            )
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": node},
+        }
+        for node, tid in sorted(tids.items(), key=lambda item: item[1])
+    ]
+    document = {
+        "traceEvents": [*metadata, *events],
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(document, sort_keys=False, separators=(",", ":"))
+
+
+def write_chrome_trace(traces: Iterable[WindowTrace], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_chrome_trace(traces))
+        fh.write("\n")

@@ -63,7 +63,11 @@ def _prom_name(name: str) -> str:
 
 
 def _escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    # Exposition-format label escaping: backslash first, then quote and
+    # newline (a raw newline would terminate the sample line mid-label).
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def _prom_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
@@ -100,9 +104,17 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                 f"{name}_bucket{_prom_labels(sample.labels, (('le', '+Inf'),))}"
                 f" {sample.count}"
             )
+            # _sum/_count are counter-typed series of their own; scrapers
+            # that key on TYPE lines need them declared once each.
+            if f"{name}_sum" not in typed:
+                typed.add(f"{name}_sum")
+                lines.append(f"# TYPE {name}_sum counter")
             lines.append(
                 f"{name}_sum{_prom_labels(sample.labels)} {_prom_value(sample.sum or 0.0)}"
             )
+            if f"{name}_count" not in typed:
+                typed.add(f"{name}_count")
+                lines.append(f"# TYPE {name}_count counter")
             lines.append(
                 f"{name}_count{_prom_labels(sample.labels)} {sample.count}"
             )

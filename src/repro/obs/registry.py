@@ -288,6 +288,9 @@ def publish_cluster_result(registry: MetricsRegistry, result) -> None:
     registry.counter("cluster.root_merge_ops").inc(
         getattr(result, "root_merge_ops", 0)
     )
+    registry.counter("obs.trace_dropped").inc(
+        getattr(getattr(result, "recorder", None), "dropped", 0)
+    )
     publish_network_stats(registry, result.network)
     for role, seconds in result.cpu_by_role.items():
         registry.gauge("cluster.cpu_seconds", role=role.value).set(seconds)

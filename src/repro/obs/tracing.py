@@ -17,6 +17,11 @@ kind                      recorded when / by
 ``merge.reuse``           a window close is served by the incremental merge
                           layer instead of a full slice/record scan (engine
                           and root; see repro.core.incmerge)
+``net.send``              the reliable channel first offers a partial batch
+                          frame to a link (sequenced-envelope path only)
+``net.transit``           a partial batch finishes crossing a link, right
+                          before the receiving node consumes it
+``net.ack``               a cumulative ack reaches the sending channel
 ``net.retransmit``        the reliable channel re-sends an unacked frame
 ``checkpoint.save``       a node persists a state snapshot (DESIGN.md §8)
 ``node.recover``          a node restores after a state-losing restart
@@ -45,6 +50,10 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
+
+from repro.obs.log import get_logger
+
+_log = get_logger(__name__)
 
 __all__ = [
     "TraceEvent",
@@ -135,7 +144,7 @@ class TraceRecorder:
     recent windows remain fully explainable.
     """
 
-    __slots__ = ("_events", "_seq", "dropped", "capacity")
+    __slots__ = ("_events", "_seq", "dropped", "capacity", "_warned_drop")
 
     enabled = True
 
@@ -146,6 +155,7 @@ class TraceRecorder:
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._seq = 0
         self.dropped = 0
+        self._warned_drop = False
 
     def __len__(self) -> int:
         return len(self._events)
@@ -155,6 +165,13 @@ class TraceRecorder:
         self._seq += 1
         if len(self._events) == self.capacity:
             self.dropped += 1
+            if not self._warned_drop:
+                self._warned_drop = True
+                _log.warning(
+                    "trace ring buffer full (capacity=%d); evicting oldest "
+                    "events — older windows are no longer explainable",
+                    self.capacity,
+                )
         self._events.append(
             TraceEvent(
                 seq=self._seq,
@@ -181,6 +198,7 @@ class TraceRecorder:
     def clear(self) -> None:
         self._events.clear()
         self.dropped = 0
+        self._warned_drop = False
 
     # -- provenance ------------------------------------------------------------
 

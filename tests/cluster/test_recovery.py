@@ -25,6 +25,7 @@ from repro.core.types import AggFunction, WindowMeasure
 from repro.network.messages import CheckpointMessage, SnapshotChunk
 from repro.network.simnet import CrashWindow, FaultPlan
 from repro.network.topology import three_tier
+from repro.obs import compute_critical_path
 from repro.obs.registry import MetricsRegistry, publish_cluster_result
 
 from tests.cluster.test_desis_parity import TICK, make_streams
@@ -357,3 +358,82 @@ class TestRecoveryObservability:
         assert not any(n._retain for n in cluster.locals.values())
         assert not any(n._retain for n in cluster.intermediates.values())
         assert not any(n._retained for n in cluster.locals.values())
+
+
+class TestExplainSurvivesRecovery:
+    """Provenance and critical-path attribution on crashed-and-healed runs.
+
+    Recovery replays traffic and failover reroutes it; neither may leave
+    the final windows unexplainable or break the stage-sum invariant
+    (DESIGN.md §11)."""
+
+    def _check_last_windows(self, result, n=3):
+        for res in result.sink.results[-n:]:
+            prov = result.recorder.explain_window(res)
+            assert prov.sources and prov.slices and prov.hops
+            path = compute_critical_path(result.recorder, res)
+            assert sum(path.stage_totals().values()) == path.latency
+            assert all(seg.duration > 0 for seg in path.segments)
+
+    def test_explain_after_checkpointed_recovery(self, streams):
+        plan = FaultPlan(
+            seed=2,
+            crashes=(CrashWindow("mid-0", 8_000, 12_000, lose_state=True),),
+        )
+        _, result = run_desis(
+            "mixed",
+            (3, 1),
+            streams,
+            fault_plan=plan,
+            node_timeout=NEVER,
+            checkpoint_interval=3_000,
+            trace=True,
+        )
+        assert result.recoveries == 1
+        assert list(result.recorder.events("node.recover"))
+        self._check_last_windows(result)
+
+    def test_explain_after_failover(self, streams):
+        plan = FaultPlan(seed=2, crashes=(CrashWindow("mid-0", 8_000, None),))
+        _, result = run_desis(
+            "mixed",
+            (3, 2),
+            streams,
+            fault_plan=plan,
+            node_timeout=6_000,
+            heartbeat_interval=2_000,
+            trace=True,
+        )
+        assert result.reroutes > 0
+        assert list(result.recorder.events("child.reroute"))
+        self._check_last_windows(result)
+
+    def test_recovery_spans_attach_to_covering_windows(self, streams):
+        """Windows whose span covers the crash carry the lifecycle span
+        (recover/checkpoint) as attributed context, not silence."""
+        plan = FaultPlan(
+            seed=2,
+            crashes=(CrashWindow("mid-0", 8_000, 12_000, lose_state=True),),
+        )
+        _, result = run_desis(
+            "mixed",
+            (3, 1),
+            streams,
+            fault_plan=plan,
+            node_timeout=NEVER,
+            checkpoint_interval=3_000,
+            trace=True,
+        )
+        from repro.obs import build_window_traces
+
+        traces = build_window_traces(result.recorder, result.sink.results)
+        assert traces
+        names = {s.name for t in traces for s in t.spans}
+        assert "checkpoint" in names  # checkpoints overlap emitted windows
+        for trace in traces:
+            root = trace.root
+            for span in trace.spans[1:]:
+                if span.name in ("checkpoint", "recover", "reroute"):
+                    # lifecycle spans only attach inside the window's life
+                    assert root.start <= span.start <= root.end
+                assert span.parent_id is not None

@@ -1,0 +1,185 @@
+"""Tests for critical-path latency attribution and its exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterConfig, DesisCluster
+from repro.core.engine import AggregationEngine
+from repro.core.event import Event
+from repro.core.query import Query, WindowSpec
+from repro.core.types import AggFunction
+from repro.network.simnet import FaultPlan
+from repro.network.topology import three_tier
+from repro.obs import (
+    STAGES,
+    MetricsRegistry,
+    TraceRecorder,
+    build_window_traces,
+    compute_critical_path,
+    compute_critical_paths,
+    publish_span_metrics,
+    render_chrome_trace,
+    render_waterfall,
+    top_slowest,
+)
+
+from tests.cluster.test_desis_parity import TICK, make_streams
+
+QUERIES = [Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)]
+
+
+def run_traced(streams, **cfg):
+    cfg.setdefault("tick_interval", TICK)
+    cfg.setdefault("trace", True)
+    cluster = DesisCluster(
+        QUERIES, three_tier(3, 1), config=ClusterConfig(**cfg)
+    )
+    return cluster.run({k: list(v) for k, v in streams.items()})
+
+
+def assert_exact_attribution(path):
+    """The tentpole invariant: stages sum to the emission latency."""
+    assert sum(path.stage_totals().values()) == path.latency
+    previous_end = path.ingested_at
+    for segment in path.segments:
+        assert segment.duration > 0
+        assert segment.start == previous_end  # contiguous, earliest-first
+        previous_end = segment.end
+    if path.segments:
+        assert path.segments[-1].end == path.emitted_at
+
+
+class TestExactStageSum:
+    def test_clean_cluster_run(self):
+        streams = make_streams(3, 1_200)
+        result = run_traced(streams)
+        paths = compute_critical_paths(result.recorder, result.sink.results)
+        assert len(paths) == len(result.sink.results)
+        for path in paths:
+            assert_exact_attribution(path)
+            assert set(path.stage_totals()) == set(STAGES)
+
+    def test_faulty_cluster_run_includes_retransmit_stage(self):
+        streams = make_streams(3, 2_000)
+        result = run_traced(
+            streams,
+            fault_plan=FaultPlan(
+                seed=3, drop_rate=0.08, jitter_ms=3.0, reorder_rate=0.1
+            ),
+            node_timeout=10**9,
+        )
+        assert result.network.retransmits > 0
+        paths = compute_critical_paths(result.recorder, result.sink.results)
+        assert paths
+        for path in paths:
+            assert_exact_attribution(path)
+        assert any(
+            path.stage_totals()["retransmit"] > 0 for path in paths
+        ), "no window was gated by a retransmitted hop"
+
+    def test_engine_only_run(self):
+        recorder = TraceRecorder()
+        engine = AggregationEngine(QUERIES, recorder=recorder)
+        for i in range(4_000):
+            engine.process(Event(time=i, key="k", value=float(i % 7)))
+        results = list(engine.close())
+        assert len(results) > 2
+        for result in results:
+            path = compute_critical_path(recorder, result)
+            assert_exact_attribution(path)
+            totals = path.stage_totals()
+            # no network stages on a single engine
+            assert totals["network"] == totals["retransmit"] == 0
+            assert totals["root-assembly"] == 0
+
+    def test_untraced_window_raises_keyerror(self):
+        recorder = TraceRecorder()
+
+        class Fake:
+            query_id, start, end = "q", 0, 100
+
+        with pytest.raises(KeyError):
+            compute_critical_path(recorder, Fake())
+
+
+class TestTopSlowest:
+    def test_orders_by_latency_then_id(self):
+        streams = make_streams(3, 1_500)
+        result = run_traced(streams)
+        top = top_slowest(result.recorder, result.sink.results, n=3)
+        assert len(top) == 3
+        latencies = [p.latency for p in top]
+        assert latencies == sorted(latencies, reverse=True)
+        everything = top_slowest(
+            result.recorder, result.sink.results, n=10**6
+        )
+        assert len(everything) == len(result.sink.results)
+        assert everything[0].latency >= everything[-1].latency
+
+
+class TestSpanMetrics:
+    def test_publish_span_metrics(self):
+        streams = make_streams(3, 1_200)
+        result = run_traced(streams)
+        paths = compute_critical_paths(result.recorder, result.sink.results)
+        registry = MetricsRegistry()
+        publish_span_metrics(registry, paths)
+        assert registry.value("span.windows") == len(paths)
+        stage_sum = sum(
+            registry.value("span.stage_ms", stage=stage) for stage in STAGES
+        )
+        assert stage_sum == sum(p.latency for p in paths)
+        histogram = registry.histogram("span.latency_ms")
+        assert histogram.count == len(paths)
+        assert histogram.sum == float(sum(p.latency for p in paths))
+
+
+class TestRenderings:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        streams = make_streams(3, 1_200)
+        result = run_traced(streams)
+        return result
+
+    def test_waterfall_lists_every_segment(self, traced):
+        path = compute_critical_path(
+            traced.recorder, traced.sink.results[-1]
+        )
+        text = render_waterfall(path)
+        lines = text.splitlines()
+        assert f"{path.latency} ms" in lines[0]
+        assert len(lines) == 1 + len(path.segments)
+        for line, segment in zip(lines[1:], path.segments):
+            assert segment.stage in line
+            assert f"{segment.duration:>7} ms" in line
+            assert "#" in line
+
+    def test_waterfall_is_deterministic(self, traced):
+        path = compute_critical_path(
+            traced.recorder, traced.sink.results[-1]
+        )
+        assert render_waterfall(path) == render_waterfall(path)
+
+    def test_chrome_trace_export(self, traced):
+        traces = build_window_traces(
+            traced.recorder, traced.sink.results
+        )
+        document = json.loads(render_chrome_trace(traces))
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == sum(len(t.spans) for t in traces)
+        thread_names = {m["args"]["name"] for m in metadata}
+        assert {"root", "local-0"} <= thread_names
+        for event in spans:
+            assert event["ts"] % 1000 == 0  # sim-ms -> microseconds
+            assert event["dur"] >= 0
+            assert "trace_id" in event["args"]
+
+    def test_chrome_trace_is_deterministic(self, traced):
+        traces = build_window_traces(traced.recorder, traced.sink.results)
+        assert render_chrome_trace(traces) == render_chrome_trace(traces)

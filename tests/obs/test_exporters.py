@@ -94,6 +94,28 @@ class TestPrometheus:
         registry.counter("x", path='a"b\\c').inc()
         assert 'x{path="a\\"b\\\\c"} 1' in render_prometheus(registry)
 
+    def test_newlines_in_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x", msg="line1\nline2").inc()
+        text = render_prometheus(registry)
+        assert 'x{msg="line1\\nline2"} 1' in text
+        # a raw newline inside a label would corrupt the exposition format
+        for line in text.splitlines():
+            assert line.count("{") == line.count("}")
+
+    def test_backslash_escaped_before_quote_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("x", odd="a\\nb").inc()  # literal backslash-n
+        assert 'x{odd="a\\\\nb"} 1' in render_prometheus(registry)
+
+    def test_histogram_sum_and_count_have_type_lines(self):
+        lines = render_prometheus(small_registry()).splitlines()
+        assert "# TYPE latency_ms histogram" in lines
+        assert "# TYPE latency_ms_sum counter" in lines
+        assert "# TYPE latency_ms_count counter" in lines
+        # each series is typed exactly once
+        assert len([l for l in lines if l.startswith("# TYPE latency_ms")]) == 3
+
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(MetricsRegistry()) == ""
 

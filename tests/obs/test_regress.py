@@ -1,0 +1,222 @@
+"""Tests for the benchmark regression gate (repro.obs.regress)."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_GATES,
+    BaselineManifest,
+    check_benchmarks,
+    extract_metric,
+    render_regression_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH_CHECK = REPO_ROOT / "benchmarks" / "bench_check.py"
+BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+
+class TestExtractMetric:
+    DOC = {"a": {"b": {"c": 1.5, "flag": True, "name": "x"}}, "top": 2}
+
+    def test_resolves_dotted_paths(self):
+        assert extract_metric(self.DOC, "a.b.c") == 1.5
+        assert extract_metric(self.DOC, "top") == 2.0
+
+    @pytest.mark.parametrize(
+        "path", ["a.b.missing", "a.b.c.deeper", "a.b.flag", "a.b.name", "nope"]
+    )
+    def test_missing_or_non_numeric_raises(self, path):
+        with pytest.raises(KeyError):
+            extract_metric(self.DOC, path)
+
+
+def write_report(directory: Path, name: str, document: dict) -> None:
+    (directory / name).write_text(json.dumps(document))
+
+
+def manifest_for(directory: Path, gates) -> BaselineManifest:
+    return BaselineManifest.from_reports(str(directory), gates)
+
+
+class TestCheckBenchmarks:
+    GATES = {"BENCH_x.json": {"m.speedup": (0.15, "higher"),
+                              "m.exact": (0.0, "both")}}
+
+    def _dir(self, tmp_path, speedup=5.0, exact=42):
+        write_report(
+            tmp_path, "BENCH_x.json", {"m": {"speedup": speedup, "exact": exact}}
+        )
+        return tmp_path
+
+    def test_identical_reports_pass(self, tmp_path):
+        manifest = manifest_for(self._dir(tmp_path), self.GATES)
+        report = check_benchmarks(manifest, str(tmp_path))
+        assert report.ok
+        assert [c.status for c in report.checks] == ["ok", "ok"]
+
+    def test_twenty_percent_regression_trips_the_gate(self, tmp_path):
+        manifest = manifest_for(self._dir(tmp_path), self.GATES)
+        write_report(
+            tmp_path, "BENCH_x.json", {"m": {"speedup": 4.0, "exact": 42}}
+        )
+        report = check_benchmarks(manifest, str(tmp_path))
+        assert not report.ok
+        failed = report.failures
+        assert [c.metric for c in failed] == ["m.speedup"]
+        assert failed[0].status == "regression"
+        assert "floor" in failed[0].detail
+
+    def test_within_tolerance_passes(self, tmp_path):
+        manifest = manifest_for(self._dir(tmp_path), self.GATES)
+        write_report(
+            tmp_path, "BENCH_x.json", {"m": {"speedup": 4.5, "exact": 42}}
+        )
+        assert check_benchmarks(manifest, str(tmp_path)).ok
+
+    def test_exact_gate_rejects_any_drift(self, tmp_path):
+        manifest = manifest_for(self._dir(tmp_path), self.GATES)
+        write_report(
+            tmp_path, "BENCH_x.json", {"m": {"speedup": 5.0, "exact": 43}}
+        )
+        report = check_benchmarks(manifest, str(tmp_path))
+        assert [c.metric for c in report.failures] == ["m.exact"]
+
+    def test_improvement_passes_higher_gate(self, tmp_path):
+        manifest = manifest_for(self._dir(tmp_path), self.GATES)
+        write_report(
+            tmp_path, "BENCH_x.json", {"m": {"speedup": 9.0, "exact": 42}}
+        )
+        assert check_benchmarks(manifest, str(tmp_path)).ok
+
+    def test_lower_direction(self, tmp_path):
+        gates = {"BENCH_x.json": {"m.latency": (0.10, "lower")}}
+        write_report(tmp_path, "BENCH_x.json", {"m": {"latency": 100.0}})
+        manifest = manifest_for(tmp_path, gates)
+        write_report(tmp_path, "BENCH_x.json", {"m": {"latency": 109.0}})
+        assert check_benchmarks(manifest, str(tmp_path)).ok
+        write_report(tmp_path, "BENCH_x.json", {"m": {"latency": 120.0}})
+        report = check_benchmarks(manifest, str(tmp_path))
+        assert not report.ok and "ceiling" in report.failures[0].detail
+
+    def test_missing_metric_is_a_failure(self, tmp_path):
+        manifest = manifest_for(self._dir(tmp_path), self.GATES)
+        write_report(tmp_path, "BENCH_x.json", {"m": {"speedup": 5.0}})
+        report = check_benchmarks(manifest, str(tmp_path))
+        assert [c.status for c in report.failures] == ["missing"]
+        assert report.failures[0].current is None
+
+    def test_missing_file_fails_every_gated_metric(self, tmp_path):
+        manifest = manifest_for(self._dir(tmp_path), self.GATES)
+        (tmp_path / "BENCH_x.json").unlink()
+        report = check_benchmarks(manifest, str(tmp_path))
+        assert len(report.failures) == 2
+        assert all(c.status == "missing" for c in report.failures)
+
+    def test_render_report_lines(self, tmp_path):
+        manifest = manifest_for(self._dir(tmp_path), self.GATES)
+        write_report(
+            tmp_path, "BENCH_x.json", {"m": {"speedup": 4.0, "exact": 42}}
+        )
+        text = render_regression_report(check_benchmarks(manifest, str(tmp_path)))
+        assert "[FAIL] BENCH_x.json:m.speedup" in text
+        assert "[ok  ] BENCH_x.json:m.exact" in text
+        assert "1 gated metric(s) failed" in text
+
+
+class TestManifestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        gates = {"BENCH_x.json": {"m.v": (0.0, "both")}}
+        write_report(tmp_path, "BENCH_x.json", {"m": {"v": 3}})
+        manifest = manifest_for(tmp_path, gates)
+        manifest.save(str(tmp_path / "baseline.json"))
+        loaded = BaselineManifest.load(str(tmp_path / "baseline.json"))
+        assert loaded.benchmarks == manifest.benchmarks
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        (tmp_path / "baseline.json").write_text('{"version": 2}')
+        with pytest.raises(ValueError, match="version"):
+            BaselineManifest.load(str(tmp_path / "baseline.json"))
+
+    def test_from_reports_refuses_incomplete_baseline(self, tmp_path):
+        gates = {"BENCH_x.json": {"m.v": (0.0, "both")}}
+        with pytest.raises(FileNotFoundError):
+            manifest_for(tmp_path, gates)
+        write_report(tmp_path, "BENCH_x.json", {"m": {}})
+        with pytest.raises(KeyError):
+            manifest_for(tmp_path, gates)
+
+
+class TestCommittedBaseline:
+    """The repo's own contract: the committed reports satisfy the
+    committed baseline, and the acceptance regression trips it."""
+
+    def test_committed_reports_pass_the_committed_baseline(self):
+        manifest = BaselineManifest.load(str(BASELINE))
+        report = check_benchmarks(manifest, str(REPO_ROOT))
+        assert report.ok, render_regression_report(report)
+
+    def test_baseline_covers_every_default_gate(self):
+        manifest = BaselineManifest.load(str(BASELINE))
+        assert set(manifest.benchmarks) == set(DEFAULT_GATES)
+        for filename, metrics in DEFAULT_GATES.items():
+            assert set(manifest.benchmarks[filename]) == set(metrics)
+
+    def test_injected_hot_path_regression_exits_nonzero(self, tmp_path):
+        """Acceptance check: a 20% hot-path slowdown fails the gate."""
+        for filename in DEFAULT_GATES:
+            shutil.copy(REPO_ROOT / filename, tmp_path / filename)
+        document = json.loads((tmp_path / "BENCH_hot_path.json").read_text())
+        for workload in document["workloads"].values():
+            workload["speedup"] *= 0.8
+        (tmp_path / "BENCH_hot_path.json").write_text(json.dumps(document))
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_CHECK), "--bench-dir", str(tmp_path),
+             "--json", str(tmp_path / "verdict.json")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stdout and "speedup" in proc.stdout
+        verdict = json.loads((tmp_path / "verdict.json").read_text())
+        assert verdict["ok"] is False
+        assert verdict["failures"] == 2  # both hot-path workloads
+
+    def test_cli_passes_on_committed_state(self):
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_CHECK)], capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "benchmark baseline holds" in proc.stdout
+
+    def test_cli_update_round_trip(self, tmp_path):
+        for filename in DEFAULT_GATES:
+            shutil.copy(REPO_ROOT / filename, tmp_path / filename)
+        baseline = tmp_path / "baseline.json"
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_CHECK), "--bench-dir", str(tmp_path),
+             "--baseline", str(baseline), "--update"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0 and baseline.exists()
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_CHECK), "--bench-dir", str(tmp_path),
+             "--baseline", str(baseline)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+
+    def test_cli_missing_baseline_exits_2(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_CHECK), "--baseline",
+             str(tmp_path / "nope.json")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 2
+        assert "--update" in proc.stderr

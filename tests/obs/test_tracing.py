@@ -50,6 +50,31 @@ class TestRecorder:
         assert len(recorder) == 0
         assert recorder.dropped == 0
 
+    def test_first_eviction_warns_once(self, caplog):
+        recorder = TraceRecorder(capacity=2)
+        with caplog.at_level("WARNING", logger="repro.obs.tracing"):
+            for i in range(6):
+                recorder.record("x", i)
+        warnings = [
+            r for r in caplog.records if "ring buffer full" in r.getMessage()
+        ]
+        assert len(warnings) == 1  # 4 evictions, one warning
+        assert "capacity=2" in warnings[0].getMessage()
+        assert recorder.dropped == 4
+
+    def test_clear_rearms_the_eviction_warning(self, caplog):
+        recorder = TraceRecorder(capacity=1)
+        with caplog.at_level("WARNING", logger="repro.obs.tracing"):
+            recorder.record("x", 0)
+            recorder.record("x", 1)
+            recorder.clear()
+            recorder.record("x", 2)
+            recorder.record("x", 3)
+        warnings = [
+            r for r in caplog.records if "ring buffer full" in r.getMessage()
+        ]
+        assert len(warnings) == 2
+
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             TraceRecorder(capacity=0)

@@ -181,6 +181,60 @@ class TestReport:
             m["name"] == "net.retransmits" for m in document["metrics"]
         )
 
+    def test_report_explain_prints_critical_path(self, capsys):
+        code = main(
+            [
+                "report", "--locals", "2", "--events", "4000",
+                "--rate", "3000", "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical path:" in out
+        assert "ms (ingest" in out  # waterfall header
+        from repro.obs import STAGES
+
+        assert any(stage in out for stage in STAGES)
+
+
+class TestProfile:
+    def test_profile_prints_waterfalls_and_stage_totals(self, capsys):
+        code = main(
+            ["profile", "--locals", "2", "--events", "5000",
+             "--rate", "3000", "--top", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "windows emitted" in out
+        assert "explainable from the trace ring" in out
+        assert "#1 " in out and "#2 " in out and "#3 " not in out
+        assert "stage totals across explainable windows:" in out
+        assert "slicing" in out
+        assert "%" in out
+
+    def test_profile_artifact_outputs(self, capsys, tmp_path):
+        chrome = tmp_path / "trace.json"
+        spans = tmp_path / "spans.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "profile", "--locals", "2", "--events", "4000",
+                "--rate", "3000", "--drop-rate", "0.02", "--seed", "3",
+                "--chrome-out", str(chrome), "--spans-out", str(spans),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        document = json.loads(chrome.read_text())
+        assert document["traceEvents"]
+        lines = spans.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert first["spans"][0]["name"] == "window"
+        names = {m["name"] for m in json.loads(metrics.read_text())["metrics"]}
+        assert "span.windows" in names
+        assert "span.stage_ms" in names
+
 
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
@@ -188,7 +242,9 @@ def test_parser_requires_command():
 
 
 class TestHelpAndUnknownCommands:
-    ALL_COMMANDS = ("run", "compare", "cluster", "report", "conformance")
+    ALL_COMMANDS = (
+        "run", "compare", "cluster", "report", "profile", "conformance"
+    )
 
     def test_help_lists_every_subcommand_with_a_description(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
