@@ -1,0 +1,232 @@
+"""Overload-control benchmark: bounded buffering vs unbounded backlog.
+
+Replays identical per-node streams through a three-tier ``DesisCluster``
+over slow, lossy links (20 ms latency, 0.2 bytes/ms — far below the
+offered load) twice per scale:
+
+* **unbounded** — no credit windows, no staging caps: the reliable
+  channel keeps accepting frames and its unacked send/retransmit queue
+  grows with the backlog (``peak_unacked_bytes`` scales with events).
+* **bounded** — credit-based flow control plus a staging cap
+  (DESIGN.md §12): senders stall at the credit window, staging absorbs
+  the deferral up to its cap, the oldest whole slices are shed beyond
+  it, and affected windows emit degraded with ``completeness < 1.0``.
+
+The report shows the tentpole property: bounded peak occupancy stays
+flat as the scale doubles while the unbounded baseline keeps growing.
+``run`` also audits every degraded window — its ``completeness`` must
+exactly equal ``1 - union(shed coverage ∩ window) / window span`` as
+recomputed from its own ``shed_slices`` — and asserts the unbounded run
+never sheds or degrades.
+
+Run standalone to (re)generate ``BENCH_overload.json`` at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_overload.py
+
+``tests/test_bench_smoke.py`` runs the same harness at ``QUICK_EVENTS``
+scale so tier-1 CI catches accounting drift in the overload path.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time as _time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # standalone execution
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster import ClusterConfig, DesisCluster  # noqa: E402
+from repro.core.event import Event  # noqa: E402
+from repro.core.query import Query, WindowSpec  # noqa: E402
+from repro.core.types import AggFunction  # noqa: E402
+from repro.network.simnet import FaultPlan  # noqa: E402
+from repro.network.topology import three_tier  # noqa: E402
+
+DEFAULT_EVENTS = 1_500  # per local node, at the largest scale
+QUICK_EVENTS = 600
+OUTPUT_NAME = "BENCH_overload.json"
+
+N_LOCALS = 2
+TICK = 500
+LATENCY_MS = 20.0
+BANDWIDTH_BYTES_PER_MS = 0.2
+CREDIT_BYTES = 1_500
+CREDIT_FRAMES = 6
+STAGING_LIMIT = 8
+
+
+def _streams(per_node: int, *, seed: int = 11) -> dict[str, list]:
+    """Deterministic per-node streams with globally unique timestamps."""
+    rng = random.Random(seed)
+    streams = {}
+    for i in range(N_LOCALS):
+        t = i
+        events = []
+        for _ in range(per_node):
+            t += rng.choice([N_LOCALS, 2 * N_LOCALS, 5 * N_LOCALS])
+            events.append(Event(time=t, key="k", value=float(rng.randint(0, 99))))
+        streams[f"local-{i}"] = events
+    return streams
+
+
+def _run_once(streams: dict[str, list], *, bounded: bool):
+    config = ClusterConfig(
+        tick_interval=TICK,
+        latency_ms=LATENCY_MS,
+        bandwidth_bytes_per_ms=BANDWIDTH_BYTES_PER_MS,
+        fault_plan=FaultPlan(seed=7),
+        node_timeout=10**9,
+        channel_credit_bytes=CREDIT_BYTES if bounded else None,
+        channel_credit_frames=CREDIT_FRAMES if bounded else None,
+        staging_limit=STAGING_LIMIT if bounded else None,
+    )
+    queries = [Query.of("q", WindowSpec.tumbling(1_000), AggFunction.SUM)]
+    cluster = DesisCluster(queries, three_tier(N_LOCALS, 2), config=config)
+    started = _time.perf_counter()
+    result = cluster.run({k: list(v) for k, v in streams.items()})
+    elapsed = _time.perf_counter() - started
+    return result, elapsed
+
+
+def _audit_degraded(result) -> float:
+    """Check every degraded window's shed accounting; return min completeness.
+
+    ``completeness`` must equal ``1 - union(shed ∩ window) / span`` as
+    recomputed from the result's own ``shed_slices``, and a pristine
+    result must carry no shed metadata.
+    """
+    min_completeness = 1.0
+    for row in result.sink:
+        shed = getattr(row, "shed_slices", ())
+        completeness = getattr(row, "completeness", 1.0)
+        if not shed:
+            assert completeness == 1.0, (
+                f"{row.query_id}[{row.start}..{row.end}): completeness "
+                f"{completeness} without shed_slices"
+            )
+            continue
+        clipped = sorted(
+            (max(s, row.start), min(e, row.end)) for _, s, e in shed
+        )
+        union = 0
+        cursor = row.start
+        for s, e in clipped:
+            s = max(s, cursor)
+            if e > s:
+                union += e - s
+                cursor = e
+        expected = max(1.0 - union / max(row.end - row.start, 1), 0.0)
+        assert abs(completeness - expected) < 1e-12, (
+            f"{row.query_id}[{row.start}..{row.end}): completeness "
+            f"{completeness} != {expected} recomputed from {shed}"
+        )
+        min_completeness = min(min_completeness, completeness)
+    return min_completeness
+
+
+def run(n_events: int = DEFAULT_EVENTS) -> dict:
+    """Run both modes at half and full scale; return the report dict."""
+    report: dict = {
+        "benchmark": "overload_control",
+        "locals": N_LOCALS,
+        "caps": {
+            "channel_credit_bytes": CREDIT_BYTES,
+            "channel_credit_frames": CREDIT_FRAMES,
+            "staging_limit": STAGING_LIMIT,
+        },
+        "scales": {},
+    }
+    for per_node in (n_events // 2, n_events):
+        streams = _streams(per_node)
+        row: dict = {}
+        for mode, bounded in (("unbounded", False), ("bounded", True)):
+            result, elapsed = _run_once(streams, bounded=bounded)
+            net = result.network
+            entry = {
+                "wall_s": round(elapsed, 4),
+                "results": len(result.sink),
+                "peak_unacked_bytes": net.peak_unacked_bytes,
+                "peak_unacked_frames": net.peak_unacked_frames,
+                "peak_staging": result.peak_staging,
+                "credit_stalls": net.credit_stalls,
+                "slices_shed": result.slices_shed,
+                "records_shed": net.records_shed,
+                "bytes_shed": net.bytes_shed,
+                "degraded_windows": result.degraded_windows,
+                "min_completeness": round(_audit_degraded(result), 6),
+            }
+            if bounded:
+                assert result.peak_staging <= STAGING_LIMIT, (
+                    f"staging occupancy {result.peak_staging} exceeded "
+                    f"the cap {STAGING_LIMIT}"
+                )
+            else:
+                assert result.slices_shed == 0 and not result.degraded_windows, (
+                    "the unbounded baseline must not shed or degrade"
+                )
+            row[mode] = entry
+        assert (
+            row["bounded"]["peak_unacked_bytes"]
+            <= row["unbounded"]["peak_unacked_bytes"]
+        ), "flow control failed to bound channel occupancy"
+        report["scales"][str(per_node)] = row
+    return report
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("events", nargs="?", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--quick", action="store_true",
+                        help=f"smoke scale ({QUICK_EVENTS} events/node)")
+    parser.add_argument("--metrics-out", default=None, dest="metrics_out",
+                        metavar="PATH",
+                        help="also write the scales as registry metrics "
+                             "(.json, or .prom/.txt for Prometheus text)")
+    args = parser.parse_args(argv)
+    report = run(QUICK_EVENTS if args.quick else args.events)
+    out = REPO_ROOT / OUTPUT_NAME
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for scale, row in report["scales"].items():
+        for mode in ("unbounded", "bounded"):
+            entry = row[mode]
+            print(
+                f"{scale:>5} ev/node {mode:>9}: "
+                f"peak unacked {entry['peak_unacked_bytes']:>7,} B"
+                f"  staging {entry['peak_staging']:>3}"
+                f"  shed {entry['slices_shed']:>3}"
+                f"  degraded {entry['degraded_windows']:>2}"
+                f"  completeness>={entry['min_completeness']:.3f}"
+            )
+    print(f"wrote {out}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, write_metrics
+
+        registry = MetricsRegistry()
+        for scale, row in report["scales"].items():
+            for mode, entry in row.items():
+                for key in (
+                    "peak_unacked_bytes", "peak_unacked_frames",
+                    "peak_staging", "min_completeness",
+                ):
+                    registry.gauge(f"bench.overload.{key}", scale=scale,
+                                   mode=mode).set(entry[key])
+                for key in (
+                    "credit_stalls", "slices_shed", "records_shed",
+                    "bytes_shed", "degraded_windows",
+                ):
+                    registry.counter(f"bench.overload.{key}", scale=scale,
+                                     mode=mode).inc(entry[key])
+        write_metrics(registry, args.metrics_out,
+                      benchmark=report["benchmark"])
+        print(f"metrics -> {args.metrics_out}")
+
+
+if __name__ == "__main__":
+    main()

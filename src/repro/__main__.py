@@ -70,7 +70,14 @@ def _events(args, n_keys: int = 4):
 
 def cmd_run(args) -> int:
     recorder = TraceRecorder() if (args.trace or args.trace_out) else None
-    session = DesisSession(recorder=recorder, merge_mode=args.merge_mode)
+    session = DesisSession(
+        recorder=recorder,
+        merge_mode=args.merge_mode,
+        measure_latency=args.measure_latency,
+        latency_expiry_horizon_ms=(
+            args.latency_expiry_ms if args.latency_expiry_ms > 0 else None
+        ),
+    )
     for text in args.query:
         session.submit(text)
     session.process_many(_events(args).events(args.events))
@@ -90,6 +97,13 @@ def cmd_run(args) -> int:
             if remaining:
                 print(f"  ... {remaining} more")
             break
+    if args.measure_latency:
+        summary = session.latency_summary()
+        print(
+            f"latency: n={summary.count} mean={summary.mean * 1e3:.3f}ms "
+            f"p50={summary.p50 * 1e3:.3f}ms p99={summary.p99 * 1e3:.3f}ms "
+            f"expired={summary.expired_samples}"
+        )
     if recorder is not None:
         print(f"trace: {len(recorder)} events recorded")
         if args.trace_out:
@@ -208,6 +222,13 @@ def _run_traced_desis(args):
         node_timeout=args.node_timeout,
         # heartbeats must outpace the timeout for the sweep to see silence
         heartbeat_interval=max(1, min(5_000, args.node_timeout // 3)),
+        latency_ms=args.link_latency,
+        bandwidth_bytes_per_ms=args.bandwidth,
+        channel_credit_bytes=args.channel_credit_bytes,
+        channel_credit_frames=args.channel_credit_frames,
+        staging_limit=args.staging_limit,
+        retention_limit=args.retention_limit,
+        stall_timeout=args.stall_timeout,
     )
     return DesisCluster(queries, topology, config=config).run(
         {k: list(v) for k, v in streams.items()}
@@ -237,6 +258,17 @@ def cmd_report(args) -> int:
         for hop in provenance.hops:
             print(f"    t={hop.at} {hop.kind} @ {hop.node}")
         print(f"  retransmits before emit: {provenance.total_retransmits}")
+        if provenance.completeness < 1.0 or provenance.sheds:
+            print(
+                f"  DEGRADED: completeness={provenance.completeness:.3f} "
+                f"({len(provenance.sheds)} shed event(s) intersect)"
+            )
+            for shed in provenance.sheds:
+                print(
+                    f"    t={shed.at} buffer.shed @ {shed.node} "
+                    f"[{shed.data.get('start')}..{shed.data.get('end')}) "
+                    f"{shed.data.get('records', 0)} record(s)"
+                )
         path = compute_critical_path(
             result.recorder, result.sink.results[-1]
         )
@@ -402,6 +434,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max results to print")
     run_cmd.add_argument("--gap-every", type=int, default=None, dest="gap_every")
     run_cmd.add_argument("--marker", default=None)
+    run_cmd.add_argument("--measure-latency", action="store_true",
+                         dest="measure_latency",
+                         help="sample wall-clock event-to-result latency "
+                              "through a LatencyProbe")
+    run_cmd.add_argument("--latency-expiry-ms", type=int, default=600_000,
+                         dest="latency_expiry_ms", metavar="MS",
+                         help="event-time horizon after which an unmatched "
+                              "latency sample is evicted and counted as "
+                              "expired (default: 600000; <= 0 keeps every "
+                              "sample forever — unbounded memory)")
     add_merge_mode(run_cmd)
     add_obs_flags(run_cmd)
     run_cmd.set_defaults(handler=cmd_run)
@@ -465,6 +507,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="heartbeat silence before a parent declares a "
                               "child dead (drives failover of permanent "
                               "--crash windows)")
+        cmd.add_argument("--link-latency", type=float, default=1.0,
+                         dest="link_latency", metavar="MS",
+                         help="per-link one-way latency (default: 1)")
+        cmd.add_argument("--bandwidth", type=float, default=None,
+                         metavar="BYTES_PER_MS",
+                         help="per-link bandwidth cap; unset = unlimited "
+                              "(~131 models the paper's 1G Ethernet)")
+        cmd.add_argument("--channel-credit-bytes", type=int, default=None,
+                         dest="channel_credit_bytes", metavar="N",
+                         help="per-channel credit window in unacked bytes; "
+                              "exhausted credit stalls the sender "
+                              "(DESIGN.md §12)")
+        cmd.add_argument("--channel-credit-frames", type=int, default=None,
+                         dest="channel_credit_frames", metavar="N",
+                         help="per-channel credit window in unacked frames")
+        cmd.add_argument("--staging-limit", type=int, default=None,
+                         dest="staging_limit", metavar="RECORDS",
+                         help="per-group staging cap; beyond it the oldest "
+                              "whole slices are shed and affected windows "
+                              "emit degraded with completeness < 1.0")
+        cmd.add_argument("--retention-limit", type=int, default=None,
+                         dest="retention_limit", metavar="BATCHES",
+                         help="cap on re-ship retention batches kept for "
+                              "crash recovery")
+        cmd.add_argument("--stall-timeout", type=int, default=None,
+                         dest="stall_timeout", metavar="MS",
+                         help="credit-stall duration before a parent "
+                              "soft-evicts a slow consumer (default: "
+                              "--node-timeout)")
         cmd.add_argument("--metrics-out", default=None, dest="metrics_out",
                          metavar="PATH")
 

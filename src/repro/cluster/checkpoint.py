@@ -50,6 +50,8 @@ __all__ = [
     "assembler_chunks",
     "restore_assembler",
     "seed_operator_set",
+    "shed_chunks",
+    "restore_shed",
 ]
 
 #: canonical serialization for persisted chunks, independent of the wire
@@ -270,6 +272,44 @@ def restore_retained(
     ]
 
 
+# -- shed-coverage ledger (DESIGN.md §12) ------------------------------------------
+
+
+def shed_chunks(
+    node_id: str, checkpoint_id: int, shed_pending: list[list[tuple[str, int, int]]]
+) -> list[SnapshotChunk]:
+    """One chunk per group with shed coverage not yet reported upward.
+
+    The ledger is snapshot state: a recovering node must still forward the
+    shed intervals it had accumulated, or the root would stamp affected
+    windows complete after a crash.
+    """
+    return [
+        SnapshotChunk(
+            sender=node_id,
+            checkpoint_id=checkpoint_id,
+            group_id=group_id,
+            kind="shed",
+            state=[list(entry) for entry in entries],
+        )
+        for group_id, entries in enumerate(shed_pending)
+        if entries
+    ]
+
+
+def restore_shed(
+    n_groups: int, chunks: list[SnapshotChunk]
+) -> list[list[tuple[str, int, int]]]:
+    """Rebuild the per-group pending shed ledger from its chunks."""
+    shed_pending: list[list[tuple[str, int, int]]] = [[] for _ in range(n_groups)]
+    for chunk in chunks:
+        if chunk.kind == "shed" and chunk.group_id < n_groups:
+            shed_pending[chunk.group_id] = [
+                (node, int(start), int(end)) for node, start, end in chunk.state
+            ]
+    return shed_pending
+
+
 # -- root assembler state ---------------------------------------------------------
 
 
@@ -340,6 +380,10 @@ def assembler_chunks(node_id: str, checkpoint_id: int, assemblers) -> list[Snaps
                 for s in assembler.counts
             ],
         }
+        if assembler.shed:
+            # Optional key: checkpoints without shedding stay byte-identical
+            # to pre-overload snapshots (restore uses ``.get`` defaults).
+            state["shed"] = [list(entry) for entry in assembler.shed]
         chunks.append(
             SnapshotChunk(
                 sender=node_id,
@@ -361,6 +405,10 @@ def restore_assembler(assembler, chunk: SnapshotChunk) -> None:
     assembler.ends = [record.end for record in assembler.records]
     assembler.covered = state.get("covered", assembler.origin)
     assembler.base = state.get("base", 0)
+    assembler.shed = [
+        (node, int(start), int(end))
+        for node, start, end in state.get("shed", [])
+    ]
     fixed = {s.query.query_id: s for s in assembler.fixed}
     for state_ in assembler.fixed:
         # The incremental merge aggregate is a derived cache over consumed

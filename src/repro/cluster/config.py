@@ -74,6 +74,37 @@ class ClusterConfig:
         checkpoint_dir: directory for on-disk checkpoints (one ``.ckpt``
             file per node, replaced atomically).  Ignored when
             ``checkpoint_store`` is given.
+        channel_credit_bytes: per-channel credit window in bytes.  A
+            sender whose unacked reliable frames hold at least this many
+            bytes has exhausted its credit: the channel reports *stalled*
+            and upstream nodes stop flushing into it, accumulating slices
+            in their bounded staging buffer instead.  Credits are granted
+            back by the acks the receiver already piggybacks on every
+            delivery (DESIGN.md §12).  ``None`` (the default) disables
+            flow control on the byte axis.
+        channel_credit_frames: per-channel credit window in frames
+            (unacked sequenced messages).  Same semantics as
+            ``channel_credit_bytes`` on the frame axis; ``None`` disables.
+        staging_limit: cap on a node's per-group staging buffer (pending
+            slice records not yet shipped).  When a flush is deferred by a
+            stalled channel and the buffer would exceed this many records,
+            the oldest whole slices are shed deterministically and their
+            coverage intervals are reported downstream so the root emits
+            degraded windows with ``completeness < 1.0`` instead of
+            silently wrong totals.  ``None`` (default) = unbounded.
+        retention_limit: cap on the number of re-ship retention batches a
+            node keeps for crash recovery.  Oldest batches are evicted
+            beyond the cap (recovery may then need a checkpoint to cover
+            the gap).  ``None`` (default) = unbounded.
+        shed_watermark: low-watermark fraction of ``staging_limit``
+            (hysteresis): once shedding starts, it continues down to
+            ``staging_limit * shed_watermark`` records so the buffer does
+            not oscillate at the cap.  Default 0.8.
+        stall_timeout: ms a child's upward channel may stay credit-stalled
+            before the parent treats it as a slow consumer and soft-evicts
+            it through the same :class:`ChildLiveness` resync path as a
+            silent child.  ``None`` (default) derives it from
+            ``node_timeout``.
     """
 
     origin: int = 0
@@ -94,7 +125,23 @@ class ClusterConfig:
     checkpoint_every_slices: int | None = None
     checkpoint_store: object | None = None
     checkpoint_dir: str | None = None
+    channel_credit_bytes: int | None = None
+    channel_credit_frames: int | None = None
+    staging_limit: int | None = None
+    retention_limit: int | None = None
+    shed_watermark: float = 0.8
+    stall_timeout: int | None = None
 
     @property
     def checkpointing(self) -> bool:
         return self.checkpoint_interval is not None
+
+    @property
+    def overload_control(self) -> bool:
+        """Whether any overload-control knob deviates from unbounded."""
+        return (
+            self.channel_credit_bytes is not None
+            or self.channel_credit_frames is not None
+            or self.staging_limit is not None
+            or self.retention_limit is not None
+        )

@@ -71,6 +71,15 @@ class ClusterRunResult:
     #: the incremental merge layer (``config.merge_mode``) shrinks for
     #: overlapping fixed windows (see repro.core.incmerge)
     root_merge_ops: int = 0
+    #: overload-control accounting (DESIGN.md §12): windows emitted with
+    #: ``completeness`` below 1.0, whole slices deliberately shed under
+    #: the staging cap, the cluster-wide staging high-water mark, and
+    #: children soft-evicted for persistent credit stalls.  All zero
+    #: without the opt-in caps.
+    degraded_windows: int = 0
+    slices_shed: int = 0
+    peak_staging: int = 0
+    slow_consumer_evictions: int = 0
 
     @property
     def throughput(self) -> float:
@@ -129,6 +138,8 @@ class DesisCluster:
             fault_plan=self.config.fault_plan,
             retransmit_timeout_ms=self.config.retransmit_timeout,
             max_retries=self.config.max_retries,
+            channel_credit_bytes=self.config.channel_credit_bytes,
+            channel_credit_frames=self.config.channel_credit_frames,
             recorder=self.recorder,
         )
         self.checkpoint_store: CheckpointStore | None = None
@@ -239,6 +250,7 @@ class DesisCluster:
             )
             node.ship_seq.append(0)
             node.forward_floor.append(origin)
+            node._shed_pending.append([])
         self.root.mergers.append(
             GroupMerger(group, self.topology.children(self.topology.root), origin)
         )
@@ -315,6 +327,9 @@ class DesisCluster:
             self.root if parent == self.topology.root else self.intermediates[parent]
         )
         parent_node.remove_child(node_id)
+        # Hard removal frees the transport too: reliable-channel state for
+        # a departed node must not linger (or retransmit into the void).
+        self.net.forget_node_channels(node_id)
         self._broadcast_attributes()
 
     def evict_timed_out(self, now: int | None = None) -> list[str]:
@@ -481,6 +496,13 @@ class DesisCluster:
         for node in self.locals.values():
             node.on_finish(self._end_boundary, self.net)
         self.net.run()
+        # Under overload control, intermediates may hold deferred staging
+        # and unshipped shed metadata behind a stalled channel; end of
+        # stream overrides backpressure so every closable window closes
+        # with truthful completeness.
+        for node in self.intermediates.values():
+            node.on_finish(self._end_boundary, self.net)
+        self.net.run()
         self.root.finish(int(self.net.now))
         wall = _time.perf_counter() - started
         _log.info(
@@ -515,4 +537,20 @@ class DesisCluster:
             reroutes=self.reroutes,
             duplicates_suppressed=self.root.duplicates_suppressed,
             root_merge_ops=self.root.root_merge_ops,
+            degraded_windows=self.root.degraded_windows,
+            slices_shed=self.root.slices_shed
+            + sum(n.slices_shed for n in self.locals.values())
+            + sum(n.slices_shed for n in self.intermediates.values())
+            + sum(n.slices_shed for n in self._dead_intermediates),
+            peak_staging=max(
+                [self.root.peak_staging]
+                + [n.peak_staging for n in self.locals.values()]
+                + [n.peak_staging for n in self.intermediates.values()]
+                + [n.peak_staging for n in self._dead_intermediates]
+            ),
+            slow_consumer_evictions=self.root.slow_consumer_evictions
+            + sum(
+                n.slow_consumer_evictions for n in self.intermediates.values()
+            )
+            + sum(n.slow_consumer_evictions for n in self._dead_intermediates),
         )

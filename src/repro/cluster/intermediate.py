@@ -20,7 +20,9 @@ from repro.cluster.checkpoint import (
     pending_chunks,
     restore_mergers,
     restore_retained,
+    restore_shed,
     retained_chunks,
+    shed_chunks,
 )
 from repro.cluster.config import ClusterConfig
 from repro.cluster.merger import GroupMerger
@@ -83,6 +85,16 @@ class IntermediateNode(SimNode):
         #: deployment hook: called with ``(child, now, net)`` when liveness
         #: sweeps a child whose crash the fault plan declares permanent
         self.on_child_dead = None
+        # Overload control (DESIGN.md §12): shed coverage awaiting the
+        # next upward forward, staging high-water mark, eviction counters.
+        # All stay empty/zero at default config.
+        self._shed_pending: list[list[tuple[str, int, int]]] = [
+            [] for _ in plan.groups
+        ]
+        self.peak_staging = 0
+        self.slices_shed = 0
+        self.retention_evicted = 0
+        self.slow_consumer_evictions = 0
 
     def on_tick(self, now: int, net: SimNetwork) -> None:
         if not self.alive:
@@ -106,8 +118,38 @@ class IntermediateNode(SimNode):
                     and plan.permanent(child, now)
                 ):
                     self.on_child_dead(child, now, net)
+            if self.config.overload_control:
+                self._sweep_slow_consumers(now, net)
+        if self.config.overload_control and not net.channel_stalled(
+            self.node_id, self.parent
+        ):
+            # The upward channel regained credit since the last batch:
+            # drain coverage that was staged behind the stall.
+            for group_id, merger in enumerate(self.mergers):
+                advanced = merger.advance()
+                if advanced is not None:
+                    self._forward(group_id, advanced, now, net)
         if self.store is not None:
             self._maybe_checkpoint(now, net)
+
+    def _sweep_slow_consumers(self, now: int, net: SimNetwork) -> None:
+        """Soft-evict children whose upward channel has been credit-stalled
+        past the stall timeout — the same resync path as a silent child
+        (their heartbeats keep flowing, so the next one re-admits them)."""
+        liveness = self.liveness
+        timeout = self.config.stall_timeout
+        if timeout is None:
+            timeout = self.config.node_timeout
+        for child in list(self.children):
+            since = net.channel_stalled_since(child, self.node_id)
+            if (
+                since is not None
+                and now - since > timeout
+                and liveness.force_evict(child)
+            ):
+                self.slow_consumer_evictions += 1
+                for merger in self.mergers:
+                    merger.remove_child(child)
 
     def _readmit(self, child: str, net: SimNetwork) -> None:
         for merger in self.mergers:
@@ -166,39 +208,119 @@ class IntermediateNode(SimNode):
             return
         merger = self.mergers[message.group_id]
         merger.on_batch(message)
+        if message.shed:
+            # Coverage shed further down rides up with our next forward.
+            self._shed_pending[message.group_id].extend(message.shed)
+        if self.config.overload_control:
+            if net.channel_stalled(self.node_id, self.parent):
+                # Backpressure: leave the released coverage staged in the
+                # merger's pending buffers (bounded below) instead of
+                # growing the stalled channel's unacked backlog.
+                self._shed_staging_overflow(message.group_id, net)
+                self._note_staging()
+                return
+            self._shed_staging_overflow(message.group_id, net)
+            self._note_staging()
         advanced = merger.advance()
         if advanced is None or not self.alive:
             return
+        self._forward(message.group_id, advanced, now, net)
+
+    def _forward(
+        self,
+        group_id: int,
+        advanced: tuple[int, list],
+        now: int,
+        net: SimNetwork,
+    ) -> None:
         covered, records = advanced
-        floor = self.forward_floor[message.group_id]
+        floor = self.forward_floor[group_id]
         if floor > self.config.origin:
             records = [record for record in records if record.end > floor]
+        shed = self._shed_pending[group_id]
         out = PartialBatchMessage(
             sender=self.node_id,
-            group_id=message.group_id,
-            first_slice_seq=self.ship_seq[message.group_id],
+            group_id=group_id,
+            first_slice_seq=self.ship_seq[group_id],
             covered_to=covered,
             records=records,
+            shed=shed,
         )
+        if shed:
+            self._shed_pending[group_id] = []
         if self.recorder.enabled and records:
             self.recorder.record(
                 "merge.release",
                 now,
                 node=self.node_id,
-                group=message.group_id,
-                first_seq=self.ship_seq[message.group_id],
+                group=group_id,
+                first_seq=self.ship_seq[group_id],
                 records=len(records),
                 start=records[0].start,
                 end=records[-1].end,
                 covered_to=covered,
             )
-        self.ship_seq[message.group_id] += len(records)
+        self.ship_seq[group_id] += len(records)
         net.send(self.node_id, self.parent, out)
         if self._retain:
             self._retained.append(out)
+            self._cap_retention()
         if self.store is not None:
             self._slices_since_ckpt += len(records)
             self._maybe_checkpoint(now, net)
+
+    # -- overload control (DESIGN.md §12) ----------------------------------------------
+
+    def _shed_staging_overflow(self, group_id: int, net: SimNetwork) -> None:
+        """Shed oldest pending slices once a merger exceeds the staging cap.
+
+        Whole slices only, oldest (smallest ``(end, start)``) first, down
+        to the hysteresis low watermark; shed coverage joins the pending
+        shed report for the next upward batch.
+        """
+        limit = self.config.staging_limit
+        if limit is None:
+            return
+        merger = self.mergers[group_id]
+        occupancy = merger.staging_occupancy()
+        if occupancy <= limit:
+            return
+        low = max(int(limit * self.config.shed_watermark), 0)
+        shed = merger.shed_oldest(occupancy - low)
+        self.slices_shed += len(shed)
+        net.note_shed(self.node_id, group_id, shed)
+        self._shed_pending[group_id].extend(
+            (self.node_id, record.start, record.end) for record in shed
+        )
+
+    def _note_staging(self) -> None:
+        occupancy = sum(
+            merger.staging_occupancy() for merger in self.mergers
+        )
+        if occupancy > self.peak_staging:
+            self.peak_staging = occupancy
+
+    def _cap_retention(self) -> None:
+        limit = self.config.retention_limit
+        if limit is not None and len(self._retained) > limit:
+            self.retention_evicted += len(self._retained) - limit
+            self._retained = self._retained[-limit:]
+
+    def on_finish(self, now: int, net: SimNetwork) -> None:
+        """End of stream overrides backpressure: release anything still
+        staged behind a stalled channel so every closable window closes."""
+        if not self.alive or not self.config.overload_control:
+            return
+        for group_id, merger in enumerate(self.mergers):
+            advanced = merger.advance()
+            if advanced is not None:
+                self._forward(group_id, advanced, now, net)
+            elif self._shed_pending[group_id]:
+                # No coverage left to release, but shed metadata must still
+                # reach the root: ship a records-free coverage step.
+                self._forward(
+                    group_id, (merger.forwarded_to, []), now, net
+                )
 
     # -- checkpointing and recovery (DESIGN.md §8) ----------------------------------
 
@@ -244,6 +366,7 @@ class IntermediateNode(SimNode):
         )
         chunks = pending_chunks(self.node_id, self._ckpt_id, self.mergers)
         chunks.extend(retained_chunks(self.node_id, self._ckpt_id, self._retained))
+        chunks.extend(shed_chunks(self.node_id, self._ckpt_id, self._shed_pending))
         self.store.save(
             self.node_id, self._ckpt_id, encode_checkpoint([header, *chunks])
         )
@@ -292,6 +415,7 @@ class IntermediateNode(SimNode):
         self.forward_floor = [config.origin for _ in self.plan.groups]
         self._trim_floor = [config.origin for _ in self.plan.groups]
         self._retained = []
+        self._shed_pending = [[] for _ in self.plan.groups]
         self._last_heartbeat = now
         self._last_ckpt = now
         self._slices_since_ckpt = 0
@@ -309,6 +433,7 @@ class IntermediateNode(SimNode):
                     self.forward_floor[group_id] = floor
             restore_mergers(self.mergers, header, chunks)
             self._retained = restore_retained(self.node_id, chunks)
+            self._shed_pending = restore_shed(len(self.plan.groups), chunks)
         if self.recorder.enabled:
             self.recorder.record(
                 "node.recover",

@@ -61,6 +61,8 @@ class _SlicedLocalGroup:
         self.runtime.advance(config.origin)
         self.pending: list[SliceRecord] = []
         self.ship_seq = 0
+        #: shed coverage awaiting the next flush: (node_id, start, end)
+        self.shed_pending: list[tuple[str, int, int]] = []
         self._userdef_ids = {
             q.query_id
             for q in group.queries
@@ -106,18 +108,30 @@ class _SlicedLocalGroup:
         # punctuations (falling back per-event for data-driven windows).
         self.runtime.process_batch(events)
 
-    def flush(self, now: int) -> PartialBatchMessage:
-        """Cut at the watermark boundary and drain pending slice records."""
+    def stage(self, now: int) -> None:
+        """Cut at the watermark boundary without shipping.
+
+        Used when the upward channel is credit-stalled: slices keep
+        accumulating in the bounded staging buffer (``pending``) so the
+        shedding policy has whole slices to account for, and the slice-seq
+        protocol stays gapless — sequences are only assigned at flush.
+        """
         self.runtime.advance(now)
         if self.runtime.current.start < now:
             self.runtime._cut(now, [], [])
+
+    def flush(self, now: int) -> PartialBatchMessage:
+        """Cut at the watermark boundary and drain pending slice records."""
+        self.stage(now)
         message = PartialBatchMessage(
             sender=self.node_id,
             group_id=self.group.group_id,
             first_slice_seq=self.ship_seq,
             covered_to=now,
             records=self.pending,
+            shed=self.shed_pending,
         )
+        self.shed_pending = []
         if self.recorder.enabled and self.pending:
             self.recorder.record(
                 "partial.ship",
@@ -171,6 +185,8 @@ class _RootEvalLocalGroup:
         self.pending: list[SliceRecord] = []
         self.pending_eps: list[tuple[str, int]] = []
         self.ship_seq = 0
+        #: shed coverage awaiting the next flush: (node_id, start, end)
+        self.shed_pending: list[tuple[str, int, int]] = []
         self._userdef_watch = [
             (q.query_id, q.selection.key, q.window.end_marker)
             for q in group.queries
@@ -311,7 +327,8 @@ class _RootEvalLocalGroup:
         for event in events:
             self.on_event(event)
 
-    def flush(self, now: int) -> PartialBatchMessage:
+    def stage(self, now: int) -> None:
+        """Cut at every due boundary without shipping (stalled channel)."""
         if self._fixed_schedules:
             boundary = self._next_fixed_boundary(self.window_start)
             while boundary is not None and boundary <= now:
@@ -319,13 +336,18 @@ class _RootEvalLocalGroup:
                 boundary = self._next_fixed_boundary(boundary)
         if self.window_start < now:
             self._cut(now)
+
+    def flush(self, now: int) -> PartialBatchMessage:
+        self.stage(now)
         message = PartialBatchMessage(
             sender=self.node_id,
             group_id=self.group.group_id,
             first_slice_seq=self.ship_seq,
             covered_to=now,
             records=self.pending,
+            shed=self.shed_pending,
         )
+        self.shed_pending = []
         if self.recorder.enabled and self.pending:
             self.recorder.record(
                 "partial.ship",
@@ -377,6 +399,46 @@ class LocalNode(SimNode):
         # can be served the exact per-tick suffix it is missing.
         self._retain = False
         self._retained: list[PartialBatchMessage] = []
+        # Overload control (DESIGN.md §12): high-water mark of the staging
+        # buffers, slices deliberately shed, retained batches evicted by
+        # the retention cap.  All stay zero at default config.
+        self.peak_staging = 0
+        self.slices_shed = 0
+        self.retention_evicted = 0
+
+    # -- overload control (DESIGN.md §12) ----------------------------------------------
+
+    def _shed_overflow(self, group, net: SimNetwork) -> None:
+        """Shed oldest whole slices once staging exceeds its cap.
+
+        Deterministic oldest-slice-first policy with hysteresis: shed down
+        to ``staging_limit * shed_watermark`` records so the buffer does
+        not oscillate at the cap.  Shed coverage is remembered per group
+        and rides up with the next flushed batch, so the root can stamp
+        affected windows with ``completeness < 1.0``.
+        """
+        limit = self.config.staging_limit
+        if limit is None or len(group.pending) <= limit:
+            return
+        low = max(int(limit * self.config.shed_watermark), 0)
+        shed = group.pending[: len(group.pending) - low]
+        group.pending = group.pending[len(shed):]
+        self.slices_shed += len(shed)
+        net.note_shed(self.node_id, group.group.group_id, shed)
+        group.shed_pending.extend(
+            (self.node_id, record.start, record.end) for record in shed
+        )
+
+    def _note_staging(self) -> None:
+        occupancy = sum(len(group.pending) for group in self.groups)
+        if occupancy > self.peak_staging:
+            self.peak_staging = occupancy
+
+    def _cap_retention(self) -> None:
+        limit = self.config.retention_limit
+        if limit is not None and len(self._retained) > limit:
+            self.retention_evicted += len(self._retained) - limit
+            self._retained = self._retained[-limit:]
 
     def on_event(self, event: Event, now: int, net: SimNetwork) -> None:
         self.stats.events += 1
@@ -391,11 +453,25 @@ class LocalNode(SimNode):
     def on_tick(self, now: int, net: SimNetwork) -> None:
         if not self.alive:
             return
+        # Credit-based backpressure: a stalled upward channel defers the
+        # flush — slices accumulate in the bounded staging buffer instead
+        # of growing the channel's unacked backlog without limit.
+        deferred = self.config.overload_control and net.channel_stalled(
+            self.node_id, self.parent
+        )
         for group in self.groups:
+            if deferred:
+                group.stage(now)
+                self._shed_overflow(group, net)
+                continue
+            self._shed_overflow(group, net)
             message = group.flush(now)
             net.send(self.node_id, self.parent, message)
             if self._retain:
                 self._retained.append(message)
+        if deferred or self.config.staging_limit is not None:
+            self._note_staging()
+        self._cap_retention()
         if now - self._last_heartbeat >= self.config.heartbeat_interval:
             self._last_heartbeat = now
             net.send(
@@ -408,10 +484,14 @@ class LocalNode(SimNode):
         if not self.alive:
             return
         for group in self.groups:
+            # End of stream overrides backpressure: ship what survived the
+            # cap so every closable window still closes.
+            self._shed_overflow(group, net)
             message = group.flush(now)
             net.send(self.node_id, self.parent, message)
             if self._retain:
                 self._retained.append(message)
+        self._cap_retention()
 
     def on_message(self, message, now: int, net: SimNetwork) -> None:
         # Locals receive control traffic (queries, topology) and, after a
@@ -427,7 +507,23 @@ class LocalNode(SimNode):
             else:
                 for group_id, (next_seq, covered) in message.entries.items():
                     if group_id < len(self.groups):
-                        self.groups[group_id].resync(next_seq, covered)
+                        group = self.groups[group_id]
+                        if self.config.overload_control:
+                            # Records the resync prunes are data dropped
+                            # under overload (the outage was a stalled,
+                            # not a silent, channel) — account them like
+                            # any other shed so the completeness ledger
+                            # stays truthful.
+                            pruned = [r for r in group.pending if r.end <= covered]
+                            if pruned:
+                                self.slices_shed += len(pruned)
+                                net.note_shed(
+                                    self.node_id, group.group.group_id, pruned
+                                )
+                                group.shed_pending.extend(
+                                    (self.node_id, r.start, r.end) for r in pruned
+                                )
+                        group.resync(next_seq, covered)
                 net.reset_channel(self.node_id, self.parent, message.epoch)
             return
         if isinstance(message, ControlMessage) and message.kind == "query_remove":

@@ -149,6 +149,41 @@ class GroupMerger:
             return self.forwarded_to
         return min(state.covered for state in self.children.values())
 
+    # -- overload control (DESIGN.md §12) -------------------------------------------
+
+    def staging_occupancy(self) -> int:
+        """Pending (buffered, unreleased) slice records across all children
+        — the occupancy the staging cap bounds."""
+        return sum(len(state.pending) for state in self.children.values())
+
+    def shed_oldest(self, count: int) -> list[SliceRecord]:
+        """Deterministically shed the ``count`` oldest pending records.
+
+        Whole slices only, ordered by ``(end, start, child)`` so two runs
+        of the same scenario shed identical coverage.  Returns the shed
+        records (the caller accounts their coverage intervals); sequence
+        numbers are untouched — they were assigned upstream and releases
+        simply skip the shed contributions.
+        """
+        if count <= 0:
+            return []
+        entries = sorted(
+            (
+                (record.end, record.start, child, record)
+                for child, state in self.children.items()
+                for record in state.pending
+            ),
+            key=lambda entry: entry[:3],
+        )[:count]
+        victims = {id(record) for *_, record in entries}
+        for state in self.children.values():
+            state.pending = [
+                record
+                for record in state.pending
+                if id(record) not in victims
+            ]
+        return [record for *_, record in entries]
+
     def advance(self) -> tuple[int, list[SliceRecord]] | None:
         """Release records once every child covers a later boundary.
 

@@ -49,6 +49,18 @@ class ChildLiveness:
             self.last_seen[child] = now
         return False
 
+    def force_evict(self, child: str) -> bool:
+        """Soft-evict a live child immediately (slow-consumer detection,
+        DESIGN.md §12): same evicted state — and therefore the same
+        heartbeat-rejoin/resync path — as a silent child swept by timeout.
+        Returns True when the child was live."""
+        if child not in self.last_seen or child in self.evicted:
+            return False
+        del self.last_seen[child]
+        self.evicted.add(child)
+        self.soft_evictions += 1
+        return True
+
     def sweep(self, now: int) -> list[str]:
         """Soft-evict (and return) children silent for over the timeout."""
         dead = sorted(

@@ -165,11 +165,17 @@ class RootAssembler:
                  config: ClusterConfig, recorder=None):
         self.group = group
         self.origin = origin
-        self.emit = emit  # emit(query, start, end, merged_ops, count, now)
+        self._emit_cb = emit  # emit(query, start, end, merged_ops, count, now, ...)
         self.covered = origin
         self.records: list[SliceRecord] = []
         self.ends: list[int] = []
         self.base = 0  # absolute index of records[0]
+        #: shed-coverage ledger (DESIGN.md §12): ``(node_id, start, end)``
+        #: intervals dropped under overload anywhere below (or at) the
+        #: root; consulted when each window closes to stamp the result
+        #: with its completeness.  Empty — and free — without overload
+        #: control.
+        self.shed: list[tuple[str, int, int]] = []
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         #: merge operator executions during window assembly (partials
         #: consumed by the plain scans plus ``merge_partials`` calls on
@@ -206,6 +212,65 @@ class RootAssembler:
             and not self.userdef
             and not self.counts
         )
+
+    # -- overload control (DESIGN.md §12) ----------------------------------------------
+
+    def note_shed(self, entries) -> None:
+        """Record shed coverage intervals — reported upward by descendants
+        or shed at the root itself.  Must land before the coverage advance
+        that closes the windows they degrade (guaranteed by the slice-seq
+        protocol: shed metadata rides the batch that advances coverage)."""
+        self.shed.extend(entries)
+
+    def _shed_for(self, start: int, end: int):
+        """``(shed_slices, completeness)`` for a closing window.
+
+        Clips ledger entries to ``[start, end)`` and measures the interval
+        *union*, so duplicate entries — a retransmitted batch re-reporting
+        the same shed — cannot double-count lost coverage.
+        """
+        if not self.shed:
+            return (), 1.0
+        clipped = set()
+        for node, shed_start, shed_end in self.shed:
+            lo = max(shed_start, start)
+            hi = min(shed_end, end)
+            if lo < hi:
+                clipped.add((node, lo, hi))
+        if not clipped:
+            return (), 1.0
+        ordered = sorted(clipped, key=lambda entry: (entry[1], entry[2], entry[0]))
+        union = 0
+        cursor = start
+        for _, lo, hi in ordered:
+            if hi > cursor:
+                union += hi - max(lo, cursor)
+                cursor = hi
+        completeness = max(1.0 - union / max(end - start, 1), 0.0)
+        return tuple(ordered), completeness
+
+    def _shed_intersects(self, start: int, end: int) -> bool:
+        """Whether any shed coverage falls inside ``[start, end)`` — used
+        to emit a window the shedding fully starved (``count == 0``)
+        instead of silently skipping it like a genuinely empty one."""
+        return any(
+            max(shed_start, start) < min(shed_end, end)
+            for _, shed_start, shed_end in self.shed
+        )
+
+    def emit(self, query, start, end, ops, count, now: int) -> None:
+        """Stamp the closing window with shed coverage before emission.
+
+        Undegraded windows take the plain call — emit callbacks without
+        the overload keywords (tests, custom sinks) keep working, and the
+        default path stays byte-identical.
+        """
+        shed_slices, completeness = self._shed_for(start, end)
+        if not shed_slices:
+            self._emit_cb(query, start, end, ops, count, now)
+            return
+        self._emit_cb(query, start, end, ops, count, now,
+                      shed_slices=shed_slices, completeness=completeness)
 
     # -- record access ----------------------------------------------------------------
 
@@ -317,7 +382,7 @@ class RootAssembler:
                 start = state.next_close_start
                 end = start + state.length
                 merged, count = self._merge_fixed_window(state, start, end)
-                if count:
+                if count or self._shed_intersects(start, end):
                     self.emit(state.query, start, end, merged, count, now)
                 state.next_close_start += state.slide
 
@@ -402,7 +467,7 @@ class RootAssembler:
             while state.eps and state.eps[0] < self.covered:
                 marker = state.eps.pop(0)
                 merged, count = self._consume_until(state, marker + 1)
-                if count:
+                if count or self._shed_intersects(state.prev_end, marker):
                     self.emit(
                         state.query, state.prev_end, marker, merged, count, now
                     )
@@ -460,6 +525,10 @@ class RootAssembler:
             del self.records[:drop]
             del self.ends[:drop]
             self.base += drop
+        if self.shed:
+            # A shed interval entirely below the low watermark can no
+            # longer intersect any window still to close.
+            self.shed = [entry for entry in self.shed if entry[2] > low]
 
     # -- end of stream ------------------------------------------------------------------------
 
@@ -472,7 +541,7 @@ class RootAssembler:
                 merged, count = self._merge_fixed_window(
                     state, start, min(end, self.covered)
                 )
-                if count:
+                if count or self._shed_intersects(start, min(end, self.covered)):
                     self.emit(state.query, start, end, merged, count, now)
                 state.next_close_start += state.slide
         for state in self.sessions:
@@ -525,6 +594,12 @@ class RootNode(SimNode):
         #: merge-op counts of assemblers discarded by crash recovery (the
         #: replacement assemblers restart their counters at zero)
         self.merge_ops_carried = 0
+        # Overload-control accounting (DESIGN.md §12); all stay zero
+        # without the opt-in caps.
+        self.degraded_windows = 0
+        self.slices_shed = 0
+        self.peak_staging = 0
+        self.slow_consumer_evictions = 0
         # Soft-eviction state, only active under a fault plan: without one
         # the network is lossless and partitions cannot happen.
         self.liveness = (
@@ -551,7 +626,7 @@ class RootNode(SimNode):
         self.on_child_dead = None
 
     def _emit(self, query: Query, start: int, end: int, ops, count: int,
-              now: int) -> None:
+              now: int, shed_slices=(), completeness: float = 1.0) -> None:
         seq = self._emit_seq
         self._emit_seq = seq + 1
         if seq < self._suppress_below:
@@ -559,7 +634,13 @@ class RootNode(SimNode):
             # sink, exactly-once says drop it here.
             self.duplicates_suppressed += 1
             return
+        if completeness < 1.0:
+            self.degraded_windows += 1
         if self.recorder.enabled:
+            extra = {}
+            if completeness < 1.0:
+                extra["completeness"] = completeness
+                extra["shed_slices"] = len(shed_slices)
             self.recorder.record(
                 "window.emit",
                 now,
@@ -569,6 +650,7 @@ class RootNode(SimNode):
                 start=start,
                 end=end,
                 event_count=count,
+                **extra,
             )
         self.sink.emit(
             WindowResult(
@@ -578,6 +660,8 @@ class RootNode(SimNode):
                 value=finalize(query.function, ops),
                 event_count=count,
                 emitted_at=now,
+                shed_slices=tuple(shed_slices),
+                completeness=completeness,
             )
         )
 
@@ -593,7 +677,14 @@ class RootNode(SimNode):
         if not isinstance(message, PartialBatchMessage):
             return
         merger = self.mergers[message.group_id]
+        if message.shed:
+            # The ledger must see shed coverage before the advance below
+            # can close the windows it degrades.
+            self.assemblers[message.group_id].note_shed(message.shed)
         merger.on_batch(message)
+        if self.config.overload_control:
+            self._shed_staging_overflow(message.group_id, net)
+            self._note_staging()
         advanced = merger.advance()
         if advanced is None:
             return
@@ -634,8 +725,57 @@ class RootNode(SimNode):
                     and plan.permanent(child, now)
                 ):
                     self.on_child_dead(child, now, net)
+            if self.config.overload_control:
+                self._sweep_slow_consumers(now, net)
         if self.store is not None:
             self._maybe_checkpoint(now, net)
+
+    # -- overload control (DESIGN.md §12) -------------------------------------------
+
+    def _shed_staging_overflow(self, group_id: int, net: SimNetwork) -> None:
+        """Shed the oldest pending slices of one merger when its staging
+        occupancy exceeds the cap, down to the hysteresis watermark.  Shed
+        coverage lands directly in the group's ledger — the root is its
+        own final consumer."""
+        limit = self.config.staging_limit
+        if limit is None:
+            return
+        merger = self.mergers[group_id]
+        occupancy = merger.staging_occupancy()
+        if occupancy <= limit:
+            return
+        low = max(int(limit * self.config.shed_watermark), 0)
+        shed = merger.shed_oldest(occupancy - low)
+        if not shed:
+            return
+        self.slices_shed += len(shed)
+        net.note_shed(self.node_id, group_id, shed)
+        self.assemblers[group_id].note_shed(
+            (self.node_id, record.start, record.end) for record in shed
+        )
+
+    def _note_staging(self) -> None:
+        occupancy = sum(merger.staging_occupancy() for merger in self.mergers)
+        if occupancy > self.peak_staging:
+            self.peak_staging = occupancy
+
+    def _sweep_slow_consumers(self, now: int, net: SimNetwork) -> None:
+        """Soft-evict children whose reliable channel toward the root has
+        been credit-stalled past the stall timeout (DESIGN.md §12):
+        coverage resumes without them, and the usual heartbeat-rejoin
+        resync path re-attaches them once the backlog drains."""
+        liveness = self.liveness
+        timeout = self.config.stall_timeout
+        if timeout is None:
+            timeout = self.config.node_timeout
+        for child in sorted(liveness.last_seen):
+            since = net.channel_stalled_since(child, self.node_id)
+            if since is None or now - since <= timeout:
+                continue
+            if liveness.force_evict(child):
+                self.slow_consumer_evictions += 1
+                for merger in self.mergers:
+                    merger.remove_child(child)
 
     # -- checkpointing and recovery (DESIGN.md §8) ---------------------------------
 
@@ -808,6 +948,7 @@ class RootNode(SimNode):
     def remove_child(self, child: str) -> None:
         if child in self.children:
             self.children.remove(child)
+        self.last_seen.pop(child, None)
         for merger in self.mergers:
             merger.remove_child(child)
         if self.liveness is not None:

@@ -16,9 +16,13 @@ Two layers of checking:
    local nodes must not change results; submitting the same query twice
    must yield twice the identical rows; a recoverable fault plan must
    leave both the results and the *goodput* (unique delivered payload
-   bytes) of the clean reliable run unchanged; and on a traced run every
+   bytes) of the clean reliable run unchanged; on a traced run every
    window's critical-path stage breakdown must sum *exactly* to its
-   end-to-end emission latency in sim-ms (see repro.obs.critical_path).
+   end-to-end emission latency in sim-ms (see repro.obs.critical_path);
+   and a Desis run under overload caps (DESIGN.md §12) that shed nothing
+   must be byte-identical to the unbounded faulty run, while a run that
+   did shed must account every degraded window's ``completeness``
+   exactly from its own ``shed_slices``.
 
 :func:`evaluate_scenario` drives all of it and returns the flat list of
 failure descriptions the runner and the shrinker share as their predicate.
@@ -360,6 +364,16 @@ def evaluate_scenario(
             compare_results(scenario, clean, faulty,
                             merge_mode="exact", cross_fold=False)
         )
+    # overload caps (DESIGN.md §12): shed accounting always holds, and a
+    # bounded run that shed nothing is byte-identical to the unbounded one
+    overload = executions.get("cluster-desis-overload")
+    if overload is not None:
+        failures.extend(overload.meta.get("audit_failures", ()))
+        if faulty is not None and not overload.meta.get("slices_shed", 0):
+            failures.extend(
+                compare_results(scenario, faulty, overload,
+                                merge_mode="exact", cross_fold=False)
+            )
 
     if metamorphic:
         try:

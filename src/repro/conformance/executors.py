@@ -250,6 +250,72 @@ def run_desis_cluster_faulty(scenario, streams) -> ExecutionResult:
                         deployment="desis", fault=scenario.build_fault_plan())
 
 
+def run_desis_cluster_overload(scenario, streams) -> ExecutionResult:
+    """The faulty Desis run again, under the scenario's overload caps.
+
+    Meta carries the shed/degradation counters plus a per-row audit:
+    every degraded window's ``completeness`` must equal
+    ``1 - union(shed_slices ∩ window) / span`` recomputed from its own
+    metadata, and a pristine row must carry none.  When nothing was shed
+    the rows must be byte-identical to the unbounded faulty run — that
+    comparison happens in ``evaluate_scenario``.
+    """
+    spec = scenario.overload
+    config = _cluster_config(scenario, fault=scenario.build_fault_plan())
+    config.channel_credit_bytes = spec.channel_credit_bytes
+    config.channel_credit_frames = spec.channel_credit_frames
+    config.staging_limit = spec.staging_limit
+    cluster = DesisCluster(
+        scenario.build_queries(), scenario.build_topology(), config=config
+    )
+    result = cluster.run({k: list(v) for k, v in streams.items()})
+    audit: list[str] = []
+    for row in result.sink:
+        shed = getattr(row, "shed_slices", ())
+        completeness = getattr(row, "completeness", 1.0)
+        label = f"overload-audit: {row.query_id}[{row.start}..{row.end})"
+        if not shed:
+            if completeness != 1.0:
+                audit.append(
+                    f"{label} completeness {completeness} without shed_slices"
+                )
+            continue
+        clipped = sorted(
+            (max(s, row.start), min(e, row.end)) for _, s, e in shed
+        )
+        union, cursor = 0, row.start
+        for s, e in clipped:
+            s = max(s, cursor)
+            if e > s:
+                union += e - s
+                cursor = e
+        expected = max(1.0 - union / max(row.end - row.start, 1), 0.0)
+        if abs(completeness - expected) > 1e-12:
+            audit.append(
+                f"{label} completeness {completeness} != {expected} "
+                f"recomputed from shed_slices"
+            )
+    if (
+        scenario.overload.staging_limit is not None
+        and result.peak_staging > scenario.overload.staging_limit
+    ):
+        audit.append(
+            f"overload-audit: peak staging {result.peak_staging} exceeded "
+            f"the cap {scenario.overload.staging_limit}"
+        )
+    return ExecutionResult(
+        "cluster-desis-overload",
+        canonical_rows(result.sink),
+        incomparable_queries=_cluster_incomparable(scenario),
+        meta={
+            "slices_shed": result.slices_shed,
+            "degraded_windows": result.degraded_windows,
+            "peak_staging": result.peak_staging,
+            "audit_failures": audit,
+        },
+    )
+
+
 def run_centralized_cluster(scenario, streams) -> ExecutionResult:
     return _run_cluster(scenario, streams, name="cluster-centralized",
                         deployment="centralized")
@@ -286,6 +352,8 @@ def executor_matrix(scenario: Scenario) -> list[tuple[str, ExecutorFn]]:
         matrix.append(("cluster-disco", run_disco_cluster))
     if scenario.fault is not None:
         matrix.append(("cluster-desis-faulty", run_desis_cluster_faulty))
+    if scenario.overload is not None and scenario.fault is not None:
+        matrix.append(("cluster-desis-overload", run_desis_cluster_overload))
     return matrix
 
 

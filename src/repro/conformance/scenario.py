@@ -41,6 +41,7 @@ __all__ = [
     "QuerySpec",
     "CrashSpec",
     "FaultSpec",
+    "OverloadSpec",
     "Scenario",
     "ScenarioGenerator",
     "NEVER",
@@ -189,6 +190,35 @@ class FaultSpec:
         return cls(crashes=crashes, **kwargs)
 
 
+@dataclass(frozen=True, slots=True)
+class OverloadSpec:
+    """Overload-control caps for the Desis deployment (DESIGN.md §12).
+
+    Conformance caps are *generous* on purpose: with the scenario's fast
+    links the credit windows rarely exhaust, so most runs shed nothing —
+    and a run that sheds nothing must be byte-identical to the unbounded
+    faulty run (the metamorphic invariant ``evaluate_scenario`` checks).
+    A run that does shed is audited instead: every degraded window's
+    ``completeness`` must equal what its own ``shed_slices`` imply.
+    """
+
+    channel_credit_bytes: int | None = None
+    channel_credit_frames: int | None = None
+    staging_limit: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            name: value
+            for name in ("channel_credit_bytes", "channel_credit_frames",
+                         "staging_limit")
+            if (value := getattr(self, name)) is not None
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "OverloadSpec":
+        return cls(**data)
+
+
 # -- the scenario ------------------------------------------------------------
 
 
@@ -222,6 +252,8 @@ class Scenario:
     punctuation_mode: str = "heap"
     checkpoint_interval: int | None = None
     fault: FaultSpec | None = None
+    # overload-control caps for an extra bounded Desis run (None = no run)
+    overload: OverloadSpec | None = None
     # set by the shrinker: surviving events, replacing seeded generation
     explicit_streams: dict[str, list[list]] | None = field(default=None)
 
@@ -357,6 +389,8 @@ class Scenario:
             out["checkpoint_interval"] = self.checkpoint_interval
         if self.fault is not None:
             out["fault"] = self.fault.to_dict()
+        if self.overload is not None:
+            out["overload"] = self.overload.to_dict()
         if self.explicit_streams is not None:
             out["explicit_streams"] = {
                 node: [list(row) for row in rows]
@@ -371,6 +405,9 @@ class Scenario:
         fault = data.pop("fault", None)
         if fault is not None:
             fault = FaultSpec.from_dict(fault)
+        overload = data.pop("overload", None)
+        if overload is not None:
+            overload = OverloadSpec.from_dict(overload)
         dt_units = tuple(data.pop("dt_units", (1, 2, 5)))
         explicit = data.pop("explicit_streams", None)
         if explicit is not None:
@@ -380,8 +417,8 @@ class Scenario:
                 ]
                 for node, rows in explicit.items()
             }
-        return cls(queries=queries, fault=fault, dt_units=dt_units,
-                   explicit_streams=explicit, **data)
+        return cls(queries=queries, fault=fault, overload=overload,
+                   dt_units=dt_units, explicit_streams=explicit, **data)
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2)
@@ -444,6 +481,17 @@ class ScenarioGenerator:
                             n_nodes, events_per_node, dt_units)
         if fault is not None and fault.crashes and checkpoint_interval is None:
             checkpoint_interval = 2_000
+        # Overload caps ride along on ~1/3 of faulty scenarios: the fast
+        # conformance links rarely exhaust these generous credit windows,
+        # so the bounded run usually sheds nothing and must then be
+        # byte-identical to the unbounded faulty run (see OverloadSpec).
+        overload = None
+        if fault is not None and rng.random() < 0.35:
+            overload = OverloadSpec(
+                channel_credit_bytes=rng.choice((4_096, 16_384)),
+                channel_credit_frames=rng.choice((16, 64)),
+                staging_limit=rng.choice((64, 256)),
+            )
 
         return Scenario(
             name=f"gen-{self.seed}-{index}",
@@ -468,6 +516,7 @@ class ScenarioGenerator:
             punctuation_mode=rng.choice(("heap", "scan")),
             checkpoint_interval=checkpoint_interval,
             fault=fault,
+            overload=overload,
         )
 
     # -- pieces --------------------------------------------------------------

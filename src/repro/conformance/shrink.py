@@ -3,9 +3,10 @@
 Given a scenario the checkers reject, the shrinker searches for a smaller
 scenario that *still fails*, in four phases:
 
-1. **Knob simplification** — drop the fault plan, checkpointing, batching,
-   and disorder if the failure survives without them (a failure that needs
-   none of them is an engine bug, not a distributed-systems bug).
+1. **Knob simplification** — drop the overload caps, fault plan,
+   checkpointing, batching, and disorder if the failure survives without
+   them (a failure that needs none of them is an engine bug, not a
+   distributed-systems bug).
 2. **Query reduction** — remove queries one at a time while the failure
    persists.
 3. **Event reduction (ddmin)** — classic delta debugging over the global
@@ -91,6 +92,7 @@ def _with_events(scenario: Scenario,
 def _shrink_knobs(scenario: Scenario, predicate: Predicate,
                   budget: _Budget) -> Scenario:
     for simplify in (
+        lambda s: replace(s, overload=None),
         lambda s: replace(s, fault=None),
         lambda s: replace(s, checkpoint_interval=None),
         lambda s: replace(s, batch_ms=None),

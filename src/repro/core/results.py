@@ -24,6 +24,14 @@ class WindowResult:
         emitted_at: stream time at which the result was produced; in the
             decentralized setting this is simulated network time, so
             ``emitted_at - end`` is the event-time result latency.
+        shed_slices: coverage intervals that overload control shed from
+            this window's input: ``(node_id, start, end)`` tuples clipped
+            to the window span (DESIGN.md §12).  Empty unless load
+            shedding touched the window.
+        completeness: fraction of the window span whose coverage was NOT
+            shed — ``1.0`` for every fully assembled window; a degraded
+            window carries ``completeness < 1.0`` and the shed intervals
+            that explain the gap, instead of a silently wrong total.
     """
 
     query_id: str
@@ -32,12 +40,21 @@ class WindowResult:
     value: float | int | None
     event_count: int = 0
     emitted_at: int = 0
+    shed_slices: tuple[tuple[str, int, int], ...] = ()
+    completeness: float = 1.0
+
+    @property
+    def degraded(self) -> bool:
+        return self.completeness < 1.0
 
     def __str__(self) -> str:
-        return (
+        base = (
             f"{self.query_id}[{self.start}..{self.end})="
             f"{self.value!r} (n={self.event_count})"
         )
+        if self.completeness < 1.0:
+            base += f" [degraded: completeness={self.completeness:.3f}]"
+        return base
 
 
 @dataclass(slots=True)

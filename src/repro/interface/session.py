@@ -35,7 +35,10 @@ class DesisSession:
     """A centralized Desis instance accepting textual or built queries."""
 
     def __init__(self, *, policy: SharingPolicy = SharingPolicy.FULL,
-                 recorder=None, merge_mode: str = "incremental") -> None:
+                 recorder=None, merge_mode: str = "incremental",
+                 measure_latency: bool = False,
+                 latency_sample_every: int = 100,
+                 latency_expiry_horizon_ms: int | None = 600_000) -> None:
         self.policy = policy
         #: optional slice-lifecycle trace recorder handed to the engine
         #: (see :mod:`repro.obs.tracing`); ``None`` keeps tracing off
@@ -43,6 +46,18 @@ class DesisSession:
         #: window-close merging: ``"incremental"`` (default) or ``"exact"``
         #: (see :class:`~repro.core.engine.AggregationEngine`)
         self.merge_mode = merge_mode
+        #: when enabled, results flow through a
+        #: :class:`~repro.metrics.latency.LatencyProbe` measuring
+        #: wall-clock event-to-result latency.  The probe's pending-sample
+        #: buffer is *bounded by default*: samples no window covered
+        #: within ``latency_expiry_horizon_ms`` of event time (10 min)
+        #: are evicted and counted as ``expired_samples``; pass ``None``
+        #: only for short bounded replays that can afford keeping every
+        #: sample forever.
+        self.measure_latency = measure_latency
+        self.latency_sample_every = latency_sample_every
+        self.latency_expiry_horizon_ms = latency_expiry_horizon_ms
+        self._probe = None
         self._engine: AggregationEngine | None = None
         self._pending: list[Query] = []
         self._counter = 0
@@ -95,9 +110,19 @@ class DesisSession:
 
     def _ensure_engine(self) -> AggregationEngine:
         if self._engine is None:
+            sink = None
+            if self.measure_latency:
+                from repro.metrics.latency import LatencyProbe
+
+                sink = self._probe = LatencyProbe(
+                    sample_every=self.latency_sample_every,
+                    keep=True,
+                    expiry_horizon_ms=self.latency_expiry_horizon_ms,
+                )
             self._engine = AggregationEngine(
                 self._pending,
                 policy=self.policy,
+                sink=sink,
                 recorder=self.recorder,
                 merge_mode=self.merge_mode,
             )
@@ -105,10 +130,18 @@ class DesisSession:
         return self._engine
 
     def process(self, event: Event) -> None:
-        self._ensure_engine().process(event)
+        engine = self._ensure_engine()
+        if self._probe is not None:
+            self._probe.on_ingest(event)
+        engine.process(event)
 
     def process_many(self, events: Iterable[Event]) -> None:
-        self._ensure_engine().process_batch(list(events))
+        engine = self._ensure_engine()
+        events = list(events)
+        if self._probe is not None:
+            for event in events:
+                self._probe.on_ingest(event)
+        engine.process_batch(events)
 
     def advance(self, time: int) -> None:
         self._ensure_engine().advance(time)
@@ -125,3 +158,15 @@ class DesisSession:
     @property
     def stats(self) -> EngineStats:
         return self._ensure_engine().stats
+
+    def latency_summary(self):
+        """Percentile summary of the probe (``None`` unless measuring).
+
+        The summary carries ``expired_samples`` — samples the bounded
+        expiry horizon evicted unmatched — which
+        :func:`repro.obs.registry.publish_latency_summary` surfaces as
+        the ``latency.expired_samples`` counter.
+        """
+        if self._probe is None:
+            return None
+        return self._probe.summary()

@@ -36,6 +36,10 @@ class LatencySummary:
     p95: float
     p99: float
     max: float
+    #: samples evicted unmatched by the probe's bounded expiry horizon —
+    #: nonzero means the percentiles above exclude events no window ever
+    #: covered (surfaced as ``latency.expired_samples`` in the registry)
+    expired_samples: int = 0
 
 
 def summarize(samples: list[float]) -> LatencySummary:
@@ -78,9 +82,13 @@ class LatencyProbe(ResultSink):
                  expiry_horizon_ms: int | None = 600_000) -> None:
         super().__init__(keep=keep)
         self.sample_every = sample_every
-        #: event-time distance after which an unmatched sample is dropped;
-        #: ``None`` keeps every sample forever (unbounded memory when a
-        #: query never covers a sampled event, e.g. filtered markers)
+        #: event-time distance after which an unmatched sample is dropped.
+        #: Bounded by default (10 min of event time) so a query that never
+        #: covers a sampled event (e.g. filtered markers) cannot grow the
+        #: pending buffer without limit; evictions are counted in
+        #: ``expired_samples`` and surfaced through the obs bridge.
+        #: Passing ``None`` opts into keeping every sample forever —
+        #: unbounded memory, only for short bounded replays.
         self.expiry_horizon_ms = expiry_horizon_ms
         self._ingested = 0
         #: pending samples: (event_time, wall_clock_at_ingest)
@@ -115,7 +123,9 @@ class LatencyProbe(ResultSink):
         self._pending = remaining
 
     def summary(self) -> LatencySummary:
-        return summarize(self.samples)
+        result = summarize(self.samples)
+        result.expired_samples = self.expired_samples
+        return result
 
 
 def event_time_latencies(sink: ResultSink) -> list[float]:

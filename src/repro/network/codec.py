@@ -281,6 +281,17 @@ class BinaryCodec(Codec):
         w.i64(msg.first_slice_seq)
         w.i64(msg.covered_to)
         self._encode_records(w, msg.records)
+        # Shed-coverage report is a trailing optional block: absent when
+        # nothing was shed, so overload-free traffic stays byte-identical.
+        # Partial batches are always tail-positioned (a sequenced frame
+        # encodes its inner message last), which makes presence detectable
+        # from the remaining buffer length.
+        if msg.shed:
+            w.u32(len(msg.shed))
+            for node_id, start, end in msg.shed:
+                w.text(node_id)
+                w.i64(start)
+                w.i64(end)
 
     def _decode_partial(self, r: _Reader) -> PartialBatchMessage:
         sender = r.text()
@@ -288,12 +299,18 @@ class BinaryCodec(Codec):
         first_seq = r.i64()
         covered = r.i64()
         records = self._decode_records(r)
+        shed: list[tuple[str, int, int]] = []
+        if r.pos < len(r.data):
+            shed = [
+                (r.text(), r.i64(), r.i64()) for _ in range(r.u32())
+            ]
         return PartialBatchMessage(
             sender=sender,
             group_id=group_id,
             first_slice_seq=first_seq,
             covered_to=covered,
             records=records,
+            shed=shed,
         )
 
     def _encode_events(self, w: _Writer, msg: EventBatchMessage) -> None:
@@ -673,7 +690,7 @@ def _records_from_jsonable(data: list[dict[str, Any]]) -> list[SliceRecord]:
 
 def _to_jsonable(message: Message) -> dict[str, Any]:
     if isinstance(message, PartialBatchMessage):
-        return {
+        out = {
             "type": "partial",
             "sender": message.sender,
             "group_id": message.group_id,
@@ -681,6 +698,9 @@ def _to_jsonable(message: Message) -> dict[str, Any]:
             "covered_to": message.covered_to,
             "records": _records_to_jsonable(message.records),
         }
+        if message.shed:  # optional, mirroring the binary trailing block
+            out["shed"] = [list(entry) for entry in message.shed]
+        return out
     if isinstance(message, EventBatchMessage):
         return {
             "type": "events",
@@ -786,6 +806,10 @@ def _from_jsonable(data: dict[str, Any]) -> Message:
             first_slice_seq=data["first_slice_seq"],
             covered_to=data["covered_to"],
             records=_records_from_jsonable(data["records"]),
+            shed=[
+                (node_id, start, end)
+                for node_id, start, end in data.get("shed", [])
+            ],
         )
     if kind == "events":
         return EventBatchMessage(

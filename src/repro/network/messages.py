@@ -111,6 +111,14 @@ class PartialBatchMessage:
     (Sec 5.1.1); parents use the ids to detect duplicated or missing
     slices.  ``covered_to`` is the sender's progress watermark: it has
     emitted everything ending at or before this time.
+
+    ``shed`` reports coverage that overload control deliberately dropped
+    below this point of the tree: ``(node_id, start, end)`` intervals of
+    whole slices shed from a bounded staging buffer (DESIGN.md §12).
+    Shedding happens *before* sequence assignment, so the slice-seq
+    protocol stays gapless; the intervals ride up with the next batch so
+    the root can stamp affected windows with ``completeness < 1.0``.
+    Empty (the default) costs zero wire bytes.
     """
 
     sender: str
@@ -118,6 +126,8 @@ class PartialBatchMessage:
     first_slice_seq: int
     covered_to: int
     records: list[SliceRecord] = field(default_factory=list)
+    #: coverage intervals shed below this hop: (node_id, start, end)
+    shed: list[tuple[str, int, int]] = field(default_factory=list)
 
 
 @dataclass(slots=True)

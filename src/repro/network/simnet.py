@@ -219,7 +219,8 @@ class FaultPlan:
 class _SendChannel:
     """Sender half of one directed reliable channel."""
 
-    __slots__ = ("epoch", "next_seq", "unacked", "retries")
+    __slots__ = ("epoch", "next_seq", "unacked", "retries", "unacked_bytes",
+                 "stalled_since")
 
     def __init__(self) -> None:
         self.epoch = 0
@@ -227,12 +228,25 @@ class _SendChannel:
         #: seq -> (encoded frame, billed-as-control)
         self.unacked: dict[int, tuple[bytes, bool]] = {}
         self.retries: dict[int, int] = {}
+        #: occupancy of the unacked buffer — the credit accounting
+        self.unacked_bytes = 0
+        #: sim time the channel ran out of credit (``None`` = has credit)
+        self.stalled_since: float | None = None
 
     def reset(self, epoch: int) -> None:
         self.epoch = epoch
         self.next_seq = 0
         self.unacked.clear()
         self.retries.clear()
+        self.unacked_bytes = 0
+        self.stalled_since = None
+
+    def drop_frame(self, seq: int) -> None:
+        """Forget one unacked frame, keeping occupancy accounting exact."""
+        entry = self.unacked.pop(seq, None)
+        if entry is not None:
+            self.unacked_bytes -= len(entry[0])
+        self.retries.pop(seq, None)
 
 
 class _RecvChannel:
@@ -322,6 +336,8 @@ class Link:
     ack_bytes: int = 0
     #: frames discarded by receive-side dedup (duplicate or stale epoch)
     dedup_dropped: int = 0
+    #: times the send channel ran out of flow-control credit (DESIGN.md §12)
+    credit_stalls: int = 0
 
     def transfer(self, size: int, now: float, *, control: bool = False) -> float:
         """Account for ``size`` bytes leaving at ``now``; return arrival time."""
@@ -360,6 +376,16 @@ class NetworkStats:
     acks: int = 0
     ack_bytes: int = 0
     dedup_dropped: int = 0
+    # -- overload-control counters (zero unless credits/caps are on) --
+    credit_stalls: int = 0
+    #: serialized size of slice records shed from bounded staging buffers
+    bytes_shed: int = 0
+    records_shed: int = 0
+    #: high-water occupancy of any single reliable send channel — with
+    #: credits on this stays under the credit window; without, a slow
+    #: link lets it grow with the backlog (the overload bench plots both)
+    peak_unacked_bytes: int = 0
+    peak_unacked_frames: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -395,6 +421,9 @@ class SimNetwork:
                  fault_plan: FaultPlan | None = None,
                  retransmit_timeout_ms: float = 100.0,
                  max_retries: int = 8,
+                 channel_credit_bytes: int | None = None,
+                 channel_credit_frames: int | None = None,
+                 credit_resume_fraction: float = 0.8,
                  recorder=None) -> None:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.nodes: dict[str, SimNode] = {}
@@ -405,9 +434,22 @@ class SimNetwork:
         self.fault_plan = fault_plan
         self.retransmit_timeout = retransmit_timeout_ms
         self.max_retries = max_retries
+        # -- credit-based flow control (DESIGN.md §12); ``None`` = off --
+        self.channel_credit_bytes = channel_credit_bytes
+        self.channel_credit_frames = channel_credit_frames
+        self.credit_resume_fraction = credit_resume_fraction
+        #: high-water marks over every send channel's unacked buffer
+        self.peak_unacked_bytes = 0
+        self.peak_unacked_frames = 0
+        #: deterministic shedding totals reported by nodes (note_shed)
+        self.bytes_shed = 0
+        self.records_shed = 0
         self._send_channels: dict[tuple[str, str], _SendChannel] = {}
         self._recv_channels: dict[tuple[str, str], _RecvChannel] = {}
         self._rngs: dict[tuple[str, str], random.Random] = {}
+        #: hard-removed nodes whose in-flight traffic must not lazily
+        #: re-create channel state when it lands after the removal
+        self._forgotten: set[str] = set()
         self._queue: list[tuple[float, int, int, object]] = []
         self._seq = 0
         self.now: float = 0.0
@@ -419,6 +461,7 @@ class SimNetwork:
         if node.node_id in self.nodes:
             raise TopologyError(f"duplicate node id: {node.node_id!r}")
         self.nodes[node.node_id] = node
+        self._forgotten.discard(node.node_id)
 
     def connect(
         self,
@@ -553,6 +596,12 @@ class SimNetwork:
             SequencedMessage(epoch=channel.epoch, seq=seq, inner=message)
         )
         channel.unacked[seq] = (data, control)
+        channel.unacked_bytes += len(data)
+        if channel.unacked_bytes > self.peak_unacked_bytes:
+            self.peak_unacked_bytes = channel.unacked_bytes
+        if len(channel.unacked) > self.peak_unacked_frames:
+            self.peak_unacked_frames = len(channel.unacked)
+        self._update_stall(src, dst, channel)
         if (
             self.recorder.enabled
             and isinstance(message, PartialBatchMessage)
@@ -598,6 +647,113 @@ class SimNetwork:
             rng = self._rngs[(src, dst)] = self.fault_plan.rng_for_link(src, dst)
         return rng
 
+    def _update_stall(self, src: str, dst: str, channel: _SendChannel) -> None:
+        """Re-evaluate a channel's credit state after occupancy changed.
+
+        A channel stalls when its unacked buffer reaches either credit cap
+        and resumes, with hysteresis, once occupancy drops to
+        ``credit_resume_fraction`` of the cap — acks are the credit grants
+        (the receiver piggybacks them on every delivery), so no extra wire
+        traffic is involved.
+        """
+        cap_bytes = self.channel_credit_bytes
+        cap_frames = self.channel_credit_frames
+        if cap_bytes is None and cap_frames is None:
+            return
+        if channel.stalled_since is None:
+            exhausted = (
+                cap_bytes is not None and channel.unacked_bytes >= cap_bytes
+            ) or (
+                cap_frames is not None and len(channel.unacked) >= cap_frames
+            )
+            if exhausted:
+                channel.stalled_since = self.now
+                link = self.links.get((src, dst))
+                if link is not None:
+                    link.credit_stalls += 1
+                if self.recorder.enabled:
+                    self.recorder.record(
+                        "credit.stall",
+                        self.now,
+                        node=src,
+                        link=f"{src}->{dst}",
+                        unacked_bytes=channel.unacked_bytes,
+                        unacked_frames=len(channel.unacked),
+                    )
+            return
+        resume = self.credit_resume_fraction
+        below_bytes = (
+            cap_bytes is None or channel.unacked_bytes <= cap_bytes * resume
+        )
+        below_frames = (
+            cap_frames is None or len(channel.unacked) <= cap_frames * resume
+        )
+        if below_bytes and below_frames:
+            channel.stalled_since = None
+
+    def channel_stalled(self, src: str, dst: str) -> bool:
+        """Whether the ``src -> dst`` reliable channel is out of credit."""
+        channel = self._send_channels.get((src, dst))
+        return channel is not None and channel.stalled_since is not None
+
+    def channel_stalled_since(self, src: str, dst: str) -> float | None:
+        """Sim time the channel stalled (``None`` when it has credit)."""
+        channel = self._send_channels.get((src, dst))
+        return channel.stalled_since if channel is not None else None
+
+    def channel_occupancy(self, src: str, dst: str) -> tuple[int, int]:
+        """Current ``(unacked_bytes, unacked_frames)`` of a send channel."""
+        channel = self._send_channels.get((src, dst))
+        if channel is None:
+            return (0, 0)
+        return (channel.unacked_bytes, len(channel.unacked))
+
+    def note_shed(self, node_id: str, group: int, records) -> int:
+        """Account slice records shed from a node's bounded staging buffer.
+
+        Returns the serialized size the shed records would have cost on the
+        wire (measured with the default codec — the shedding path is cold,
+        so the extra encode is irrelevant).  Also emits the ``buffer.shed``
+        trace event carrying the shed coverage span.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        probe = PartialBatchMessage(
+            sender=node_id,
+            group_id=group,
+            first_slice_seq=0,
+            covered_to=0,
+            records=records,
+        )
+        nbytes = len(self.default_codec.encode(probe))
+        self.records_shed += len(records)
+        self.bytes_shed += nbytes
+        if self.recorder.enabled:
+            self.recorder.record(
+                "buffer.shed",
+                self.now,
+                node=node_id,
+                group=group,
+                records=len(records),
+                bytes=nbytes,
+                start=records[0].start,
+                end=records[-1].end,
+            )
+        return nbytes
+
+    def forget_node_channels(self, node_id: str) -> None:
+        """Free every reliable-channel (and fault-rng) entry touching
+        ``node_id`` — called on hard removal so no per-child transport
+        state outlives the node."""
+        for table in (self._send_channels, self._recv_channels, self._rngs):
+            for key in [k for k in table if node_id in k]:
+                del table[key]
+        # In-flight frames involving the node still sit in the event
+        # queue; mark it so their late arrival cannot lazily re-create
+        # the state freed above (re-registering the id clears the mark).
+        self._forgotten.add(node_id)
+
     def reset_channel(self, src: str, dst: str, epoch: int) -> None:
         """Restart the ``src -> dst`` reliable channel at ``epoch``.
 
@@ -620,6 +776,8 @@ class SimNetwork:
         if channel is not None:
             channel.unacked.clear()
             channel.retries.clear()
+            channel.unacked_bytes = 0
+            channel.stalled_since = None
 
     def expect_resync(self, src: str, dst: str) -> int:
         """Receiver-side half of a channel restart; returns the new epoch.
@@ -669,8 +827,8 @@ class SimNetwork:
             if plan.permanent(src, self.now):
                 # The sender never restarts within this run: abandon the
                 # frame now rather than parking a timer past the horizon.
-                del channel.unacked[seq]
-                channel.retries.pop(seq, None)
+                channel.drop_frame(seq)
+                self._update_stall(src, dst, channel)
                 link.retransmit_exhausted += 1
                 return
             # The interface is down; retry after restart without spending
@@ -680,8 +838,8 @@ class SimNetwork:
             return
         attempt = channel.retries.get(seq, 0) + 1
         if attempt > self.max_retries:
-            del channel.unacked[seq]
-            channel.retries.pop(seq, None)
+            channel.drop_frame(seq)
+            self._update_stall(src, dst, channel)
             link.retransmit_exhausted += 1
             return
         channel.retries[seq] = attempt
@@ -719,12 +877,11 @@ class SimNetwork:
                 cumulative=ack.cumulative,
             )
         for seq in [s for s in channel.unacked if s < ack.cumulative]:
-            del channel.unacked[seq]
-            channel.retries.pop(seq, None)
+            channel.drop_frame(seq)
         for seq in ack.selective:
             if seq in channel.unacked:
-                del channel.unacked[seq]
-                channel.retries.pop(seq, None)
+                channel.drop_frame(seq)
+        self._update_stall(receiver, ack.sender, channel)
 
     def _record_transit(
         self, link: Link, message: PartialBatchMessage, at: int
@@ -822,6 +979,12 @@ class SimNetwork:
                 ):
                     link.drops += 1  # dead interface: nothing gets in
                     continue
+                if link.src in self._forgotten or link.dst in self._forgotten:
+                    # A hard-removed peer: late frames (and the acks they
+                    # would trigger) fall on the floor instead of lazily
+                    # resurrecting freed channel state.
+                    link.drops += 1
+                    continue
                 node = self.nodes[node_id]
                 started = _time.perf_counter()
                 message = codec.decode(data)
@@ -878,6 +1041,7 @@ class SimNetwork:
             stats.acks += link.acks
             stats.ack_bytes += link.ack_bytes
             stats.dedup_dropped += link.dedup_dropped
+            stats.credit_stalls += link.credit_stalls
             if link.messages_sent == 0:
                 continue
             stats.bytes_by_link[(src, dst)] = link.bytes_sent
@@ -892,6 +1056,12 @@ class SimNetwork:
                 + link.bytes_sent
                 - link.control_bytes
             )
+        # Shedding happens before serialization, so its totals live on the
+        # network (reported by nodes via note_shed), not on any link.
+        stats.bytes_shed = self.bytes_shed
+        stats.records_shed = self.records_shed
+        stats.peak_unacked_bytes = self.peak_unacked_bytes
+        stats.peak_unacked_frames = self.peak_unacked_frames
         return stats
 
     def cpu_time_by_role(self) -> dict[NodeRole, float]:

@@ -10,6 +10,10 @@ stage               the time between ...
 ``ingest-wait``     first contributing ingest → the gating slice opens/cuts
 ``slicing``         the gating slice's span (its start → its cut)
 ``queue``           the gating slice's cut → its batch ships off the node
+``shed``            the share of staging wait ending in a ``buffer.shed``
+                    (overload control dropped coverage; DESIGN.md §12)
+``credit-stall``    a ``credit.stall`` on the shipping node → the ship
+                    (the channel was out of credit; DESIGN.md §12)
 ``network``         a batch enters a link → it is delivered (post-fault)
 ``retransmit``      the share of a hop spent re-sending lost frames
 ``merge``           a delivery → the intermediate (or root merger) releases it
@@ -57,6 +61,8 @@ STAGES = (
     "ingest-wait",
     "slicing",
     "queue",
+    "shed",
+    "credit-stall",
     "network",
     "retransmit",
     "merge",
@@ -233,6 +239,25 @@ def compute_critical_path(recorder: TraceRecorder, result) -> CriticalPath:
                 continue
             gating_slice = _latest_seq(ev.slices, sender.seq, node=sender.node)
             if gating_slice is not None:
+                # Overload control (DESIGN.md §12): a credit stall on the
+                # shipping node delayed this ship, and a shed ended part
+                # of the staging wait — carve both out of "queue".  The
+                # stall counts only while outstanding: an intervening ship
+                # from the same node means the channel resumed first.
+                stall = _latest_seq(ev.stalls, sender.seq, node=sender.node)
+                if stall is not None and sender.at > gating_slice.at:
+                    resumed = any(
+                        s.node == sender.node
+                        and stall.seq < s.seq < sender.seq
+                        for s in ev.ships
+                    )
+                    if not resumed:
+                        push("credit-stall",
+                             max(stall.at, gating_slice.at),
+                             node=sender.node)
+                shed = _latest_seq(ev.sheds, sender.seq, node=sender.node)
+                if shed is not None and shed.at > gating_slice.at:
+                    push("shed", shed.at, node=sender.node)
                 push("queue", gating_slice.at, node=sender.node)
                 push("slicing", gating_slice.data["start"], node=sender.node)
             break

@@ -264,8 +264,13 @@ def publish_network_stats(registry: MetricsRegistry, stats) -> None:
         "acks",
         "ack_bytes",
         "dedup_dropped",
+        "credit_stalls",
+        "bytes_shed",
+        "records_shed",
     ):
-        registry.counter(f"net.{name}").inc(getattr(stats, name))
+        registry.counter(f"net.{name}").inc(getattr(stats, name, 0))
+    for name in ("peak_unacked_bytes", "peak_unacked_frames"):
+        registry.gauge(f"net.{name}").set(getattr(stats, name, 0))
 
 
 def publish_cluster_result(registry: MetricsRegistry, result) -> None:
@@ -287,6 +292,19 @@ def publish_cluster_result(registry: MetricsRegistry, result) -> None:
     )
     registry.counter("cluster.root_merge_ops").inc(
         getattr(result, "root_merge_ops", 0)
+    )
+    # Overload control (DESIGN.md §12): all zero without the opt-in caps.
+    registry.counter("cluster.degraded_windows").inc(
+        getattr(result, "degraded_windows", 0)
+    )
+    registry.counter("cluster.slices_shed").inc(
+        getattr(result, "slices_shed", 0)
+    )
+    registry.gauge("cluster.peak_staging").set(
+        getattr(result, "peak_staging", 0)
+    )
+    registry.counter("cluster.slow_consumer_evictions").inc(
+        getattr(result, "slow_consumer_evictions", 0)
     )
     registry.counter("obs.trace_dropped").inc(
         getattr(getattr(result, "recorder", None), "dropped", 0)
@@ -311,6 +329,9 @@ def publish_latency_summary(registry: MetricsRegistry, summary,
         registry.gauge(f"latency.{name}", **labels).set(
             getattr(summary, name)
         )
+    registry.counter("latency.expired_samples", **labels).inc(
+        getattr(summary, "expired_samples", 0)
+    )
 
 
 def publish_conformance_counters(registry: MetricsRegistry, report: dict,

@@ -70,6 +70,12 @@ DEFAULT_GATES: dict[str, dict[str, tuple[float, str]]] = {
         "rates.5%.goodput_data_bytes": (0.0, "both"),
         "rates.5%.retransmits": (0.0, "both"),
     },
+    "BENCH_overload.json": {
+        "scales.1500.bounded.degraded_windows": (0.0, "both"),
+        "scales.1500.bounded.peak_staging": (0.0, "both"),
+        "scales.1500.bounded.slices_shed": (0.0, "both"),
+        "scales.1500.unbounded.peak_unacked_bytes": (0.0, "both"),
+    },
     "BENCH_recovery.json": {
         "savings.reship_saved_pct": (0.0, "both"),
         "savings.latency_delta_ms": (0.0, "both"),

@@ -38,6 +38,10 @@ name            parent
 ``checkpoint``  root (state snapshot during the window's lifetime)
 ``recover``     root (restart/restore during the window's lifetime)
 ``reroute``     root (failover adoption during the window's lifetime)
+``shed``        root (bounded staging dropped coverage inside the
+                window — the reason the result is degraded)
+``credit-stall``  root (a channel ran out of credit during the
+                window's lifetime, deferring upward progress)
 ==============  ==================================================
 
 ``net.ack`` events are deliberately excluded: an ack clears a sender's
@@ -154,6 +158,10 @@ class _WindowEvents:
     reuses: list[TraceEvent] = field(default_factory=list)
     retransmits: list[TraceEvent] = field(default_factory=list)
     lifecycle: list[TraceEvent] = field(default_factory=list)
+    #: ``buffer.shed`` events whose coverage intersects the window
+    sheds: list[TraceEvent] = field(default_factory=list)
+    #: ``credit.stall`` events inside the window's lifetime
+    stalls: list[TraceEvent] = field(default_factory=list)
 
 
 def _reuse_matches(event: TraceEvent, result) -> bool:
@@ -215,7 +223,14 @@ def collect_window_events(recorder: TraceRecorder, result) -> _WindowEvents:
         if kind in _LIFECYCLE_KINDS:
             ev.lifecycle.append(event)
             continue
+        if kind == "credit.stall":
+            ev.stalls.append(event)
+            continue
         if event.group != group:
+            continue
+        if kind == "buffer.shed":
+            if overlaps(event, start, end):
+                ev.sheds.append(event)
             continue
         if kind == "slice.close":
             if overlaps(event, start, end):
@@ -238,6 +253,7 @@ def collect_window_events(recorder: TraceRecorder, result) -> _WindowEvents:
     ev.lifecycle = [
         e for e in ev.lifecycle if ev.ingested_at <= e.at <= emit.at
     ]
+    ev.stalls = [e for e in ev.stalls if ev.ingested_at <= e.at <= emit.at]
     return ev
 
 
@@ -379,6 +395,10 @@ def build_window_trace(recorder: TraceRecorder, result) -> WindowTrace:
         child(retrans, "retransmit", parent)
     for event in ev.lifecycle:
         child(event, _LIFECYCLE_KINDS[event.kind], None)
+    for shed in ev.sheds:
+        child(shed, "shed", None, start=shed.data.get("start"))
+    for stall in ev.stalls:
+        child(stall, "credit-stall", None)
     root = spans[0]
     rest = sorted(spans[1:], key=lambda s: s.span_id)
     return WindowTrace(

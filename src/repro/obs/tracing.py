@@ -26,6 +26,10 @@ kind                      recorded when / by
 ``checkpoint.save``       a node persists a state snapshot (DESIGN.md §8)
 ``node.recover``          a node restores after a state-losing restart
 ``child.reroute``         failover adopts a dead intermediate's child
+``credit.stall``          a reliable channel runs out of credit and its
+                          sender stops shipping (DESIGN.md §12)
+``buffer.shed``           a bounded staging buffer sheds whole slices,
+                          degrading the affected windows (DESIGN.md §12)
 ========================  =====================================================
 
 Events are keyed by ``(group, slice id, node)`` and stamped with
@@ -112,6 +116,11 @@ class WindowProvenance:
     hops: list[TraceEvent]
     #: reliable-channel re-sends per link observed before the emit
     retransmits: dict[str, int]
+    #: ``buffer.shed`` events whose shed coverage intersects the window
+    #: (DESIGN.md §12); non-empty exactly when the result is degraded
+    sheds: list[TraceEvent] = field(default_factory=list)
+    #: the emitted result's completeness (1.0 unless coverage was shed)
+    completeness: float = 1.0
 
     @property
     def total_retransmits(self) -> int:
@@ -129,6 +138,8 @@ class WindowProvenance:
             "slices": [event.to_dict() for event in self.slices],
             "hops": [event.to_dict() for event in self.hops],
             "retransmits": self.retransmits,
+            "sheds": [event.to_dict() for event in self.sheds],
+            "completeness": self.completeness,
         }
 
 
@@ -231,6 +242,7 @@ class TraceRecorder:
         slices: list[TraceEvent] = []
         hops: list[TraceEvent] = []
         retransmits: dict[str, int] = {}
+        sheds: list[TraceEvent] = []
         for event in self._events:
             if event.seq > emit.seq:
                 break
@@ -246,6 +258,9 @@ class TraceRecorder:
             elif event.kind in _HOP_KINDS:
                 if self._overlaps(event, start, end):
                     hops.append(event)
+            elif event.kind == "buffer.shed":
+                if self._overlaps(event, start, end):
+                    sheds.append(event)
         hops.sort(key=lambda e: (e.at, _HOP_KINDS.index(e.kind), e.seq))
         return WindowProvenance(
             query_id=result.query_id,
@@ -258,6 +273,8 @@ class TraceRecorder:
             slices=slices,
             hops=hops,
             retransmits=retransmits,
+            sheds=sheds,
+            completeness=emit.data.get("completeness", 1.0),
         )
 
     @staticmethod

@@ -484,3 +484,132 @@ class TestCentralizedChaosParity:
         )
         assert rows(faulty) == rows(baseline)
         assert faulty.network.retransmits > 0
+
+
+def _expected_completeness(row):
+    """Union-sweep the shed coverage clipped to the window (DESIGN.md §12)."""
+    span = max(row.end - row.start, 1)
+    intervals = sorted(
+        (max(lo, row.start), min(hi, row.end)) for _, lo, hi in row.shed_slices
+    )
+    union = 0
+    cursor = row.start
+    for lo, hi in intervals:
+        if hi > cursor:
+            union += hi - max(lo, cursor)
+            cursor = hi
+    return max(1.0 - union / span, 0.0)
+
+
+def _assert_shed_accounting(result):
+    """Every emitted window's completeness exactly accounts its shed
+    coverage: no shed intervals means 1.0, otherwise the clipped union."""
+    for row in result.sink:
+        if not row.shed_slices:
+            assert row.completeness == 1.0
+        else:
+            assert abs(row.completeness - _expected_completeness(row)) < 1e-12
+
+
+#: heavier than the parity streams on purpose: together with the slow
+#: bandwidth-limited links below this load reliably exhausts tight credit
+#: windows, so the bounded runs exercise staging and shedding for real
+_OVERLOAD_STREAMS = make_streams(2, 1500)
+
+#: a 20 ms / 0.2 B-per-ms link: slow enough that a tight credit window
+#: (1500 B / 6 frames) stalls senders and fills the bounded staging area
+_SLOW_LINK = dict(latency_ms=20.0, bandwidth_bytes_per_ms=0.2)
+
+
+def _run_overload(staging_limit, *, seed=7, drop_rate=0.0, **extra):
+    return run_desis(
+        QUERY_SETS["tumbling"],
+        three_tier(2, 2),
+        _OVERLOAD_STREAMS,
+        fault_plan=FaultPlan(seed=seed, drop_rate=drop_rate),
+        node_timeout=NEVER,
+        channel_credit_bytes=1_500,
+        channel_credit_frames=6,
+        staging_limit=staging_limit,
+        **_SLOW_LINK,
+        **extra,
+    )
+
+
+_overload_params = dict(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    staging_limit=st.integers(min_value=4, max_value=12),
+    drop_rate=st.floats(min_value=0.0, max_value=0.08),
+)
+
+
+def _assert_bounded_occupancy(seed, staging_limit, drop_rate):
+    _, result = _run_overload(staging_limit, seed=seed, drop_rate=drop_rate)
+    assert result.peak_staging <= staging_limit
+    assert rows(result)  # degraded or not, the pipeline keeps emitting
+    _assert_shed_accounting(result)
+
+
+class TestOverloadInvariants:
+    """Backpressure and bounded buffering (DESIGN.md §12).
+
+    Two invariants across seeded fault plans: staging occupancy never
+    exceeds its cap no matter the seed, and when the caps are generous
+    enough that nothing is shed the bounded run is byte-identical to the
+    unbounded one (overload control may *delay*, never *change*, results
+    it did not explicitly shed).
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(**_overload_params)
+    def test_staging_occupancy_never_exceeds_cap(self, **kw):
+        _assert_bounded_occupancy(**kw)
+
+    @pytest.mark.chaos
+    @settings(max_examples=40, deadline=None)
+    @given(**_overload_params)
+    def test_staging_occupancy_sweep_heavy(self, **kw):
+        _assert_bounded_occupancy(**kw)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        kind=st.sampled_from(["tumbling", "sliding", "session"]),
+        drop_rate=st.floats(min_value=0.0, max_value=0.1),
+    )
+    def test_zero_shed_is_byte_identical(self, seed, kind, drop_rate):
+        plan = FaultPlan(seed=seed, drop_rate=drop_rate)
+        _, unbounded = run_desis(
+            QUERY_SETS[kind],
+            three_tier(3, 1),
+            _ORACLE.streams,
+            fault_plan=plan,
+            node_timeout=NEVER,
+        )
+        _, bounded = run_desis(
+            QUERY_SETS[kind],
+            three_tier(3, 1),
+            _ORACLE.streams,
+            fault_plan=plan,
+            node_timeout=NEVER,
+            channel_credit_bytes=64_000,
+            channel_credit_frames=256,
+            staging_limit=4_096,
+            retention_limit=4_096,
+        )
+        assert bounded.slices_shed == 0
+        assert bounded.degraded_windows == 0
+        assert rows(bounded) == rows(unbounded)
+
+    def test_tight_caps_shed_and_account_exactly(self):
+        # The canonical overload recipe (also bench_overload.py): tight
+        # caps on the slow link must actually shed, emit degraded windows,
+        # and account every shed interval in the completeness figure.
+        _, result = _run_overload(8)
+        assert result.network.credit_stalls > 0
+        assert result.slices_shed > 0
+        assert result.degraded_windows > 0
+        degraded = [r for r in result.sink if r.completeness < 1.0]
+        assert len(degraded) == result.degraded_windows
+        assert all(r.shed_slices for r in degraded)
+        _assert_shed_accounting(result)

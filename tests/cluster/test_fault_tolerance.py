@@ -9,6 +9,7 @@ from repro.core.event import Event
 from repro.core.query import Query, WindowSpec
 from repro.core.types import AggFunction
 from repro.cluster import ClusterConfig, DesisCluster
+from repro.network.simnet import FaultPlan
 from repro.network.topology import star, three_tier
 
 from tests.cluster.test_desis_parity import TICK, make_streams
@@ -79,6 +80,33 @@ class TestMembership:
         # Results keep flowing after the removal.
         assert any(r.end > 4_000 for r in result.sink)
         assert "local-2" not in cluster.topology.nodes()
+
+    def test_remove_node_leaves_no_stale_state(self):
+        # Regression: hard removal must free *all* per-child state — the
+        # reliable-channel tables (else retransmits fire into the void),
+        # the parent's merger cursors, and the liveness ledgers.
+        streams = make_streams(3, 600)
+        cluster = build(
+            [avg()],
+            star(3),
+            fault_plan=FaultPlan(seed=5, drop_rate=0.05),
+            node_timeout=10**9,
+        )
+        cluster.run(
+            streams,
+            actions=[(3_000, lambda c: c.remove_node("local-2"))],
+        )
+        for table in (
+            cluster.net._send_channels,
+            cluster.net._recv_channels,
+            cluster.net._rngs,
+        ):
+            assert not [key for key in table if "local-2" in key]
+        for merger in cluster.root.mergers:
+            assert "local-2" not in merger.children
+        assert "local-2" not in cluster.root.last_seen
+        if cluster.root.liveness is not None:
+            assert "local-2" not in cluster.root.liveness.last_seen
 
     def test_remove_unknown_node_rejected(self):
         cluster = build([avg()], star(2))

@@ -16,6 +16,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import bench_faults  # noqa: E402
 import bench_hot_path  # noqa: E402
+import bench_overload  # noqa: E402
 import bench_recovery  # noqa: E402
 import bench_sliding_overlap  # noqa: E402
 
@@ -79,6 +80,26 @@ def test_bench_sliding_overlap_tiny_scale():
             assert row[mode]["windows_closed"] > 0
         if overlap != "1":
             assert row["merge_op_reduction"] >= 1.0
+
+
+def test_bench_overload_quick_scale():
+    # Shed accounting (completeness recomputed from shed_slices), the
+    # staging cap, and the no-shed unbounded baseline are all asserted
+    # inside ``run``; this pins the report shape on top.
+    report = bench_overload.run(bench_overload.QUICK_EVENTS)
+    assert report["caps"]["staging_limit"] == bench_overload.STAGING_LIMIT
+    assert len(report["scales"]) == 2
+    for row in report["scales"].values():
+        assert set(row) == {"unbounded", "bounded"}
+        unbounded, bounded = row["unbounded"], row["bounded"]
+        assert unbounded["slices_shed"] == 0
+        assert unbounded["degraded_windows"] == 0
+        assert unbounded["min_completeness"] == 1.0
+        assert bounded["peak_staging"] <= bench_overload.STAGING_LIMIT
+        assert bounded["peak_unacked_bytes"] <= unbounded["peak_unacked_bytes"]
+        for mode in ("unbounded", "bounded"):
+            assert row[mode]["results"] > 0
+            assert row[mode]["wall_s"] > 0
 
 
 def test_bench_recovery_tiny_scale():
