@@ -1,31 +1,30 @@
 """Reproduction of *Desis: Efficient Window Aggregation in Decentralized
 Networks* (EDBT 2023).
 
-Public API quick tour::
+This module is the stable public surface — user code imports from
+``repro``, never from ``repro.core.*`` internals::
 
-    from repro import (
-        AggregationEngine, Query, WindowSpec, AggFunction, Selection, Event,
-    )
+    from repro import DesisSession, EngineConfig
 
-    queries = [
-        Query.of("q1", WindowSpec.tumbling(1_000), AggFunction.AVERAGE),
-        Query.of("q2", WindowSpec.sliding(2_000, 500), AggFunction.MAX),
-        Query.of("q3", WindowSpec.session(gap=300), AggFunction.MEDIAN),
-    ]
-    engine = AggregationEngine(queries)
+    session = DesisSession(config=EngineConfig(shards=1))
+    session.submit("SELECT AVG(value) FROM stream WINDOW TUMBLING 5s")
     for event in my_stream:
-        engine.process(event)
-    for result in engine.close():
+        session.process(event)
+    for result in session.close():
         print(result)
 
-Decentralized aggregation lives in :mod:`repro.cluster`; the paper's
-baselines in :mod:`repro.baselines`; workload generators in
-:mod:`repro.datagen`; experiment harnesses in :mod:`repro.harness`.
+``EngineConfig(shards=4)`` (or the ``DesisSession(shards=4)`` sugar)
+runs the multi-core sharded backend (DESIGN.md §13).  Decentralized
+aggregation lives in :mod:`repro.cluster` (``DesisCluster`` /
+``ClusterConfig`` are re-exported here); the paper's baselines in
+:mod:`repro.baselines`; workload generators in :mod:`repro.datagen`;
+experiment harnesses in :mod:`repro.harness`.
 """
 
 from repro.core import (
     AggFunction,
     AggregationEngine,
+    EngineConfig,
     EngineStats,
     Event,
     FunctionSpec,
@@ -42,12 +41,18 @@ from repro.core import (
     WindowType,
     analyze,
 )
+from repro.cluster import ClusterConfig, DesisCluster
+from repro.interface import DesisSession, parse_query
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AggFunction",
     "AggregationEngine",
+    "ClusterConfig",
+    "DesisCluster",
+    "DesisSession",
+    "EngineConfig",
     "EngineStats",
     "Event",
     "FunctionSpec",
@@ -63,5 +68,6 @@ __all__ = [
     "WindowSpec",
     "WindowType",
     "analyze",
+    "parse_query",
     "__version__",
 ]

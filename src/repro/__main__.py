@@ -21,8 +21,9 @@ import argparse
 import difflib
 import sys
 
-from repro.baselines import CENTRALIZED_SYSTEMS
+from repro.baselines import CENTRALIZED_SYSTEMS, ShardedDesisProcessor
 from repro.cluster import CentralizedCluster, ClusterConfig, DesisCluster
+from repro.core.config import EngineConfig
 from repro.core.query import Query, WindowSpec
 from repro.core.types import AggFunction
 from repro.datagen import DataGenerator, DataGeneratorConfig
@@ -47,6 +48,7 @@ from repro.obs import (
     configure_logging,
     publish_cluster_result,
     publish_engine_stats,
+    publish_shard_stats,
     publish_span_metrics,
     render_report,
     render_waterfall,
@@ -68,15 +70,33 @@ def _events(args, n_keys: int = 4):
     return DataGenerator(config, seed=args.seed)
 
 
+def _engine_config(args, **extra) -> EngineConfig:
+    """Resolve the shared engine flags; ``None`` means the engine default."""
+    return EngineConfig(
+        merge_mode=args.merge_mode or "incremental",
+        punctuation_mode=args.punctuation_mode or "heap",
+        shards=args.shards or 1,
+        **extra,
+    )
+
+
 def cmd_run(args) -> int:
-    recorder = TraceRecorder() if (args.trace or args.trace_out) else None
+    trace = bool(args.trace or args.trace_out)
+    if trace and (args.shards or 1) > 1:
+        raise SystemExit(
+            "repro run: --trace is not supported with --shards > 1 "
+            "(trace recording is single-process)"
+        )
+    recorder = TraceRecorder() if trace else None
     session = DesisSession(
-        recorder=recorder,
-        merge_mode=args.merge_mode,
-        measure_latency=args.measure_latency,
-        latency_expiry_horizon_ms=(
-            args.latency_expiry_ms if args.latency_expiry_ms > 0 else None
+        config=_engine_config(
+            args,
+            measure_latency=args.measure_latency,
+            latency_expiry_horizon_ms=(
+                args.latency_expiry_ms if args.latency_expiry_ms > 0 else None
+            ),
         ),
+        recorder=recorder,
     )
     for text in args.query:
         session.submit(text)
@@ -104,6 +124,13 @@ def cmd_run(args) -> int:
             f"p50={summary.p50 * 1e3:.3f}ms p99={summary.p99 * 1e3:.3f}ms "
             f"expired={summary.expired_samples}"
         )
+    shard_stats = session.shard_stats
+    if shard_stats is not None:
+        print(
+            f"shards: {shard_stats.shards} workers, per-shard events "
+            f"{shard_stats.events}, {shard_stats.reduce_merge_ops} reduce "
+            f"merge op(s) over {shard_stats.windows_reduced} window(s)"
+        )
     if recorder is not None:
         print(f"trace: {len(recorder)} events recorded")
         if args.trace_out:
@@ -112,6 +139,8 @@ def cmd_run(args) -> int:
     if args.metrics_out:
         registry = MetricsRegistry()
         publish_engine_stats(registry, session.stats)
+        if shard_stats is not None:
+            publish_shard_stats(registry, shard_stats)
         write_metrics(registry, args.metrics_out)
         print(f"metrics -> {args.metrics_out}")
     return 0
@@ -123,20 +152,55 @@ def cmd_compare(args) -> int:
         queries = tumbling_queries(args.queries)
     else:
         queries = quantile_queries(args.queries)
+    merge_mode = args.merge_mode or "incremental"
     rows = []
+    measured: list[tuple[str, object]] = []
     for name, factory in CENTRALIZED_SYSTEMS.items():
         if name in ("CeBuffer", "DeBucket") and args.queries > 200:
             rows.append([name, "-", "-"])
             continue
+        if name == "Desis":
+            factory = lambda q, sink=None: CENTRALIZED_SYSTEMS["Desis"](  # noqa: E731
+                q, sink=sink, merge_mode=merge_mode
+            )
         stats = run_processor(factory, queries, events)
+        measured.append((name, stats))
         rows.append(
             [name, fmt_rate(stats.events_per_second), f"{stats.calculations:,}"]
+        )
+    if (args.shards or 1) > 1:
+        shards = args.shards
+        stats = run_processor(
+            lambda q, sink=None: ShardedDesisProcessor(
+                q, sink=sink, merge_mode=merge_mode, shards=shards
+            ),
+            queries,
+            events,
+        )
+        measured.append((f"Desis x{shards}", stats))
+        rows.append(
+            [
+                f"Desis x{shards}",
+                fmt_rate(stats.events_per_second),
+                f"{stats.calculations:,}",
+            ]
         )
     print_table(
         f"{args.queries} {args.workload} queries over {args.events} events",
         ["system", "throughput", "operator executions"],
         rows,
     )
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        for name, stats in measured:
+            registry.gauge("compare.events_per_s", system=name).set(
+                stats.events_per_second
+            )
+            registry.counter("compare.calculations", system=name).inc(
+                stats.calculations
+            )
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
     return 0
 
 
@@ -147,7 +211,7 @@ def cmd_cluster(args) -> int:
     streams = _events(args).streams(args.locals, args.events)
     trace = bool(args.trace or args.trace_out)
     config = ClusterConfig(
-        tick_interval=1_000, trace=trace, merge_mode=args.merge_mode
+        tick_interval=1_000, trace=trace, engine=_engine_config(args)
     )
     desis = DesisCluster(queries, topology, config=config).run(
         {k: list(v) for k, v in streams.items()}
@@ -215,7 +279,7 @@ def _run_traced_desis(args):
     config = ClusterConfig(
         tick_interval=1_000,
         trace=True,
-        merge_mode=args.merge_mode,
+        engine=_engine_config(args),
         fault_plan=fault_plan,
         checkpoint_interval=args.checkpoint_interval,
         checkpoint_dir=args.checkpoint_dir,
@@ -341,6 +405,15 @@ def cmd_conformance(args) -> int:
         run_conformance,
     )
 
+    # non-None shared engine flags pin the scenario knobs campaign-wide;
+    # left at None the generator's own draws stand
+    overrides = {}
+    if args.merge_mode:
+        overrides["merge_mode"] = args.merge_mode
+    if args.punctuation_mode:
+        overrides["punctuation_mode"] = args.punctuation_mode
+    if args.shards:
+        overrides["shards"] = args.shards
     registry = MetricsRegistry()
     report = run_conformance(
         seed=args.seed,
@@ -350,6 +423,7 @@ def cmd_conformance(args) -> int:
         metamorphic=not args.no_metamorphic,
         max_events_per_node=args.max_events,
         registry=registry,
+        overrides=overrides or None,
     )
     print(render_conformance_summary(report))
     if args.out:
@@ -394,6 +468,140 @@ class _Parser(argparse.ArgumentParser):
         super().error(message)
 
 
+#: the flag set every verb shares, pinned by tests/test_cli.py
+SHARED_FLAGS = (
+    "--seed", "--metrics-out", "--shards", "--merge-mode",
+    "--punctuation-mode",
+)
+
+
+def _common_parent() -> argparse.ArgumentParser:
+    """Flags every verb takes: campaign seed and metrics export."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0,
+                        help="workload / campaign seed (same seed -> same "
+                             "events, same report)")
+    parent.add_argument("--metrics-out", default=None, dest="metrics_out",
+                        metavar="PATH",
+                        help="write run metrics (.json, or .prom/.txt for "
+                             "Prometheus text)")
+    return parent
+
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """The shared engine knobs — registered once, inherited by every verb.
+
+    All three default to ``None`` (= the engine's own default), so each
+    handler can tell \"user asked for X\" from \"user said nothing\" —
+    conformance, for instance, only pins a scenario knob when the flag
+    was actually given.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="partition the stream by key hash across N "
+                             "worker processes with a deterministic reduce "
+                             "at window close (DESIGN.md §13); fixed-size "
+                             "time windows only; simulated cluster verbs "
+                             "record it on ClusterConfig.engine without "
+                             "forking (their parallelism is modeled "
+                             "analytically)")
+    parent.add_argument("--merge-mode", choices=("incremental", "exact"),
+                        default=None, dest="merge_mode",
+                        help="window-close merging: 'incremental' reuses "
+                             "shared-slice merges across overlapping "
+                             "windows (default), 'exact' keeps the plain "
+                             "full-range scan")
+    parent.add_argument("--punctuation-mode", choices=("heap", "scan"),
+                        default=None, dest="punctuation_mode",
+                        help="how window-close punctuations are found: "
+                             "'heap' (scheduled min-heap, default) or "
+                             "'scan' (linear tracker scan); compare ignores "
+                             "it — each baseline's mode is part of its "
+                             "identity (Sec 6.1.1)")
+    return parent
+
+
+def _trace_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--trace", action="store_true",
+                        help="record slice-lifecycle traces")
+    parent.add_argument("--trace-out", default=None, dest="trace_out",
+                        metavar="PATH", help="write the trace as JSON-lines")
+    return parent
+
+
+def _deployment_parent() -> argparse.ArgumentParser:
+    """The traced-deployment knobs behind cluster, report, and profile."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--locals", type=int, default=4)
+    parent.add_argument("--events", type=int, default=20_000,
+                        help="events per local node")
+    parent.add_argument("--rate", type=float, default=10_000.0)
+    parent.add_argument("--function", default="average",
+                        choices=[fn.value for fn in AggFunction
+                                 if fn is not AggFunction.QUANTILE])
+    parent.add_argument("--window-ms", type=int, default=1_000)
+    return parent
+
+
+def _fault_parent() -> argparse.ArgumentParser:
+    """Fault-injection / overload knobs shared by report and profile."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--drop-rate", type=float, default=0.0,
+                        dest="drop_rate",
+                        help="run under a seeded fault plan with this "
+                             "per-link drop probability")
+    parent.add_argument("--crash", action="append",
+                        metavar="NODE:START[:END]",
+                        help="inject a crash window (sim ms); with END the "
+                             "node loses state and restarts from its latest "
+                             "checkpoint, without END it dies permanently "
+                             "and its children fail over (repeatable)")
+    parent.add_argument("--checkpoint-interval", type=int, default=None,
+                        dest="checkpoint_interval", metavar="MS",
+                        help="persist intermediate/root state snapshots at "
+                             "this sim-time cadence (default: off)")
+    parent.add_argument("--checkpoint-dir", default=None,
+                        dest="checkpoint_dir", metavar="DIR",
+                        help="write checkpoints as on-disk .ckpt files "
+                             "instead of the in-memory store")
+    parent.add_argument("--node-timeout", type=int, default=15_000,
+                        dest="node_timeout", metavar="MS",
+                        help="heartbeat silence before a parent declares a "
+                             "child dead (drives failover of permanent "
+                             "--crash windows)")
+    parent.add_argument("--link-latency", type=float, default=1.0,
+                        dest="link_latency", metavar="MS",
+                        help="per-link one-way latency (default: 1)")
+    parent.add_argument("--bandwidth", type=float, default=None,
+                        metavar="BYTES_PER_MS",
+                        help="per-link bandwidth cap; unset = unlimited "
+                             "(~131 models the paper's 1G Ethernet)")
+    parent.add_argument("--channel-credit-bytes", type=int, default=None,
+                        dest="channel_credit_bytes", metavar="N",
+                        help="per-channel credit window in unacked bytes; "
+                             "exhausted credit stalls the sender "
+                             "(DESIGN.md §12)")
+    parent.add_argument("--channel-credit-frames", type=int, default=None,
+                        dest="channel_credit_frames", metavar="N",
+                        help="per-channel credit window in unacked frames")
+    parent.add_argument("--staging-limit", type=int, default=None,
+                        dest="staging_limit", metavar="RECORDS",
+                        help="per-group staging cap; beyond it the oldest "
+                             "whole slices are shed and affected windows "
+                             "emit degraded with completeness < 1.0")
+    parent.add_argument("--retention-limit", type=int, default=None,
+                        dest="retention_limit", metavar="BATCHES",
+                        help="cap on re-ship retention batches kept for "
+                             "crash recovery")
+    parent.add_argument("--stall-timeout", type=int, default=None,
+                        dest="stall_timeout", metavar="MS",
+                        help="credit-stall duration before a parent "
+                             "soft-evicts a slow consumer (default: "
+                             "--node-timeout)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = _Parser(
         prog="repro",
@@ -406,30 +614,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable structured logging at this level",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parent()
+    engine = _engine_parent()
+    trace = _trace_parent()
+    deployment = _deployment_parent()
+    fault = _fault_parent()
 
-    def add_merge_mode(cmd) -> None:
-        cmd.add_argument("--merge-mode", choices=("incremental", "exact"),
-                         default="incremental", dest="merge_mode",
-                         help="window-close merging: 'incremental' reuses "
-                              "shared-slice merges across overlapping "
-                              "windows (default), 'exact' keeps the plain "
-                              "full-range scan")
-
-    def add_obs_flags(cmd) -> None:
-        cmd.add_argument("--trace", action="store_true",
-                         help="record slice-lifecycle traces")
-        cmd.add_argument("--trace-out", default=None, dest="trace_out",
-                         metavar="PATH", help="write the trace as JSON-lines")
-        cmd.add_argument("--metrics-out", default=None, dest="metrics_out",
-                         metavar="PATH",
-                         help="write run metrics (.json, or .prom/.txt for "
-                              "Prometheus text)")
-
-    run_cmd = sub.add_parser("run", help=COMMANDS["run"])
+    run_cmd = sub.add_parser("run", help=COMMANDS["run"],
+                             parents=[common, engine, trace])
     run_cmd.add_argument("query", nargs="+", help="query strings")
     run_cmd.add_argument("--events", type=int, default=50_000)
     run_cmd.add_argument("--rate", type=float, default=2_000.0)
-    run_cmd.add_argument("--seed", type=int, default=0)
     run_cmd.add_argument("--limit", type=int, default=10,
                          help="max results to print")
     run_cmd.add_argument("--gap-every", type=int, default=None, dest="gap_every")
@@ -444,103 +639,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "latency sample is evicted and counted as "
                               "expired (default: 600000; <= 0 keeps every "
                               "sample forever — unbounded memory)")
-    add_merge_mode(run_cmd)
-    add_obs_flags(run_cmd)
     run_cmd.set_defaults(handler=cmd_run)
 
-    compare = sub.add_parser("compare", help=COMMANDS["compare"])
+    compare = sub.add_parser("compare", help=COMMANDS["compare"],
+                             parents=[common, engine])
     compare.add_argument("--queries", type=int, default=100)
     compare.add_argument("--events", type=int, default=100_000)
     compare.add_argument("--rate", type=float, default=50_000.0)
-    compare.add_argument("--seed", type=int, default=0)
     compare.add_argument(
         "--workload", choices=("tumbling", "quantiles"), default="tumbling"
     )
     compare.set_defaults(handler=cmd_compare)
 
-    cluster = sub.add_parser("cluster", help=COMMANDS["cluster"])
-    cluster.add_argument("--locals", type=int, default=4)
-    cluster.add_argument("--events", type=int, default=20_000,
-                         help="events per local node")
-    cluster.add_argument("--rate", type=float, default=10_000.0)
-    cluster.add_argument("--seed", type=int, default=0)
-    cluster.add_argument("--function", default="average",
-                         choices=[fn.value for fn in AggFunction
-                                  if fn is not AggFunction.QUANTILE])
-    cluster.add_argument("--window-ms", type=int, default=1_000)
-    add_merge_mode(cluster)
-    add_obs_flags(cluster)
+    cluster = sub.add_parser("cluster", help=COMMANDS["cluster"],
+                             parents=[common, engine, trace, deployment])
     cluster.set_defaults(handler=cmd_cluster)
 
-    def add_deployment_flags(cmd) -> None:
-        """The shared traced-deployment knobs behind report and profile."""
-        cmd.add_argument("--locals", type=int, default=4)
-        cmd.add_argument("--events", type=int, default=20_000,
-                         help="events per local node")
-        cmd.add_argument("--rate", type=float, default=10_000.0)
-        cmd.add_argument("--seed", type=int, default=0)
-        cmd.add_argument("--function", default="average",
-                         choices=[fn.value for fn in AggFunction
-                                  if fn is not AggFunction.QUANTILE])
-        cmd.add_argument("--window-ms", type=int, default=1_000)
-        add_merge_mode(cmd)
-        cmd.add_argument("--drop-rate", type=float, default=0.0,
-                         dest="drop_rate",
-                         help="run under a seeded fault plan with this "
-                              "per-link drop probability")
-        cmd.add_argument("--crash", action="append",
-                         metavar="NODE:START[:END]",
-                         help="inject a crash window (sim ms); with END the "
-                              "node loses state and restarts from its latest "
-                              "checkpoint, without END it dies permanently "
-                              "and its children fail over (repeatable)")
-        cmd.add_argument("--checkpoint-interval", type=int, default=None,
-                         dest="checkpoint_interval", metavar="MS",
-                         help="persist intermediate/root state snapshots at "
-                              "this sim-time cadence (default: off)")
-        cmd.add_argument("--checkpoint-dir", default=None,
-                         dest="checkpoint_dir", metavar="DIR",
-                         help="write checkpoints as on-disk .ckpt files "
-                              "instead of the in-memory store")
-        cmd.add_argument("--node-timeout", type=int, default=15_000,
-                         dest="node_timeout", metavar="MS",
-                         help="heartbeat silence before a parent declares a "
-                              "child dead (drives failover of permanent "
-                              "--crash windows)")
-        cmd.add_argument("--link-latency", type=float, default=1.0,
-                         dest="link_latency", metavar="MS",
-                         help="per-link one-way latency (default: 1)")
-        cmd.add_argument("--bandwidth", type=float, default=None,
-                         metavar="BYTES_PER_MS",
-                         help="per-link bandwidth cap; unset = unlimited "
-                              "(~131 models the paper's 1G Ethernet)")
-        cmd.add_argument("--channel-credit-bytes", type=int, default=None,
-                         dest="channel_credit_bytes", metavar="N",
-                         help="per-channel credit window in unacked bytes; "
-                              "exhausted credit stalls the sender "
-                              "(DESIGN.md §12)")
-        cmd.add_argument("--channel-credit-frames", type=int, default=None,
-                         dest="channel_credit_frames", metavar="N",
-                         help="per-channel credit window in unacked frames")
-        cmd.add_argument("--staging-limit", type=int, default=None,
-                         dest="staging_limit", metavar="RECORDS",
-                         help="per-group staging cap; beyond it the oldest "
-                              "whole slices are shed and affected windows "
-                              "emit degraded with completeness < 1.0")
-        cmd.add_argument("--retention-limit", type=int, default=None,
-                         dest="retention_limit", metavar="BATCHES",
-                         help="cap on re-ship retention batches kept for "
-                              "crash recovery")
-        cmd.add_argument("--stall-timeout", type=int, default=None,
-                         dest="stall_timeout", metavar="MS",
-                         help="credit-stall duration before a parent "
-                              "soft-evicts a slow consumer (default: "
-                              "--node-timeout)")
-        cmd.add_argument("--metrics-out", default=None, dest="metrics_out",
-                         metavar="PATH")
-
-    report = sub.add_parser("report", help=COMMANDS["report"])
-    add_deployment_flags(report)
+    report = sub.add_parser("report", help=COMMANDS["report"],
+                            parents=[common, engine, deployment, fault])
     report.add_argument("--explain", action="store_true",
                         help="print the last window's slice provenance and "
                              "critical-path waterfall")
@@ -548,8 +664,8 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PATH")
     report.set_defaults(handler=cmd_report)
 
-    profile = sub.add_parser("profile", help=COMMANDS["profile"])
-    add_deployment_flags(profile)
+    profile = sub.add_parser("profile", help=COMMANDS["profile"],
+                             parents=[common, engine, deployment, fault])
     profile.add_argument("--top", type=int, default=5,
                          help="how many slowest windows to waterfall "
                               "(default: 5)")
@@ -563,9 +679,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "window trace per line)")
     profile.set_defaults(handler=cmd_profile)
 
-    conformance = sub.add_parser("conformance", help=COMMANDS["conformance"])
-    conformance.add_argument("--seed", type=int, default=0,
-                             help="campaign seed (same seed -> same report)")
+    conformance = sub.add_parser("conformance", help=COMMANDS["conformance"],
+                                 parents=[common, engine])
     conformance.add_argument("--runs", type=int, default=10,
                              help="number of generated scenarios")
     conformance.add_argument("--out", default=None, metavar="DIR",
@@ -582,10 +697,6 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--max-events", type=int, default=160,
                              dest="max_events", metavar="N",
                              help="cap on generated events per node")
-    conformance.add_argument("--metrics-out", default=None,
-                             dest="metrics_out", metavar="PATH",
-                             help="write conformance.* counters "
-                                  "(.json, or .prom/.txt for Prometheus text)")
     conformance.set_defaults(handler=cmd_conformance)
     return parser
 

@@ -7,7 +7,12 @@ Centralized processors (this package) all satisfy
 
 from repro.baselines.api import ProcessorFactory, StreamProcessor
 from repro.baselines.bucketed import CeBufferProcessor, DeBucketProcessor
-from repro.baselines.engines import DeSWProcessor, DesisProcessor, ScottyProcessor
+from repro.baselines.engines import (
+    DeSWProcessor,
+    DesisProcessor,
+    ScottyProcessor,
+    ShardedDesisProcessor,
+)
 
 #: All centralized systems of Sec 6.3, keyed by display name.
 CENTRALIZED_SYSTEMS = {
@@ -26,5 +31,6 @@ __all__ = [
     "DesisProcessor",
     "ProcessorFactory",
     "ScottyProcessor",
+    "ShardedDesisProcessor",
     "StreamProcessor",
 ]

@@ -16,13 +16,20 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.baselines.api import per_event_fallback
+from repro.core.config import EngineConfig
 from repro.core.engine import AggregationEngine
 from repro.core.event import Event
 from repro.core.query import Query
 from repro.core.results import ResultSink
 from repro.core.types import SharingPolicy
+from repro.parallel import ShardedEngine
 
-__all__ = ["DesisProcessor", "ScottyProcessor", "DeSWProcessor"]
+__all__ = [
+    "DesisProcessor",
+    "ScottyProcessor",
+    "DeSWProcessor",
+    "ShardedDesisProcessor",
+]
 
 
 class DesisProcessor(AggregationEngine):
@@ -39,6 +46,32 @@ class DesisProcessor(AggregationEngine):
             sink=sink,
             merge_mode=merge_mode,
         )
+
+
+class ShardedDesisProcessor(ShardedEngine):
+    """Desis on the multi-core sharded backend (DESIGN.md §13).
+
+    Satisfies the same :class:`~repro.baselines.api.StreamProcessor`
+    protocol as the in-process systems, so harnesses drive it unchanged.
+    Not part of :data:`~repro.baselines.CENTRALIZED_SYSTEMS` by default:
+    it only accepts fixed time windows, while the comparison workloads
+    may roam the full window vocabulary — ``repro compare --shards N``
+    adds it to the table explicitly.
+    """
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        sink: ResultSink | None = None,
+        merge_mode: str = "incremental",
+        shards: int = 4,
+    ):
+        super().__init__(
+            queries,
+            config=EngineConfig(merge_mode=merge_mode, shards=shards),
+            sink=sink,
+        )
+        self.name = f"Desis x{shards}"
 
 
 class ScottyProcessor(AggregationEngine):

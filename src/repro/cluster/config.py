@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.config import EngineConfig
 from repro.network.codec import BinaryCodec, Codec
 from repro.network.simnet import FaultPlan
 
@@ -105,6 +106,16 @@ class ClusterConfig:
             it through the same :class:`ChildLiveness` resync path as a
             silent child.  ``None`` (default) derives it from
             ``node_timeout``.
+        engine: per-node :class:`~repro.core.config.EngineConfig`.  When
+            given, its ``punctuation_mode``/``merge_mode`` override the
+            loose legacy string fields above (which remain as aliases —
+            cluster internals still read them); when omitted, one is
+            derived from the legacy fields so ``config.engine`` is always
+            populated.  ``engine.shards`` is carried for real multi-core
+            deployments; the simulated clusters model per-node parallelism
+            analytically (see
+            :attr:`~repro.cluster.desis.DesisRunResult.modeled_parallel_throughput`)
+            and execute each node's engine in-process regardless.
     """
 
     origin: int = 0
@@ -131,6 +142,17 @@ class ClusterConfig:
     retention_limit: int | None = None
     shed_watermark: float = 0.8
     stall_timeout: int | None = None
+    engine: EngineConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = EngineConfig(
+                punctuation_mode=self.punctuation_mode,
+                merge_mode=self.merge_mode,
+            )
+        else:
+            self.punctuation_mode = self.engine.punctuation_mode
+            self.merge_mode = self.engine.merge_mode
 
     @property
     def checkpointing(self) -> bool:

@@ -13,7 +13,9 @@ Two layers of checking:
 
 2. **Metamorphic**: properties that need no reference implementation —
    re-sharding the same global event multiset over a different number of
-   local nodes must not change results; submitting the same query twice
+   local nodes must not change results; re-dealing the key space over a
+   different number of parallel worker processes (DESIGN.md §13) must not
+   change results either; submitting the same query twice
    must yield twice the identical rows; a recoverable fault plan must
    leave both the results and the *goodput* (unique delivered payload
    bytes) of the clean reliable run unchanged; on a traced run every
@@ -55,6 +57,7 @@ __all__ = [
     "compare_results",
     "evaluate_scenario",
     "check_duplicate_query_invariance",
+    "check_engine_shard_invariance",
     "check_reshard_invariance",
     "check_fault_goodput",
     "check_span_stage_sum",
@@ -222,6 +225,45 @@ def check_reshard_invariance(
     )
 
 
+def check_engine_shard_invariance(
+    scenario: Scenario,
+    streams: dict[str, list[Event]],
+    baseline: ExecutionResult,
+) -> list[str]:
+    """Re-sharding the key space across workers is invisible (DESIGN.md §13).
+
+    ``baseline`` is the matrix's ``parallel-sharded`` run over ``S``
+    workers; the same scenario over ``S + 1`` workers deals every key to a
+    different shard (the routing hash is taken modulo the worker count),
+    so the reduce combines per-key state in a genuinely different
+    partitioning.  Canonical rows must agree exactly for count/extrema/
+    sorted operator kinds and within float-fold tolerance for the rest.
+    """
+    from repro.core.config import EngineConfig
+    from repro.parallel import ShardedEngine
+
+    merged = _merged(streams)
+    shards = int(baseline.meta.get("shards", 2)) + 1
+    engine = ShardedEngine(
+        scenario.build_queries(),
+        config=EngineConfig(
+            merge_mode=scenario.merge_mode,
+            punctuation_mode=scenario.punctuation_mode,
+            shards=shards,
+        ),
+    )
+    engine.advance(0)
+    engine.process_batch(merged)
+    sink = engine.close(_final_time(scenario, merged))
+    resharded = ExecutionResult(
+        f"parallel-sharded-x{shards}", canonical_rows(sink)
+    )
+    return compare_results(
+        scenario, baseline, resharded,
+        merge_mode=scenario.merge_mode, cross_fold=True,
+    )
+
+
 def check_fault_goodput(
     scenario: Scenario,
     faulty: ExecutionResult,
@@ -356,6 +398,8 @@ def evaluate_scenario(
                       cross_fold=True)
     against_reference("cluster-disco", merge_mode=scenario.merge_mode,
                       cross_fold=True)
+    against_reference("parallel-sharded", merge_mode=scenario.merge_mode,
+                      cross_fold=True)
     # the faulty run must be byte-identical to its clean twin
     clean = executions.get("cluster-desis")
     faulty = executions.get("cluster-desis-faulty")
@@ -392,6 +436,16 @@ def evaluate_scenario(
             except Exception as exc:
                 failures.append(
                     f"reshard: raised {type(exc).__name__}: {exc}"
+                )
+        sharded = executions.get("parallel-sharded")
+        if sharded is not None:
+            try:
+                failures.extend(
+                    check_engine_shard_invariance(scenario, streams, sharded)
+                )
+            except Exception as exc:
+                failures.append(
+                    f"shard-invariance: raised {type(exc).__name__}: {exc}"
                 )
         try:
             failures.extend(check_span_stage_sum(scenario, streams))

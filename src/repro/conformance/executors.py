@@ -35,6 +35,7 @@ from repro.cluster import (
     DesisCluster,
     DiscoCluster,
 )
+from repro.core.config import EngineConfig
 from repro.core.engine import AggregationEngine
 from repro.core.event import Event, merge_streams
 from repro.core.ordering import ReorderBuffer
@@ -182,6 +183,36 @@ def run_engine_batched(scenario, streams) -> ExecutionResult:
         merge_mode=scenario.merge_mode,
         punctuation_mode=scenario.punctuation_mode,
         batched=True,
+    )
+
+
+def run_parallel_sharded(scenario, streams) -> ExecutionResult:
+    """The multi-core sharded backend (DESIGN.md §13).
+
+    Joins the matrix only for fixed-size time-window scenarios (the
+    backend's domain).  Always runs with at least two shards so the
+    cross-worker reduce path is actually exercised; ``scenario.shards``
+    raises the count when the generator drew a wider fan-out.
+    """
+    merged = _merged(streams)
+    shards = scenario.shards if scenario.shards > 1 else 2
+    from repro.parallel import ShardedEngine
+
+    engine = ShardedEngine(
+        scenario.build_queries(),
+        config=EngineConfig(
+            merge_mode=scenario.merge_mode,
+            punctuation_mode=scenario.punctuation_mode,
+            shards=shards,
+        ),
+    )
+    engine.advance(0)
+    engine.process_batch(merged)
+    sink = engine.close(_final_time(scenario, merged))
+    return ExecutionResult(
+        "parallel-sharded",
+        canonical_rows(sink),
+        meta={"shards": shards, "events": engine.stats.events},
     )
 
 
@@ -350,6 +381,7 @@ def executor_matrix(scenario: Scenario) -> list[tuple[str, ExecutorFn]]:
     ]
     if scenario.fixed_time_only:
         matrix.append(("cluster-disco", run_disco_cluster))
+        matrix.append(("parallel-sharded", run_parallel_sharded))
     if scenario.fault is not None:
         matrix.append(("cluster-desis-faulty", run_desis_cluster_faulty))
     if scenario.overload is not None and scenario.fault is not None:

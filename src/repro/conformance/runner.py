@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import replace
 from typing import Any
 
 from repro.obs import MetricsRegistry, publish_conformance_counters
@@ -74,8 +75,16 @@ def run_conformance(
     metamorphic: bool = True,
     max_events_per_node: int = 160,
     registry: MetricsRegistry | None = None,
+    overrides: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Run the differential-fuzzing campaign; return the full report."""
+    """Run the differential-fuzzing campaign; return the full report.
+
+    ``overrides`` pins scenario knobs across the whole campaign — e.g.
+    ``{"merge_mode": "exact", "shards": 4}`` replays every generated
+    scenario under those settings instead of the generator's own draws
+    (``repro conformance --shards 4`` uses this).  Keys must be
+    :class:`~repro.conformance.scenario.Scenario` field names.
+    """
     registry = registry if registry is not None else MetricsRegistry()
     generator = ScenarioGenerator(seed, max_events_per_node=max_events_per_node)
     verdicts: list[dict[str, Any]] = []
@@ -83,6 +92,8 @@ def run_conformance(
     shrink_runs = 0
     for index in range(runs):
         scenario = generator.generate(index)
+        if overrides:
+            scenario = replace(scenario, **overrides)
         verdict = run_scenario(scenario, metamorphic=metamorphic)
         if not verdict["ok"] and shrink:
             try:
@@ -122,6 +133,7 @@ def run_conformance(
         "seed": seed,
         "runs": runs,
         "metamorphic": metamorphic,
+        **({"overrides": dict(overrides)} if overrides else {}),
         "scenarios": verdicts,
         "failed": len(failures),
         "repro_scripts": [os.path.basename(p) for p in repro_paths],

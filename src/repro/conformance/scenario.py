@@ -250,6 +250,9 @@ class Scenario:
     batch_ms: int | None = None
     merge_mode: str = "exact"
     punctuation_mode: str = "heap"
+    #: worker count for the parallel-sharded executor (DESIGN.md §13);
+    #: only meaningful when the query mix is fixed-size time windows
+    shards: int = 1
     checkpoint_interval: int | None = None
     fault: FaultSpec | None = None
     # overload-control caps for an extra bounded Desis run (None = no run)
@@ -385,6 +388,10 @@ class Scenario:
             out["marker_every"] = self.marker_every
         if self.batch_ms is not None:
             out["batch_ms"] = self.batch_ms
+        if self.shards != 1:
+            # emitted only when set, so the committed corpus digests
+            # (written before the knob existed) stay stable
+            out["shards"] = self.shards
         if self.checkpoint_interval is not None:
             out["checkpoint_interval"] = self.checkpoint_interval
         if self.fault is not None:
@@ -493,7 +500,7 @@ class ScenarioGenerator:
                 staging_limit=rng.choice((64, 256)),
             )
 
-        return Scenario(
+        scenario = Scenario(
             name=f"gen-{self.seed}-{index}",
             seed=self.seed * 1_000_003 + index,
             n_nodes=n_nodes,
@@ -518,6 +525,13 @@ class ScenarioGenerator:
             fault=fault,
             overload=overload,
         )
+        # drawn LAST so every earlier draw — and therefore every scenario
+        # generated before the shards knob existed — is unchanged
+        if scenario.fixed_time_only and scenario.queries:
+            shards = rng.choice((1, 1, 2, 4))
+            if shards != 1:
+                scenario = replace(scenario, shards=shards)
+        return scenario
 
     # -- pieces --------------------------------------------------------------
 

@@ -1,6 +1,7 @@
 """The Desis aggregation engine: the paper's primary contribution (Sec 4)."""
 
 from repro.core.analyzer import QueryGroup, QueryPlan, analyze
+from repro.core.config import EngineConfig
 from repro.core.engine import AggregationEngine, EngineStats
 from repro.core.errors import (
     ClusterError,
@@ -31,6 +32,7 @@ __all__ = [
     "AggFunction",
     "ClusterError",
     "CodecError",
+    "EngineConfig",
     "EngineError",
     "EngineStats",
     "Event",

@@ -956,6 +956,11 @@ class AggregationEngine:
 
     Args:
         queries: the continuous queries to execute.
+        config: an :class:`~repro.core.config.EngineConfig` carrying every
+            behavioural knob; the keyword arguments below override single
+            fields of it.  ``config.shards`` is informational here — this
+            class always runs in-process; sharded execution is enacted by
+            :class:`repro.parallel.ShardedEngine`.
         policy: how aggressively to share (Desis = ``FULL``).
         punctuation_mode: ``"heap"`` (Desis) or ``"scan"`` (baseline cost
             model); see the module docstring.
@@ -971,21 +976,39 @@ class AggregationEngine:
         self,
         queries: Iterable[Query],
         *,
-        policy: SharingPolicy = SharingPolicy.FULL,
-        punctuation_mode: str = "heap",
-        emit_empty: bool = False,
+        config: "EngineConfig | None" = None,
+        policy: SharingPolicy | None = None,
+        punctuation_mode: str | None = None,
+        emit_empty: bool | None = None,
         sink: ResultSink | None = None,
         plan: QueryPlan | None = None,
         recorder=None,
-        merge_mode: str = "incremental",
+        merge_mode: str | None = None,
     ) -> None:
-        if merge_mode not in ("incremental", "exact"):
-            raise EngineError(f"unknown merge mode: {merge_mode!r}")
+        from repro.core.config import EngineConfig
+
+        resolved = config if config is not None else EngineConfig()
+        overrides: dict[str, object] = {}
+        if policy is not None:
+            overrides["policy"] = policy
+        if punctuation_mode is not None:
+            overrides["punctuation_mode"] = punctuation_mode
+        if emit_empty is not None:
+            overrides["emit_empty"] = emit_empty
+        if merge_mode is not None:
+            overrides["merge_mode"] = merge_mode
+        if overrides:
+            resolved = resolved.with_options(**overrides)
+        #: the resolved configuration this engine runs with
+        self.config = resolved
         self.sink = sink if sink is not None else ResultSink()
         self.stats = EngineStats()
-        self.plan = plan if plan is not None else analyze(queries, policy=policy)
+        if plan is not None:
+            self.plan = plan
+        else:
+            self.plan = analyze(queries, policy=resolved.policy)
         self.policy = self.plan.policy
-        self.merge_mode = merge_mode
+        self.merge_mode = resolved.merge_mode
         #: opt-in slice-lifecycle tracing (repro.obs.tracing.TraceRecorder)
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.groups: list[GroupRuntime] = [
@@ -993,11 +1016,11 @@ class AggregationEngine:
                 group,
                 self.sink,
                 self.stats,
-                punctuation_mode=punctuation_mode,
-                emit_empty=emit_empty,
+                punctuation_mode=resolved.punctuation_mode,
+                emit_empty=resolved.emit_empty,
                 recorder=self.recorder,
                 node_id="engine",
-                merge_mode=merge_mode,
+                merge_mode=resolved.merge_mode,
             )
             for group in self.plan.groups
         ]

@@ -12,55 +12,121 @@ management (Sec 3.2)::
     for result in session.close():
         print(result)
 
+Behavioural knobs live in one frozen :class:`~repro.core.config.EngineConfig`
+(``DesisSession(config=EngineConfig(...))``); ``shards`` is common enough
+to keep as sugar (``DesisSession(shards=4)`` runs the multi-core sharded
+backend, DESIGN.md §13).  The historical per-knob keyword arguments still
+work but emit :class:`DeprecationWarning`.
+
 For decentralized deployments build a
 :class:`~repro.cluster.desis.DesisCluster` with the same parsed queries.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
+from repro.core.config import EngineConfig
 from repro.core.engine import AggregationEngine, EngineStats
 from repro.core.errors import EngineError
 from repro.core.event import Event
 from repro.core.query import Query
 from repro.core.results import ResultSink, WindowResult
-from repro.core.types import SharingPolicy
 from repro.interface.parser import parse_query
 
 __all__ = ["DesisSession"]
+
+_UNSET = object()
+
+#: deprecated ``DesisSession`` keyword → ``EngineConfig`` field; the shim
+#: tests pin this mapping so the aliases cannot silently rot.
+DEPRECATED_KWARGS = {
+    "policy": "policy",
+    "merge_mode": "merge_mode",
+    "measure_latency": "measure_latency",
+    "latency_sample_every": "latency_sample_every",
+    "latency_expiry_horizon_ms": "latency_expiry_horizon_ms",
+}
 
 
 class DesisSession:
     """A centralized Desis instance accepting textual or built queries."""
 
-    def __init__(self, *, policy: SharingPolicy = SharingPolicy.FULL,
-                 recorder=None, merge_mode: str = "incremental",
-                 measure_latency: bool = False,
-                 latency_sample_every: int = 100,
-                 latency_expiry_horizon_ms: int | None = 600_000) -> None:
-        self.policy = policy
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        *,
+        shards: int | None = None,
+        recorder=None,
+        policy=_UNSET,
+        merge_mode=_UNSET,
+        measure_latency=_UNSET,
+        latency_sample_every=_UNSET,
+        latency_expiry_horizon_ms=_UNSET,
+    ) -> None:
+        base = config if config is not None else EngineConfig()
+        overrides: dict[str, object] = {}
+        for keyword, value in (
+            ("policy", policy),
+            ("merge_mode", merge_mode),
+            ("measure_latency", measure_latency),
+            ("latency_sample_every", latency_sample_every),
+            ("latency_expiry_horizon_ms", latency_expiry_horizon_ms),
+        ):
+            if value is _UNSET:
+                continue
+            field = DEPRECATED_KWARGS[keyword]
+            warnings.warn(
+                f"DesisSession({keyword}=...) is deprecated; pass "
+                f"DesisSession(config=EngineConfig({field}=...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides[field] = value
+        if shards is not None:
+            overrides["shards"] = shards
+        #: the resolved frozen configuration driving this session
+        self.config = base.with_options(**overrides) if overrides else base
         #: optional slice-lifecycle trace recorder handed to the engine
-        #: (see :mod:`repro.obs.tracing`); ``None`` keeps tracing off
+        #: (see :mod:`repro.obs.tracing`); ``None`` keeps tracing off.
+        #: Not supported with ``shards > 1`` — workers run out of process.
         self.recorder = recorder
-        #: window-close merging: ``"incremental"`` (default) or ``"exact"``
-        #: (see :class:`~repro.core.engine.AggregationEngine`)
-        self.merge_mode = merge_mode
-        #: when enabled, results flow through a
-        #: :class:`~repro.metrics.latency.LatencyProbe` measuring
-        #: wall-clock event-to-result latency.  The probe's pending-sample
-        #: buffer is *bounded by default*: samples no window covered
-        #: within ``latency_expiry_horizon_ms`` of event time (10 min)
-        #: are evicted and counted as ``expired_samples``; pass ``None``
-        #: only for short bounded replays that can afford keeping every
-        #: sample forever.
-        self.measure_latency = measure_latency
-        self.latency_sample_every = latency_sample_every
-        self.latency_expiry_horizon_ms = latency_expiry_horizon_ms
+        if recorder is not None and self.config.shards > 1:
+            raise EngineError(
+                "tracing is not supported with shards > 1: trace events "
+                "would interleave across worker processes"
+            )
         self._probe = None
-        self._engine: AggregationEngine | None = None
+        self._engine = None
         self._pending: list[Query] = []
         self._counter = 0
+
+    # -- legacy knob views (read-only; the config is the truth) ----------------
+
+    @property
+    def policy(self):
+        return self.config.policy
+
+    @property
+    def merge_mode(self) -> str:
+        return self.config.merge_mode
+
+    @property
+    def measure_latency(self) -> bool:
+        return self.config.measure_latency
+
+    @property
+    def latency_sample_every(self) -> int:
+        return self.config.latency_sample_every
+
+    @property
+    def latency_expiry_horizon_ms(self) -> int | None:
+        return self.config.latency_expiry_horizon_ms
+
+    @property
+    def shards(self) -> int:
+        return self.config.shards
 
     # -- query management ------------------------------------------------------------
 
@@ -69,7 +135,8 @@ class DesisSession:
 
         Before the first event arrives queries are collected so the
         analyzer can group them together; afterwards they attach at
-        stream time (Sec 3.2).
+        stream time (Sec 3.2) — single-process sessions only: the
+        sharded backend freezes the query set at start.
         """
         if isinstance(query, str):
             if query_id is None:
@@ -82,6 +149,12 @@ class DesisSession:
         self._counter += 1
         if self._engine is None:
             self._pending.append(parsed)
+        elif self.config.shards > 1:
+            raise EngineError(
+                "cannot add queries to a running sharded session: the "
+                "worker schedule is fixed at start (submit before the "
+                "first event, or run with shards=1)"
+            )
         else:
             self._engine.add_query(parsed)
         return parsed.query_id
@@ -98,6 +171,10 @@ class DesisSession:
             if len(self._pending) == before:
                 raise EngineError(f"unknown query id: {query_id!r}")
             return
+        if self.config.shards > 1:
+            raise EngineError(
+                "cannot remove queries from a running sharded session"
+            )
         self._engine.remove_query(query_id, drain=drain)
 
     @property
@@ -108,24 +185,30 @@ class DesisSession:
 
     # -- processing ------------------------------------------------------------------
 
-    def _ensure_engine(self) -> AggregationEngine:
+    def _ensure_engine(self):
         if self._engine is None:
             sink = None
-            if self.measure_latency:
+            if self.config.measure_latency:
                 from repro.metrics.latency import LatencyProbe
 
                 sink = self._probe = LatencyProbe(
-                    sample_every=self.latency_sample_every,
+                    sample_every=self.config.latency_sample_every,
                     keep=True,
-                    expiry_horizon_ms=self.latency_expiry_horizon_ms,
+                    expiry_horizon_ms=self.config.latency_expiry_horizon_ms,
                 )
-            self._engine = AggregationEngine(
-                self._pending,
-                policy=self.policy,
-                sink=sink,
-                recorder=self.recorder,
-                merge_mode=self.merge_mode,
-            )
+            if self.config.shards > 1:
+                from repro.parallel import ShardedEngine
+
+                self._engine = ShardedEngine(
+                    self._pending, config=self.config, sink=sink
+                )
+            else:
+                self._engine = AggregationEngine(
+                    self._pending,
+                    config=self.config,
+                    sink=sink,
+                    recorder=self.recorder,
+                )
             self._pending = []
         return self._engine
 
@@ -158,6 +241,13 @@ class DesisSession:
     @property
     def stats(self) -> EngineStats:
         return self._ensure_engine().stats
+
+    @property
+    def shard_stats(self):
+        """Per-shard counters (``None`` for single-process sessions)."""
+        if self._engine is None or self.config.shards <= 1:
+            return None
+        return self._engine.shard_stats
 
     def latency_summary(self):
         """Percentile summary of the probe (``None`` unless measuring).

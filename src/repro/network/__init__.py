@@ -10,6 +10,9 @@ from repro.network.messages import (
     PartialBatchMessage,
     ResyncMessage,
     SequencedMessage,
+    ShardBatchMessage,
+    ShardResultMessage,
+    ShardWindowRecord,
     SliceRecord,
     WindowPartialMessage,
 )
@@ -40,6 +43,9 @@ __all__ = [
     "PartialBatchMessage",
     "ResyncMessage",
     "SequencedMessage",
+    "ShardBatchMessage",
+    "ShardResultMessage",
+    "ShardWindowRecord",
     "SimNetwork",
     "SimNode",
     "SliceRecord",

@@ -30,6 +30,9 @@ from repro.network.messages import (
     PartialBatchMessage,
     ResyncMessage,
     SequencedMessage,
+    ShardBatchMessage,
+    ShardResultMessage,
+    ShardWindowRecord,
     SliceRecord,
     SnapshotChunk,
     WindowPartialMessage,
@@ -46,6 +49,8 @@ _TAG_ACK = 6
 _TAG_RESYNC = 7
 _TAG_CHECKPOINT = 8
 _TAG_SNAPSHOT = 9
+_TAG_SHARD_BATCH = 10
+_TAG_SHARD_RESULT = 11
 
 #: wire overhead a :class:`SequencedMessage` envelope adds to its inner
 #: message in the binary codec: tag (u8) + epoch (u32) + seq (i64).
@@ -75,6 +80,30 @@ def _float_struct(n: int) -> struct.Struct:
         cached = struct.Struct(f">{n}d")
         if len(_float_structs) < _FLOAT_STRUCT_CACHE_MAX:
             _float_structs[n] = cached
+    return cached
+
+
+_i64_structs: dict[int, struct.Struct] = {}
+_u16_structs: dict[int, struct.Struct] = {}
+
+
+def _i64_struct(n: int) -> struct.Struct:
+    """A cached big-endian ``n``-int64 Struct (shard batch time columns)."""
+    cached = _i64_structs.get(n)
+    if cached is None:
+        cached = struct.Struct(f">{n}q")
+        if len(_i64_structs) < _FLOAT_STRUCT_CACHE_MAX:
+            _i64_structs[n] = cached
+    return cached
+
+
+def _u16_struct(n: int) -> struct.Struct:
+    """A cached big-endian ``n``-uint16 Struct (shard batch key indexes)."""
+    cached = _u16_structs.get(n)
+    if cached is None:
+        cached = struct.Struct(f">{n}H")
+        if len(_u16_structs) < _FLOAT_STRUCT_CACHE_MAX:
+            _u16_structs[n] = cached
     return cached
 
 
@@ -109,6 +138,14 @@ class _Writer:
     def floats(self, values) -> None:
         self.u32(len(values))
         self.parts.append(_float_struct(len(values)).pack(*values))
+
+    def i64s(self, values) -> None:
+        self.u32(len(values))
+        self.parts.append(_i64_struct(len(values)).pack(*values))
+
+    def u16s(self, values) -> None:
+        self.u32(len(values))
+        self.parts.append(_u16_struct(len(values)).pack(*values))
 
     def bytes(self) -> bytes:
         return b"".join(self.parts)
@@ -151,6 +188,18 @@ class _Reader:
         n = self.u32()
         values = list(_float_struct(n).unpack_from(self.data, self.pos))
         self.pos += 8 * n
+        return values
+
+    def i64s(self) -> list[int]:
+        n = self.u32()
+        values = list(_i64_struct(n).unpack_from(self.data, self.pos))
+        self.pos += 8 * n
+        return values
+
+    def u16s(self) -> list[int]:
+        n = self.u32()
+        values = list(_u16_struct(n).unpack_from(self.data, self.pos))
+        self.pos += 2 * n
         return values
 
 
@@ -563,6 +612,126 @@ class BinaryCodec(Codec):
             state=state,
         )
 
+    def _encode_shard_batch(self, w: _Writer, msg: ShardBatchMessage) -> None:
+        if len(msg.key_table) > 0xFFFF:
+            raise CodecError(
+                f"shard batch key table too large: {len(msg.key_table)}"
+            )
+        w.u8(_TAG_SHARD_BATCH)
+        w.i64(msg.seq)
+        flags = (
+            (1 if msg.advance_before is not None else 0)
+            | (2 if msg.advance_after is not None else 0)
+            | (4 if msg.close else 0)
+            | (8 if msg.final_time is not None else 0)
+        )
+        w.u8(flags)
+        if msg.advance_before is not None:
+            w.i64(msg.advance_before)
+        if msg.advance_after is not None:
+            w.i64(msg.advance_after)
+        if msg.final_time is not None:
+            w.i64(msg.final_time)
+        w.u16(len(msg.key_table))
+        for key in msg.key_table:
+            w.text(key)
+        w.i64s(msg.times)
+        w.u16s(msg.key_index)
+        w.floats(msg.values)
+        w.u32(len(msg.markers))
+        for row, marker in msg.markers:
+            w.u32(row)
+            w.text(marker)
+
+    def _decode_shard_batch(self, r: _Reader) -> ShardBatchMessage:
+        seq = r.i64()
+        flags = r.u8()
+        advance_before = r.i64() if flags & 1 else None
+        advance_after = r.i64() if flags & 2 else None
+        final_time = r.i64() if flags & 8 else None
+        key_table = [r.text() for _ in range(r.u16())]
+        times = r.i64s()
+        key_index = r.u16s()
+        values = r.floats()
+        markers = [(r.u32(), r.text()) for _ in range(r.u32())]
+        return ShardBatchMessage(
+            seq=seq,
+            advance_before=advance_before,
+            advance_after=advance_after,
+            close=bool(flags & 4),
+            final_time=final_time,
+            times=times,
+            values=values,
+            key_table=key_table,
+            key_index=key_index,
+            markers=markers,
+        )
+
+    def _encode_shard_result(self, w: _Writer, msg: ShardResultMessage) -> None:
+        w.u8(_TAG_SHARD_RESULT)
+        w.u16(msg.shard)
+        w.i64(msg.seq)
+        flags = (1 if msg.done else 0) | (2 if msg.error else 0)
+        w.u8(flags)
+        w.i64(msg.busy_ns)
+        if msg.error:
+            w.text(msg.error)
+        w.u16(len(msg.stats))
+        for name, value in msg.stats.items():
+            w.text(name)
+            w.i64(value)
+        w.u32(len(msg.windows))
+        for rec in msg.windows:
+            w.u16(rec.group_id)
+            w.u16(rec.ctx)
+            w.i64(rec.start)
+            w.i64(rec.end)
+            w.u32(rec.event_count)
+            w.i64(rec.emitted_at)
+            w.u16(len(rec.query_ids))
+            for query_id in rec.query_ids:
+                w.text(query_id)
+            self._encode_ops(w, rec.ops)
+
+    def _decode_shard_result(self, r: _Reader) -> ShardResultMessage:
+        shard = r.u16()
+        seq = r.i64()
+        flags = r.u8()
+        busy_ns = r.i64()
+        error = r.text() if flags & 2 else ""
+        stats = {r.text(): r.i64() for _ in range(r.u16())}
+        windows = []
+        for _ in range(r.u32()):
+            group_id = r.u16()
+            ctx = r.u16()
+            start = r.i64()
+            end = r.i64()
+            event_count = r.u32()
+            emitted_at = r.i64()
+            query_ids = tuple(r.text() for _ in range(r.u16()))
+            ops = self._decode_ops(r)
+            windows.append(
+                ShardWindowRecord(
+                    group_id=group_id,
+                    ctx=ctx,
+                    start=start,
+                    end=end,
+                    event_count=event_count,
+                    emitted_at=emitted_at,
+                    query_ids=query_ids,
+                    ops=ops,
+                )
+            )
+        return ShardResultMessage(
+            shard=shard,
+            seq=seq,
+            windows=windows,
+            done=bool(flags & 1),
+            busy_ns=busy_ns,
+            stats=stats,
+            error=error,
+        )
+
     # -- decoding ----------------------------------------------------------------
 
     def _encode_any(self, w: _Writer, message: Message) -> None:
@@ -582,6 +751,10 @@ class BinaryCodec(Codec):
             self._encode_checkpoint(w, message)
         elif isinstance(message, SnapshotChunk):
             self._encode_snapshot(w, message)
+        elif isinstance(message, ShardBatchMessage):
+            self._encode_shard_batch(w, message)
+        elif isinstance(message, ShardResultMessage):
+            self._encode_shard_result(w, message)
         else:
             raise CodecError(f"cannot encode message type {type(message).__name__}")
 
@@ -605,6 +778,10 @@ class BinaryCodec(Codec):
             return self._decode_checkpoint(r)
         if tag == _TAG_SNAPSHOT:
             return self._decode_snapshot(r)
+        if tag == _TAG_SHARD_BATCH:
+            return self._decode_shard_batch(r)
+        if tag == _TAG_SHARD_RESULT:
+            return self._decode_shard_result(r)
         raise CodecError(f"unknown message tag: {tag}")
 
     def decode(self, data: bytes) -> Message:
@@ -794,6 +971,43 @@ def _to_jsonable(message: Message) -> dict[str, Any]:
             "records": _records_to_jsonable(message.records),
             "state": state,
         }
+    if isinstance(message, ShardBatchMessage):
+        return {
+            "type": "shard_batch",
+            "seq": message.seq,
+            "advance_before": message.advance_before,
+            "advance_after": message.advance_after,
+            "close": message.close,
+            "final_time": message.final_time,
+            "times": message.times,
+            "values": message.values,
+            "key_table": message.key_table,
+            "key_index": message.key_index,
+            "markers": [list(entry) for entry in message.markers],
+        }
+    if isinstance(message, ShardResultMessage):
+        return {
+            "type": "shard_result",
+            "shard": message.shard,
+            "seq": message.seq,
+            "done": message.done,
+            "busy_ns": message.busy_ns,
+            "stats": message.stats,
+            "error": message.error,
+            "windows": [
+                {
+                    "group_id": rec.group_id,
+                    "ctx": rec.ctx,
+                    "start": rec.start,
+                    "end": rec.end,
+                    "event_count": rec.event_count,
+                    "emitted_at": rec.emitted_at,
+                    "query_ids": list(rec.query_ids),
+                    "ops": _ops_to_jsonable(rec.ops),
+                }
+                for rec in message.windows
+            ],
+        }
     raise CodecError(f"cannot encode message type {type(message).__name__}")
 
 
@@ -885,5 +1099,40 @@ def _from_jsonable(data: dict[str, Any]) -> Message:
             covered=data["covered"],
             records=_records_from_jsonable(data["records"]),
             state=data["state"],
+        )
+    if kind == "shard_batch":
+        return ShardBatchMessage(
+            seq=data["seq"],
+            advance_before=data["advance_before"],
+            advance_after=data["advance_after"],
+            close=bool(data["close"]),
+            final_time=data["final_time"],
+            times=list(data["times"]),
+            values=list(data["values"]),
+            key_table=list(data["key_table"]),
+            key_index=list(data["key_index"]),
+            markers=[(row, marker) for row, marker in data["markers"]],
+        )
+    if kind == "shard_result":
+        return ShardResultMessage(
+            shard=data["shard"],
+            seq=data["seq"],
+            windows=[
+                ShardWindowRecord(
+                    group_id=rec["group_id"],
+                    ctx=rec["ctx"],
+                    start=rec["start"],
+                    end=rec["end"],
+                    event_count=rec["event_count"],
+                    emitted_at=rec["emitted_at"],
+                    query_ids=tuple(rec["query_ids"]),
+                    ops=_ops_from_jsonable(rec["ops"]),
+                )
+                for rec in data["windows"]
+            ],
+            done=bool(data["done"]),
+            busy_ns=data["busy_ns"],
+            stats=dict(data["stats"]),
+            error=data["error"],
         )
     raise CodecError(f"unknown string message type: {kind!r}")

@@ -39,6 +39,16 @@ Checkpointed recovery adds two more (see DESIGN.md §8):
 * :class:`SnapshotChunk` — one piece of checkpointed state: a child's
   buffered (pending) slice records, one retained upward batch, or a root
   assembler's window-state blob.
+
+Sharded (multi-core) execution adds two single-host frames (DESIGN.md
+§13), carried over OS pipes with the same :class:`BinaryCodec`:
+
+* :class:`ShardBatchMessage` — a columnar event frame the parent
+  broadcasts to every worker; workers filter their own key shard out of
+  it before building events.
+* :class:`ShardResultMessage` — a worker's closed-window partials
+  (:class:`ShardWindowRecord` entries) flowing back to the parent's
+  deterministic reducer.
 """
 
 from __future__ import annotations
@@ -61,6 +71,9 @@ __all__ = [
     "ResyncMessage",
     "CheckpointMessage",
     "SnapshotChunk",
+    "ShardBatchMessage",
+    "ShardResultMessage",
+    "ShardWindowRecord",
     "Message",
 ]
 
@@ -268,6 +281,85 @@ class SnapshotChunk:
 
 
 @dataclass(slots=True)
+class ShardBatchMessage:
+    """One columnar event frame, broadcast by the sharded-execution parent.
+
+    The parent encodes each batch **once** and sends the same bytes to
+    every worker; each worker filters the rows whose key hashes to its
+    shard (DESIGN.md §13).  Events are stored as parallel columns —
+    ``times``/``values`` plus a per-frame key dictionary (``key_table``)
+    and per-row indexes into it — so the parent never pays a per-event
+    Python object cost on the send path.
+
+    ``advance_before`` (set on the first frame only) is the global
+    bootstrap origin: every worker anchors its fixed-window schedules at
+    it before touching events, so all shards agree on slice cuts.
+    ``advance_after`` is the batch's progress watermark (the last event
+    time, or an explicit :meth:`advance` time); draining to it after the
+    batch keeps every shard's stream clock synchronized at frame
+    boundaries, which is what makes the per-frame close sets — and hence
+    the reduce — deterministic.  The final frame carries ``close=True``
+    and ``final_time``.
+    """
+
+    seq: int
+    advance_before: int | None = None
+    advance_after: int | None = None
+    close: bool = False
+    final_time: int | None = None
+    times: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    #: per-frame key dictionary; ``key_index[i]`` names row ``i``'s key
+    key_table: list[str] = field(default_factory=list)
+    key_index: list[int] = field(default_factory=list)
+    #: sparse ``(row, marker)`` pairs for user-defined window markers
+    markers: list[tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class ShardWindowRecord:
+    """One closed window's raw operator partials from one shard.
+
+    Identity across shards is ``(group_id, ctx, start, end, query_ids)``
+    — never a close ordinal, because two windows closing within the same
+    frame may close in different orders on different shards.  ``ops`` are
+    the shard's merged operator partials for the window (the same
+    representations :func:`~repro.core.operators.merge_many_partials`
+    folds); ``emitted_at`` is the shard's stream time at close — the
+    global emission time is the minimum across shards.
+    """
+
+    group_id: int
+    ctx: int
+    start: int
+    end: int
+    event_count: int
+    emitted_at: int
+    query_ids: tuple[str, ...] = ()
+    ops: dict[OperatorKind, Any] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class ShardResultMessage:
+    """A worker's reply frame: closed windows, and on close, its totals.
+
+    ``seq`` echoes the input frame that produced these windows (the
+    parent uses it to bound in-flight frames per shard).  The final reply
+    sets ``done=True`` and carries the worker's cumulative CPU busy time
+    and its engine's stat counters; ``error`` reports a worker-side
+    exception instead of killing the pipe silently.
+    """
+
+    shard: int
+    seq: int
+    windows: list[ShardWindowRecord] = field(default_factory=list)
+    done: bool = False
+    busy_ns: int = 0
+    stats: dict[str, int] = field(default_factory=dict)
+    error: str = ""
+
+
+@dataclass(slots=True)
 class SequencedMessage:
     """A reliable-channel frame: one data message with per-link ordering.
 
@@ -291,4 +383,6 @@ Message = (
     | ResyncMessage
     | CheckpointMessage
     | SnapshotChunk
+    | ShardBatchMessage
+    | ShardResultMessage
 )

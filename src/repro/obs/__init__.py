@@ -17,6 +17,7 @@ from repro.obs.registry import (
     publish_engine_stats,
     publish_latency_summary,
     publish_network_stats,
+    publish_shard_stats,
 )
 from repro.obs.tracing import (
     NULL_RECORDER,
@@ -72,6 +73,7 @@ __all__ = [
     "publish_engine_stats",
     "publish_latency_summary",
     "publish_network_stats",
+    "publish_shard_stats",
     "NULL_RECORDER",
     "TraceEvent",
     "TraceRecorder",

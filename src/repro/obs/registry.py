@@ -36,6 +36,7 @@ __all__ = [
     "MetricsRegistry",
     "publish_engine_stats",
     "publish_network_stats",
+    "publish_shard_stats",
     "publish_cluster_result",
     "publish_latency_summary",
     "publish_conformance_counters",
@@ -232,6 +233,40 @@ def publish_engine_stats(registry: MetricsRegistry, stats,
     registry.gauge("engine.peak_open_windows", **labels).set(
         stats.peak_open_windows
     )
+
+
+def publish_shard_stats(registry: MetricsRegistry, shard_stats) -> None:
+    """Publish a :class:`~repro.parallel.backend.ShardStats` snapshot.
+
+    Per-shard counters land under ``shard="N"`` labels (events processed,
+    worker CPU busy time, in-shard merge ops, peak in-flight frames — the
+    queue-depth signal); reduce-side work lands unlabeled
+    (``shard.reduce_merge_ops``, ``shard.windows_reduced``,
+    ``shard.frames``) plus the parent's two serial-stage CPU times.
+    """
+    for shard in range(shard_stats.shards):
+        label = str(shard)
+        registry.counter("shard.events", shard=label).inc(
+            shard_stats.events[shard]
+        )
+        registry.counter("shard.merge_ops", shard=label).inc(
+            shard_stats.merge_ops[shard]
+        )
+        registry.gauge("shard.busy_seconds", shard=label).set(
+            shard_stats.busy_ns[shard] / 1e9
+        )
+        registry.gauge("shard.peak_inflight_frames", shard=label).set(
+            shard_stats.peak_inflight[shard]
+        )
+    registry.counter("shard.frames").inc(shard_stats.frames)
+    registry.counter("shard.reduce_merge_ops").inc(
+        shard_stats.reduce_merge_ops
+    )
+    registry.counter("shard.windows_reduced").inc(
+        shard_stats.windows_reduced
+    )
+    registry.gauge("shard.parent_seconds").set(shard_stats.parent_ns / 1e9)
+    registry.gauge("shard.reduce_seconds").set(shard_stats.reduce_ns / 1e9)
 
 
 def publish_network_stats(registry: MetricsRegistry, stats) -> None:

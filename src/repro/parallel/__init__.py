@@ -1,0 +1,16 @@
+"""Multi-core sharded execution (DESIGN.md §13).
+
+:class:`ShardedEngine` partitions the event stream by key hash across N
+OS worker processes, each running an independent
+:class:`~repro.core.engine.AggregationEngine` over its key shard, with a
+deterministic shard-ordered reduce of per-window operator partials at
+window close.  Reach it through ``DesisSession(shards=N)`` or
+``EngineConfig(shards=N)``; construct it directly only when driving the
+:class:`~repro.baselines.api.StreamProcessor` protocol yourself.
+"""
+
+from repro.parallel.backend import ShardedEngine, ShardStats
+from repro.parallel.reduce import ShardReducer
+from repro.parallel.sharding import shard_of
+
+__all__ = ["ShardReducer", "ShardedEngine", "ShardStats", "shard_of"]

@@ -1,0 +1,567 @@
+"""Sharded execution backend: N worker processes, one key shard each.
+
+DESIGN.md §13 describes the architecture; the short version:
+
+* The parent buffers in-order events and, every ``shard_batch_size``
+  events (or at a watermark/close), encodes them **once** as a columnar
+  :class:`~repro.network.messages.ShardBatchMessage` and broadcasts the
+  same bytes to every worker over an OS pipe.  Broadcasting instead of
+  partitioning keeps the parent's per-event cost independent of the
+  shard count — the parent never hashes a key.
+* Each worker decodes the columns, keeps only the rows whose key hashes
+  to its shard (:func:`~repro.parallel.sharding.shard_of`), builds
+  events, and runs a completely ordinary in-process
+  :class:`~repro.core.engine.AggregationEngine` over them.  A
+  ``window_sink`` hook intercepts every window the worker closes —
+  including empty ones — and ships its raw operator partials back as
+  :class:`~repro.network.messages.ShardWindowRecord` entries.
+* The parent's :class:`~repro.parallel.reduce.ShardReducer` matches each
+  window's N records by identity, merges the partials in shard order via
+  :func:`~repro.core.operators.merge_many_partials`, and emits final
+  results in shard 0's close order.
+
+Determinism hinges on every shard running the *same* fixed-window
+schedule: the first frame carries the global bootstrap origin
+(``advance_before``) and every frame carries a trailing watermark
+(``advance_after``), so all shards agree on slice cuts and on which
+windows close within each frame.  That is also why sharded execution is
+restricted to fixed **time** windows (tumbling/sliding): session, count,
+and user-defined windows are properties of the *global* stream that key
+partitioning destroys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.analyzer import QueryPlan, analyze
+from repro.core.config import EngineConfig
+from repro.core.engine import AggregationEngine, EngineStats
+from repro.core.errors import EngineError, OutOfOrderError
+from repro.core.event import Event
+from repro.core.query import Query
+from repro.core.results import ResultSink
+from repro.core.types import WindowMeasure, WindowType
+from repro.network.codec import BinaryCodec
+from repro.network.messages import (
+    ShardBatchMessage,
+    ShardResultMessage,
+    ShardWindowRecord,
+)
+from repro.parallel.reduce import ShardReducer
+from repro.parallel.sharding import shard_of
+
+__all__ = ["ShardedEngine", "ShardStats"]
+
+_FIXED_TIME = (WindowType.TUMBLING, WindowType.SLIDING)
+
+#: seconds to wait for worker results at close before declaring a hang
+_CLOSE_TIMEOUT_S = 120.0
+
+
+@dataclass(slots=True)
+class ShardStats:
+    """Parent-side counters for one sharded run (``shard.*`` metrics).
+
+    ``busy_ns``/``events``/``merge_ops`` are per-shard (reported by each
+    worker with its final frame); ``peak_inflight`` is the high-water
+    mark of frames sent but not yet answered per shard — the queue-depth
+    signal; ``parent_ns``/``reduce_ns`` are the parent's own CPU time
+    spent building/encoding frames and reducing partials (the two serial
+    stages of the pipeline model, see ``benchmarks/bench_parallel.py``).
+    """
+
+    shards: int
+    frames: int = 0
+    events: list[int] = field(default_factory=list)
+    busy_ns: list[int] = field(default_factory=list)
+    merge_ops: list[int] = field(default_factory=list)
+    peak_inflight: list[int] = field(default_factory=list)
+    reduce_merge_ops: int = 0
+    windows_reduced: int = 0
+    parent_ns: int = 0
+    reduce_ns: int = 0
+
+    def __post_init__(self) -> None:
+        zeros = [0] * self.shards
+        if not self.events:
+            self.events = list(zeros)
+        if not self.busy_ns:
+            self.busy_ns = list(zeros)
+        if not self.merge_ops:
+            self.merge_ops = list(zeros)
+        if not self.peak_inflight:
+            self.peak_inflight = list(zeros)
+
+
+def _stats_to_dict(stats: EngineStats) -> dict[str, int]:
+    return {
+        f.name: getattr(stats, f.name) for f in dataclasses.fields(stats)
+    }
+
+
+def _attach_window_sinks(
+    engine: AggregationEngine, records: list[ShardWindowRecord]
+) -> None:
+    """Route every closed window's raw partials into ``records``.
+
+    The hook fires after the engine merged the window's slices but
+    before finalization and the empty-window skip, so empty windows are
+    reported too — the reducer needs all N records to match a window.
+    Partials are shallow-copied because the store may recycle a
+    single-run sorted list after release.
+    """
+    for runtime in engine.groups:
+        group_id = runtime.group.group_id
+
+        def sink(window, merged, events, end, _runtime=runtime, _gid=group_id):
+            ops = {
+                kind: (list(part) if isinstance(part, list) else part)
+                for kind, part in merged.items()
+            }
+            stream_time = _runtime.stream_time
+            records.append(
+                ShardWindowRecord(
+                    group_id=_gid,
+                    ctx=window.ctx,
+                    start=window.start,
+                    end=end,
+                    event_count=events,
+                    emitted_at=stream_time if stream_time is not None else end,
+                    query_ids=tuple(q.query_id for q in window.queries),
+                    ops=ops,
+                )
+            )
+
+        runtime.window_sink = sink
+
+
+def _filter_events(
+    msg: ShardBatchMessage, shard_id: int, shards: int
+) -> list[Event]:
+    """Build this shard's events out of a broadcast columnar frame."""
+    table = msg.key_table
+    if shards == 1:
+        owner = [True] * len(table)
+    else:
+        owner = [shard_of(key, shards) == shard_id for key in table]
+    times = msg.times
+    values = msg.values
+    index = msg.key_index
+    out: list[Event] = []
+    append = out.append
+    if not msg.markers:
+        for i in range(len(times)):
+            k = index[i]
+            if owner[k]:
+                append(Event(times[i], table[k], values[i]))
+    else:
+        markers = dict(msg.markers)
+        for i in range(len(times)):
+            k = index[i]
+            if owner[k]:
+                append(Event(times[i], table[k], values[i], markers.get(i)))
+    return out
+
+
+def _worker_main(
+    shard_id: int,
+    shards: int,
+    queries: list[Query],
+    config: EngineConfig,
+    recv_conn,
+    send_conn,
+) -> None:
+    """One worker process: decode → filter → engine → ship partials."""
+    codec = BinaryCodec()
+    try:
+        engine = AggregationEngine(queries, config=config)
+        records: list[ShardWindowRecord] = []
+        _attach_window_sinks(engine, records)
+        busy_ns = 0
+        while True:
+            data = recv_conn.recv_bytes()
+            started = time.process_time_ns()
+            msg = codec.decode(data)
+            if msg.advance_before is not None:
+                engine.advance(msg.advance_before)
+            if msg.times:
+                events = _filter_events(msg, shard_id, shards)
+                if events:
+                    engine.process_batch(events)
+            if msg.advance_after is not None:
+                engine.advance(msg.advance_after)
+            if msg.close:
+                engine.close(msg.final_time)
+            busy_ns += time.process_time_ns() - started
+            if records or msg.close:
+                reply = ShardResultMessage(
+                    shard=shard_id,
+                    seq=msg.seq,
+                    windows=list(records),
+                    done=msg.close,
+                    busy_ns=busy_ns,
+                    stats=_stats_to_dict(engine.stats) if msg.close else {},
+                )
+                records.clear()
+                send_conn.send_bytes(codec.encode(reply))
+            if msg.close:
+                break
+    except Exception as exc:  # ship the failure; a silent death hangs close()
+        try:
+            send_conn.send_bytes(
+                codec.encode(
+                    ShardResultMessage(
+                        shard=shard_id,
+                        seq=-1,
+                        done=True,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        try:
+            send_conn.close()
+            recv_conn.close()
+        except Exception:
+            pass
+
+
+class ShardedEngine:
+    """Drop-in engine running N key-sharded worker processes.
+
+    Implements the same driving protocol as
+    :class:`~repro.core.engine.AggregationEngine` (and the baselines'
+    :class:`~repro.baselines.api.StreamProcessor`): ``process`` /
+    ``process_batch`` / ``advance`` / ``close`` / ``sink`` / ``stats``.
+    Results are identical to a single-process engine over the same
+    stream — byte-identical for count/extrema/sorted operator kinds,
+    within 1e-9 relative for float folds (sum/product/sum-of-squares),
+    because the reduce re-associates the float fold across shards.
+
+    Restrictions (all raise :class:`~repro.core.errors.EngineError`):
+    only fixed time windows (tumbling/sliding over time), no runtime
+    query add/remove, no trace recorder.
+    """
+
+    name = "Desis-sharded"
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        *,
+        config: EngineConfig | None = None,
+        sink: ResultSink | None = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.queries = list(queries)
+        for query in self.queries:
+            spec = query.window
+            if (
+                spec.window_type not in _FIXED_TIME
+                or spec.measure is not WindowMeasure.TIME
+            ):
+                raise EngineError(
+                    "sharded execution supports only fixed time windows "
+                    "(tumbling/sliding over time); query "
+                    f"{query.query_id!r} uses a "
+                    f"{spec.window_type.value} window — session, count, "
+                    "and user-defined windows are global-stream "
+                    "properties that key partitioning breaks"
+                )
+        #: the shared query plan (parent-side copy, used for group_count
+        #: and the reducer's finalize table; workers re-analyze)
+        self.plan: QueryPlan = analyze(self.queries, policy=self.config.policy)
+        self.sink = sink if sink is not None else ResultSink()
+        self.stats = EngineStats()
+        self.shard_stats = ShardStats(shards=self.config.shards)
+        self._reducer = ShardReducer(
+            self.config.shards,
+            {q.query_id: q.function for q in self.queries},
+            self.sink,
+            self.stats,
+            emit_empty=self.config.emit_empty,
+        )
+        self._codec = BinaryCodec()
+        self._pending: list[Event] = []
+        self._stream_time: int | None = None
+        self._bootstrapped = False
+        self._seq = 0
+        self._closed = False
+        self._procs: list = []
+        self._send: list = []
+        self._recv: list = []
+        self._done: list[bool] = [False] * self.config.shards
+        self._last_acked: list[int] = [-1] * self.config.shards
+
+    @property
+    def group_count(self) -> int:
+        return len(self.plan.groups)
+
+    # -- worker lifecycle -----------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self._procs:
+            return
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        for shard in range(self.config.shards):
+            result_recv, result_send = ctx.Pipe(duplex=False)
+            frame_recv, frame_send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    shard,
+                    self.config.shards,
+                    self.queries,
+                    self.config,
+                    frame_recv,
+                    result_send,
+                ),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            proc.start()
+            # The parent must drop its copies of the worker-side pipe
+            # ends, or a dead worker's pipe never reads as closed.
+            frame_recv.close()
+            result_send.close()
+            self._procs.append(proc)
+            self._send.append(frame_send)
+            self._recv.append(result_recv)
+
+    def _shutdown_workers(self) -> None:
+        for conn in self._send + self._recv:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+        self._procs = []
+        self._send = []
+        self._recv = []
+
+    # -- ingestion ------------------------------------------------------------
+
+    def process(self, event: Event) -> None:
+        """Buffer one in-order event; ships a frame at the batch size."""
+        if self._closed:
+            raise EngineError("engine already closed")
+        stream_time = self._stream_time
+        if stream_time is not None and event.time < stream_time:
+            raise OutOfOrderError(
+                f"event at t={event.time} arrived after stream time "
+                f"{stream_time}"
+            )
+        self._stream_time = event.time
+        self._pending.append(event)
+        if len(self._pending) >= self.config.shard_batch_size:
+            batch = self._pending
+            self._pending = []
+            self._flush(batch)
+
+    def process_batch(self, events: Sequence[Event]) -> None:
+        """Buffer an ordered batch (validated parent-side, like the engine)."""
+        if self._closed:
+            raise EngineError("engine already closed")
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        if not events:
+            return
+        started = time.process_time_ns()
+        prev = self._stream_time
+        if prev is None:
+            prev = events[0].time
+        for event in events:
+            if event.time < prev:
+                raise OutOfOrderError(
+                    f"event at t={event.time} arrived after stream time "
+                    f"{prev}"
+                )
+            prev = event.time
+        self._stream_time = prev
+        self._pending.extend(events)
+        self.shard_stats.parent_ns += time.process_time_ns() - started
+        size = self.config.shard_batch_size
+        while len(self._pending) >= size:
+            batch = self._pending[:size]
+            self._pending = self._pending[size:]
+            self._flush(batch)
+
+    def process_many(self, events: Iterable[Event]) -> None:
+        self.process_batch(
+            events if isinstance(events, (list, tuple)) else list(events)
+        )
+
+    def advance(self, time_: int) -> None:
+        """Apply a watermark: flush buffered events, then drain to it."""
+        if self._closed:
+            raise EngineError("engine already closed")
+        stream_time = self._stream_time
+        if stream_time is not None and time_ < stream_time:
+            raise OutOfOrderError(
+                f"watermark at t={time_} arrived after stream time "
+                f"{stream_time}"
+            )
+        self._stream_time = time_
+        batch = self._pending
+        self._pending = []
+        self._flush(batch, advance_to=time_)
+
+    def close(self, at_time: int | None = None) -> ResultSink:
+        """Flush everything, reduce every window, and join the workers."""
+        if self._closed:
+            raise EngineError("engine already closed")
+        if at_time is not None:
+            stream_time = self._stream_time
+            if stream_time is not None and at_time < stream_time:
+                raise OutOfOrderError(
+                    f"close at t={at_time} precedes stream time {stream_time}"
+                )
+        self._closed = True
+        final = at_time
+        if final is None:
+            final = self._stream_time if self._stream_time is not None else 0
+        batch = self._pending
+        self._pending = []
+        try:
+            self._flush(batch, close=True, final_time=final)
+            self._drain_until_done()
+            self._reducer.finish()
+        finally:
+            self._shutdown_workers()
+        self.shard_stats.reduce_merge_ops = self._reducer.merge_ops
+        self.shard_stats.windows_reduced = self._reducer.windows_reduced
+        return self.sink
+
+    # -- frames ---------------------------------------------------------------
+
+    def _flush(
+        self,
+        batch: list[Event],
+        *,
+        advance_to: int | None = None,
+        close: bool = False,
+        final_time: int | None = None,
+    ) -> None:
+        if not batch and advance_to is None and not close:
+            return
+        self._ensure_workers()
+        started = time.process_time_ns()
+        advance_before = None
+        if not self._bootstrapped:
+            if batch:
+                advance_before = batch[0].time
+            elif advance_to is not None:
+                advance_before = advance_to
+            elif close:
+                advance_before = final_time
+            if advance_before is not None:
+                self._bootstrapped = True
+        advance_after = advance_to
+        if advance_after is None and batch and not close:
+            advance_after = batch[-1].time
+        times = [event.time for event in batch]
+        values = [event.value for event in batch]
+        table_index: dict[str, int] = {}
+        key_index: list[int] = []
+        for event in batch:
+            slot = table_index.get(event.key)
+            if slot is None:
+                slot = len(table_index)
+                table_index[event.key] = slot
+            key_index.append(slot)
+        markers = [
+            (row, event.marker)
+            for row, event in enumerate(batch)
+            if event.marker is not None
+        ]
+        message = ShardBatchMessage(
+            seq=self._seq,
+            advance_before=advance_before,
+            advance_after=advance_after,
+            close=close,
+            final_time=final_time,
+            times=times,
+            values=values,
+            key_table=list(table_index),
+            key_index=key_index,
+            markers=markers,
+        )
+        self._seq += 1
+        frame = self._codec.encode(message)
+        for conn in self._send:
+            conn.send_bytes(frame)
+        self.shard_stats.frames += 1
+        stats = self.shard_stats
+        for shard in range(self.config.shards):
+            inflight = self._seq - 1 - self._last_acked[shard]
+            if inflight > stats.peak_inflight[shard]:
+                stats.peak_inflight[shard] = inflight
+        stats.parent_ns += time.process_time_ns() - started
+        self._poll_results()
+
+    # -- results --------------------------------------------------------------
+
+    def _poll_results(self) -> None:
+        """Opportunistically drain worker replies (keeps pipes shallow)."""
+        for shard, conn in enumerate(self._recv):
+            while not self._done[shard] and conn.poll(0):
+                self._handle_result(shard, conn.recv_bytes())
+
+    def _handle_result(self, shard: int, data: bytes) -> None:
+        message = self._codec.decode(data)
+        if not isinstance(message, ShardResultMessage):
+            raise EngineError(
+                f"unexpected frame from shard {shard}: "
+                f"{type(message).__name__}"
+            )
+        if message.error:
+            raise EngineError(f"shard {shard} worker failed: {message.error}")
+        if message.seq > self._last_acked[shard]:
+            self._last_acked[shard] = message.seq
+        started = time.process_time_ns()
+        if message.windows:
+            self._reducer.ingest(shard, message.windows)
+        self.shard_stats.reduce_ns += time.process_time_ns() - started
+        if message.done:
+            self._done[shard] = True
+            self.shard_stats.busy_ns[shard] = message.busy_ns
+            if message.stats:
+                worker = EngineStats(**message.stats)
+                self.shard_stats.events[shard] = worker.events
+                self.shard_stats.merge_ops[shard] = worker.merge_ops
+                self.stats.merge(worker)
+
+    def _drain_until_done(self) -> None:
+        deadline = time.monotonic() + _CLOSE_TIMEOUT_S
+        while not all(self._done):
+            progressed = False
+            for shard, conn in enumerate(self._recv):
+                if self._done[shard]:
+                    continue
+                if conn.poll(0.05):
+                    self._handle_result(shard, conn.recv_bytes())
+                    progressed = True
+            if progressed:
+                continue
+            for shard, proc in enumerate(self._procs):
+                if not self._done[shard] and not proc.is_alive():
+                    raise EngineError(
+                        f"shard {shard} worker died without reporting"
+                    )
+            if time.monotonic() > deadline:
+                raise EngineError(
+                    "timed out waiting for shard workers to close"
+                )

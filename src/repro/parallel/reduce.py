@@ -1,0 +1,161 @@
+"""Deterministic shard-ordered reduce of per-shard window partials.
+
+Each worker reports every window it closes — including empty ones — as a
+:class:`~repro.network.messages.ShardWindowRecord` carrying the window's
+raw operator partials.  Because all shards run the same fixed-window
+schedule over the same punctuation stream, every shard closes exactly the
+same *set* of windows; only the per-shard contents differ.  The reducer's
+job is to recombine each window's N partials into the result the
+single-process engine would have produced:
+
+* **Matching** is by window identity ``(group_id, ctx, start, end,
+  query_ids)`` — never by close ordinal, because two windows closing
+  within one frame can close in different orders on different shards
+  (one triggered by a shard-local event, the other by the trailing
+  frame watermark).
+* **Merge order** is always shard ``0..N-1`` via
+  :func:`~repro.core.operators.merge_many_partials`, so float folds are
+  reproducible run-to-run (within 1e-9 relative of the single-process
+  fold; integer/extrema/sorted kinds are byte-identical because their
+  merges are associative-commutative exactly).
+* **Emission order** follows shard 0's close order: shard 0 runs the
+  same schedule as a ``shards=1`` engine, so its close order is a valid
+  engine close order, and results stream out as soon as every shard has
+  reported the head window.
+* **``emitted_at``** is the minimum across shards: the globally-first
+  event (or watermark) at or past a window's end lives in exactly one
+  shard, which closes the window with its stream clock at that time;
+  every other shard closes it at a later-or-equal clock, so the minimum
+  is exactly the single-process emission time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.core.engine import EngineStats
+from repro.core.errors import EngineError
+from repro.core.functions import FunctionSpec, finalize
+from repro.core.operators import merge_many_partials
+from repro.core.results import ResultSink, WindowResult
+from repro.network.messages import ShardWindowRecord
+
+__all__ = ["ShardReducer"]
+
+
+class ShardReducer:
+    """Merges per-shard window partials into final results, in order."""
+
+    def __init__(
+        self,
+        shards: int,
+        functions: dict[str, FunctionSpec],
+        sink: ResultSink,
+        stats: EngineStats,
+        *,
+        emit_empty: bool = False,
+    ) -> None:
+        self._shards = shards
+        self._functions = functions
+        self._sink = sink
+        self._stats = stats
+        self._emit_empty = emit_empty
+        #: per-shard identity -> record, awaiting the other shards
+        self._books: list[dict[tuple, ShardWindowRecord]] = [
+            {} for _ in range(shards)
+        ]
+        #: identities in shard-0 close order — the emission order
+        self._order: deque[tuple] = deque()
+        #: partials consumed by reduce-time merges (deterministic counter)
+        self.merge_ops = 0
+        self.windows_reduced = 0
+
+    def ingest(self, shard: int, records: Sequence[ShardWindowRecord]) -> None:
+        """Absorb one worker's closed windows; emit everything now ready."""
+        book = self._books[shard]
+        for record in records:
+            identity = (
+                record.group_id,
+                record.ctx,
+                record.start,
+                record.end,
+                record.query_ids,
+            )
+            if identity in book:
+                raise EngineError(
+                    f"shard {shard} closed window {identity} twice"
+                )
+            book[identity] = record
+            if shard == 0:
+                self._order.append(identity)
+        self._emit_ready()
+
+    def _emit_ready(self) -> None:
+        order = self._order
+        books = self._books
+        while order:
+            identity = order[0]
+            if not all(identity in book for book in books):
+                return
+            order.popleft()
+            records = [book.pop(identity) for book in books]
+            self._reduce(identity, records)
+
+    def _reduce(
+        self, identity: tuple, records: list[ShardWindowRecord]
+    ) -> None:
+        self.windows_reduced += 1
+        first = records[0]
+        # A shard whose slice of the window was empty reports no partials
+        # at all, so the merged kinds are the union across shards and each
+        # kind folds only the shards that actually held events.
+        kinds: list = []
+        for record in records:
+            for kind in record.ops:
+                if kind not in kinds:
+                    kinds.append(kind)
+        merged = {}
+        for kind in kinds:
+            parts = [
+                record.ops[kind] for record in records if kind in record.ops
+            ]
+            merged[kind] = merge_many_partials(kind, parts)
+            self.merge_ops += len(parts)
+        events = 0
+        for record in records:
+            events += record.event_count
+        if events == 0 and not self._emit_empty:
+            return
+        emitted_at = min(record.emitted_at for record in records)
+        for query_id in first.query_ids:
+            value = finalize(self._functions[query_id], merged)
+            self._stats.results += 1
+            self._sink.emit(
+                WindowResult(
+                    query_id=query_id,
+                    start=first.start,
+                    end=first.end,
+                    value=value,
+                    event_count=events,
+                    emitted_at=emitted_at,
+                )
+            )
+
+    def finish(self) -> None:
+        """Assert nothing is left dangling once every shard reported done.
+
+        A leftover means some shard closed a window the others did not —
+        a determinism bug, not a user error.
+        """
+        leftovers = sum(len(book) for book in self._books) + len(self._order)
+        if leftovers:
+            detail = [
+                (shard, sorted(book)[:3])
+                for shard, book in enumerate(self._books)
+                if book
+            ]
+            raise EngineError(
+                f"shard reduce finished with {leftovers} unmatched window "
+                f"record(s): {detail!r}"
+            )

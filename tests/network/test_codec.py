@@ -19,6 +19,9 @@ from repro.network.messages import (
     PartialBatchMessage,
     ResyncMessage,
     SequencedMessage,
+    ShardBatchMessage,
+    ShardResultMessage,
+    ShardWindowRecord,
     SliceRecord,
     SnapshotChunk,
     WindowPartialMessage,
@@ -174,6 +177,66 @@ sequenced_msg_strategy = st.builds(
 )
 
 
+@st.composite
+def shard_batch_strategy(draw):
+    key_table = draw(
+        st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=5,
+                 unique=True)
+    )
+    n = draw(st.integers(0, 16))
+    markers = (
+        draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1),
+                          st.text(min_size=1, max_size=6)),
+                max_size=3,
+            )
+        )
+        if n
+        else []
+    )
+    return ShardBatchMessage(
+        seq=draw(seqs),
+        advance_before=draw(st.one_of(st.none(), times)),
+        advance_after=draw(st.one_of(st.none(), times)),
+        close=draw(st.booleans()),
+        final_time=draw(st.one_of(st.none(), times)),
+        times=draw(st.lists(times, min_size=n, max_size=n)),
+        values=draw(st.lists(floats, min_size=n, max_size=n)),
+        key_table=key_table,
+        key_index=draw(
+            st.lists(st.integers(0, len(key_table) - 1),
+                     min_size=n, max_size=n)
+        ),
+        markers=markers,
+    )
+
+
+shard_record_strategy = st.builds(
+    ShardWindowRecord,
+    group_id=group_ids,
+    ctx=st.integers(0, 2**16 - 1),
+    start=times,
+    end=times,
+    event_count=st.integers(0, 2**30),
+    emitted_at=times,
+    query_ids=st.lists(st.text(min_size=1, max_size=8), max_size=3).map(tuple),
+    ops=ops_strategy,
+)
+
+shard_result_strategy = st.builds(
+    ShardResultMessage,
+    shard=st.integers(0, 2**16 - 1),
+    seq=seqs,
+    windows=st.lists(shard_record_strategy, max_size=3),
+    done=st.booleans(),
+    busy_ns=st.integers(0, 2**60),
+    stats=st.dictionaries(st.text(min_size=1, max_size=10),
+                          st.integers(0, 2**40), max_size=4),
+    error=st.one_of(st.just(""), st.text(min_size=1, max_size=20)),
+)
+
+
 @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
 class TestRoundtrip:
     @given(message=partial_msg_strategy)
@@ -213,6 +276,24 @@ class TestRoundtrip:
     @given(message=snapshot_msg_strategy)
     def test_snapshot(self, codec, message):
         assert codec.decode(codec.encode(message)) == message
+
+    @given(message=shard_batch_strategy())
+    def test_shard_batch(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    @given(message=shard_result_strategy)
+    def test_shard_result(self, codec, message):
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_shard_batch_key_table_overflow_raises(self, codec):
+        message = ShardBatchMessage(
+            seq=0, key_table=[f"k{i}" for i in range(2**16)]
+        )
+        if isinstance(codec, BinaryCodec):
+            with pytest.raises(CodecError):
+                codec.encode(message)
+        else:  # the string codec has no dictionary-width limit
+            assert codec.decode(codec.encode(message)) == message
 
     def test_checkpoint_empty_state_edge(self, codec):
         """A virgin node's checkpoint — no groups, cursors, or floors."""

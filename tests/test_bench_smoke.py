@@ -17,6 +17,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 import bench_faults  # noqa: E402
 import bench_hot_path  # noqa: E402
 import bench_overload  # noqa: E402
+import bench_parallel  # noqa: E402
 import bench_recovery  # noqa: E402
 import bench_sliding_overlap  # noqa: E402
 
@@ -100,6 +101,33 @@ def test_bench_overload_quick_scale():
         for mode in ("unbounded", "bounded"):
             assert row[mode]["results"] > 0
             assert row[mode]["wall_s"] > 0
+
+
+def test_bench_parallel_tiny_scale():
+    # Window parity against the in-process reference is asserted inside
+    # ``run`` for every shard count (byte-identical at shards=1, 1e-9
+    # relative beyond); this pins the report shape on top.  The 2x
+    # modeled-speedup bar only applies at full scale.
+    report = bench_parallel.run(2_000, n_queries=10, shard_counts=(1, 2))
+    assert report["events"] == 2_000
+    assert set(report["shards"]) == {"1", "2"}
+    row_keys = {
+        "wall_s", "wall_events_per_s", "parent_s", "busiest_worker_s",
+        "reduce_s", "modeled_events_per_s", "modeled_speedup", "results",
+        "events_per_shard", "reduce_merge_ops", "windows_reduced",
+    }
+    for shards, row in report["shards"].items():
+        assert set(row) == row_keys
+        assert row["results"] == report["shards"]["1"]["results"]
+        assert sum(row["events_per_shard"]) == 2_000
+        assert len(row["events_per_shard"]) == int(shards)
+        assert row["modeled_events_per_s"] > 0
+    assert report["shards"]["1"]["modeled_speedup"] == 1.0
+    # every shard contributes a partial per window, so the reduce folds
+    # more parts at 2 shards than at 1 (empty shard slices excepted)
+    one, two = report["shards"]["1"], report["shards"]["2"]
+    assert one["windows_reduced"] == two["windows_reduced"]
+    assert two["reduce_merge_ops"] >= one["reduce_merge_ops"]
 
 
 def test_bench_recovery_tiny_scale():

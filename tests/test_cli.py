@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.__main__ import build_parser, main
+from repro.__main__ import SHARED_FLAGS, build_parser, main
 
 
 class TestRun:
@@ -276,6 +276,113 @@ class TestHelpAndUnknownCommands:
         assert "unknown command 'bogus'" in err
         for name in self.ALL_COMMANDS:
             assert name in err
+
+
+class TestSharedFlags:
+    """The parent-parser dedup contract: every verb takes the same set."""
+
+    VERB_STUB = {
+        "run": ["SELECT AVG(value) FROM stream WINDOW TUMBLING 1s"],
+        "compare": [],
+        "cluster": [],
+        "report": [],
+        "profile": [],
+        "conformance": [],
+    }
+
+    def _subparser(self, parser, verb):
+        actions = [
+            a for a in parser._actions
+            if hasattr(a, "choices") and a.choices and verb in a.choices
+        ]
+        assert actions, f"no subparser for {verb}"
+        return actions[0].choices[verb]
+
+    @pytest.mark.parametrize("verb", sorted(VERB_STUB))
+    def test_every_verb_registers_every_shared_flag(self, verb):
+        sub = self._subparser(build_parser(), verb)
+        options = {
+            opt for action in sub._actions for opt in action.option_strings
+        }
+        missing = set(SHARED_FLAGS) - options
+        assert not missing, f"{verb} is missing shared flags: {missing}"
+
+    @pytest.mark.parametrize("verb", sorted(VERB_STUB))
+    def test_every_verb_parses_the_shared_flag_set(self, verb, tmp_path):
+        argv = [verb, *self.VERB_STUB[verb],
+                "--seed", "5", "--shards", "2", "--merge-mode", "exact",
+                "--punctuation-mode", "scan",
+                "--metrics-out", str(tmp_path / "m.json")]
+        args = build_parser().parse_args(argv)
+        assert args.seed == 5
+        assert args.shards == 2
+        assert args.merge_mode == "exact"
+        assert args.punctuation_mode == "scan"
+
+
+class TestShardedRun:
+    def test_run_with_shards_prints_shard_summary(self, capsys):
+        code = main(
+            [
+                "run",
+                "SELECT AVG(value) FROM stream WINDOW TUMBLING 1s",
+                "--events", "3000", "--shards", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shards: 2 workers" in out
+        assert "per-shard events" in out
+
+    def test_run_rejects_trace_with_shards(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "run",
+                    "SELECT AVG(value) FROM stream WINDOW TUMBLING 1s",
+                    "--events", "1000", "--shards", "2",
+                    "--trace-out", str(tmp_path / "t.jsonl"),
+                ]
+            )
+        assert "--trace" in str(excinfo.value)
+
+    def test_compare_with_shards_adds_sharded_row(self, capsys):
+        code = main(
+            ["compare", "--queries", "3", "--events", "3000",
+             "--rate", "3000", "--shards", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Desis x2" in out
+
+    def test_run_shards_metrics_out_carries_shard_counters(
+        self, capsys, tmp_path
+    ):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run",
+                "SELECT SUM(value) FROM stream WINDOW TUMBLING 1s",
+                "--events", "2000", "--shards", "2",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        names = {m["name"] for m in json.loads(metrics.read_text())["metrics"]}
+        assert "shard.events" in names
+
+    def test_conformance_shards_override_lands_in_report(
+        self, capsys, tmp_path
+    ):
+        out_dir = tmp_path / "conf"
+        code = main(
+            ["conformance", "--seed", "4", "--runs", "1", "--shards", "2",
+             "--out", str(out_dir), "--no-metamorphic"]
+        )
+        assert code == 0
+        report = json.loads((out_dir / "report.json").read_text())
+        assert report["ok"] is True
+        assert report["overrides"] == {"shards": 2}
 
 
 class TestConformanceCommand:

@@ -29,6 +29,9 @@ def test_top_level_exports_exist():
         "repro.metrics",
         "repro.harness",
         "repro.interface",
+        "repro.parallel",
+        "repro.conformance",
+        "repro.obs",
     ],
 )
 def test_subpackage_all_exports_resolve(module):
@@ -56,3 +59,22 @@ def test_readme_quickstart_runs():
     results = engine.close()
     assert results.for_query("avg")
     assert results.for_query("p99")
+
+
+def test_session_quickstart_runs():
+    """The top-of-README session quickstart: top-level imports only."""
+    from repro import DesisSession, EngineConfig, Event
+
+    session = DesisSession(config=EngineConfig(shards=1))
+    session.submit("SELECT AVG(value) FROM stream WINDOW TUMBLING 1s")
+    for t in range(0, 5_000, 10):
+        session.process(Event(time=t, key="sensor-1", value=float(t % 97)))
+    results = session.close()
+    assert results
+
+    sharded = DesisSession(shards=2)
+    sharded.submit("SELECT AVG(value) FROM stream WINDOW TUMBLING 1s")
+    for t in range(0, 5_000, 10):
+        sharded.process(Event(time=t, key=f"sensor-{t % 3}", value=1.0))
+    assert sharded.close()
+    assert sharded.shard_stats.shards == 2
